@@ -1,0 +1,114 @@
+//! The commit and squash paths: Bulk's clear-a-register commit and
+//! signature-expansion bulk invalidation, versus a conventional scheme's
+//! address enumeration and tag walk.
+
+use bulk_core::{flows, Bdm};
+use bulk_mem::{Addr, Cache, CacheGeometry};
+use bulk_sig::{Signature, SignatureConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn write_set(n: u32) -> Vec<Addr> {
+    (0..n)
+        .map(|i| Addr::new((i.wrapping_mul(2654435761)) & 0x00ff_ffc0))
+        .collect()
+}
+
+fn bench_commit_message(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit_message");
+    for n in [22u32, 100] {
+        let ws = write_set(n);
+        // Bulk: compress the write signature.
+        let mut sig = Signature::new(SignatureConfig::s14_tm());
+        for a in &ws {
+            sig.insert_addr(*a);
+        }
+        g.bench_function(BenchmarkId::new("bulk_compress_sig", n), |b| {
+            b.iter(|| black_box(sig.compress()))
+        });
+        // Conventional: serialize the address list.
+        g.bench_function(BenchmarkId::new("lazy_enumerate_addrs", n), |b| {
+            b.iter(|| {
+                let mut buf = Vec::with_capacity(ws.len() * 4);
+                for a in &ws {
+                    buf.extend_from_slice(&a.raw().to_le_bytes());
+                }
+                black_box(buf)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_squash_invalidation(c: &mut Criterion) {
+    let geom = CacheGeometry::tm_l1();
+    let mut g = c.benchmark_group("squash_invalidation");
+    for n in [8u32, 64] {
+        g.bench_function(BenchmarkId::new("bulk_expansion", n), |b| {
+            b.iter_batched(
+                || {
+                    let mut bdm = Bdm::new(SignatureConfig::s14_tm(), geom, 1);
+                    let v = bdm.alloc_version().expect("slot");
+                    let mut cache = Cache::new(geom);
+                    for a in write_set(n) {
+                        bdm.record_store(v, a);
+                        cache.fill_dirty(a.line(64));
+                    }
+                    (bdm, v, cache)
+                },
+                |(mut bdm, v, mut cache)| {
+                    black_box(flows::squash(&mut bdm, v, &mut cache, false))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(BenchmarkId::new("conventional_tag_walk", n), |b| {
+            b.iter_batched(
+                || {
+                    let mut cache = Cache::new(geom);
+                    let ws: Vec<_> = write_set(n).iter().map(|a| a.line(64)).collect();
+                    for &l in &ws {
+                        cache.fill_dirty(l);
+                    }
+                    (cache, ws)
+                },
+                |(mut cache, ws)| {
+                    // Walk every cache set and tag, as a scheme with
+                    // per-line speculative bits must.
+                    let mut dropped = 0;
+                    for set in 0..geom.num_sets() {
+                        let lines: Vec<_> =
+                            cache.lines_in_set(set).iter().map(|l| l.addr()).collect();
+                        for l in lines {
+                            if ws.contains(&l) {
+                                cache.invalidate(l);
+                                dropped += 1;
+                            }
+                        }
+                    }
+                    black_box(dropped)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    let geom = CacheGeometry::tm_l1();
+    let mut cache = Cache::new(geom);
+    for i in 0..400u32 {
+        cache.fill_clean(Addr::new(i * 64).line(64));
+    }
+    let mut sig = Signature::new(SignatureConfig::s14_tm());
+    for a in write_set(22) {
+        sig.insert_addr(a);
+    }
+    c.bench_function("signature_expansion_400lines", |b| {
+        b.iter(|| black_box(sig.expand(&cache)))
+    });
+}
+
+criterion_group!(benches, bench_commit_message, bench_squash_invalidation, bench_expansion);
+criterion_main!(benches);

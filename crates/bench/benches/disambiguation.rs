@@ -1,0 +1,54 @@
+//! Bulk disambiguation (one signature intersection) versus conventional
+//! exact per-address disambiguation (probing every committed address
+//! against the receiver's sets) — the paper's "single-operation full
+//! address disambiguation" simplification, quantified.
+
+use bulk_mem::{Addr, LineAddr};
+use bulk_sig::{Signature, SignatureConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn addresses(n: u32, salt: u32) -> Vec<Addr> {
+    (0..n)
+        .map(|i| Addr::new((i.wrapping_mul(2654435761) ^ salt) & 0x00ff_ffc0))
+        .collect()
+}
+
+fn bench_disambiguation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disambiguation");
+    for (wc_n, r_n) in [(22u32, 90u32), (100, 400)] {
+        let label = format!("{wc_n}w_{r_n}r");
+        let wc = addresses(wc_n, 0x1111);
+        let rset = addresses(r_n, 0x2222);
+
+        // Bulk: two pre-built signatures, one intersection test.
+        let shared = SignatureConfig::s14_tm().into_shared();
+        let mut w_sig = Signature::with_shared(shared.clone());
+        for a in &wc {
+            w_sig.insert_addr(*a);
+        }
+        let mut r_sig = Signature::with_shared(shared);
+        for a in &rset {
+            r_sig.insert_addr(*a);
+        }
+        g.bench_function(BenchmarkId::new("bulk", &label), |b| {
+            b.iter(|| black_box(w_sig.intersects(black_box(&r_sig))))
+        });
+
+        // Conventional: hash-set membership per committed address.
+        let exact: HashSet<LineAddr> = rset.iter().map(|a| a.line(64)).collect();
+        g.bench_function(BenchmarkId::new("exact_per_address", &label), |b| {
+            b.iter(|| {
+                black_box(
+                    wc.iter()
+                        .any(|a| exact.contains(&black_box(*a).line(64))),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_disambiguation);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Per-application experiment runners shared by the figure/table binaries.
+
+use bulk_sim::SimConfig;
+use bulk_tls::{run_tls, run_tls_sequential, TlsScheme, TlsStats};
+use bulk_tm::{run_tm, Scheme, TmStats};
+use bulk_trace::{profiles, TlsProfile, TmProfile};
+
+/// Results of running one TLS application under every scheme of Fig. 10.
+#[derive(Debug, Clone)]
+pub struct TlsAppResult {
+    /// Application name.
+    pub name: String,
+    /// Sequential-execution cycles (the speedup baseline).
+    pub seq_cycles: u64,
+    /// Statistics per scheme, in [`TlsScheme::ALL`] order.
+    pub eager: TlsStats,
+    /// See [`TlsAppResult::eager`].
+    pub lazy: TlsStats,
+    /// See [`TlsAppResult::eager`].
+    pub bulk: TlsStats,
+    /// See [`TlsAppResult::eager`].
+    pub bulk_no_overlap: TlsStats,
+}
+
+impl TlsAppResult {
+    /// Speedup of a scheme's run over sequential execution.
+    pub fn speedup(&self, scheme: TlsScheme) -> f64 {
+        let cycles = match scheme {
+            TlsScheme::Eager => self.eager.cycles,
+            TlsScheme::Lazy => self.lazy.cycles,
+            TlsScheme::Bulk => self.bulk.cycles,
+            TlsScheme::BulkNoOverlap => self.bulk_no_overlap.cycles,
+        };
+        self.seq_cycles as f64 / cycles as f64
+    }
+}
+
+/// The workload seeds experiments aggregate over (squash cascades make
+/// single runs noisy; summing a few seeds stabilises every ratio).
+pub const SEEDS: [u64; 5] = [42, 43, 44, 45, 46];
+
+/// Runs one TLS application profile under sequential execution and all
+/// four schemes, aggregating statistics over [`SEEDS`] starting at `seed`.
+pub fn run_tls_app(profile: &TlsProfile, seed: u64, cfg: &SimConfig) -> TlsAppResult {
+    let mut out: Option<TlsAppResult> = None;
+    for s in SEEDS.iter().map(|d| seed ^ d) {
+        let wl = profile.generate(s);
+        let one = TlsAppResult {
+            name: profile.name.to_string(),
+            seq_cycles: run_tls_sequential(&wl, cfg),
+            eager: run_tls(&wl, TlsScheme::Eager, cfg),
+            lazy: run_tls(&wl, TlsScheme::Lazy, cfg),
+            bulk: run_tls(&wl, TlsScheme::Bulk, cfg),
+            bulk_no_overlap: run_tls(&wl, TlsScheme::BulkNoOverlap, cfg),
+        };
+        match &mut out {
+            None => out = Some(one),
+            Some(acc) => {
+                acc.seq_cycles += one.seq_cycles;
+                acc.eager.merge(&one.eager);
+                acc.lazy.merge(&one.lazy);
+                acc.bulk.merge(&one.bulk);
+                acc.bulk_no_overlap.merge(&one.bulk_no_overlap);
+            }
+        }
+    }
+    out.expect("at least one seed")
+}
+
+/// Runs every TLS application of the paper (Table 6 / Fig. 10).
+pub fn run_all_tls(seed: u64, cfg: &SimConfig) -> Vec<TlsAppResult> {
+    profiles::tls_profiles()
+        .iter()
+        .map(|p| run_tls_app(p, seed, cfg))
+        .collect()
+}
+
+/// Results of running one TM application under the Fig. 11 schemes.
+#[derive(Debug, Clone)]
+pub struct TmAppResult {
+    /// Application name.
+    pub name: String,
+    /// Conventional eager (with forward-progress fix).
+    pub eager: TmStats,
+    /// Conventional lazy (exact).
+    pub lazy: TmStats,
+    /// The paper's Bulk.
+    pub bulk: TmStats,
+    /// Bulk with partial rollback of nested transactions.
+    pub bulk_partial: TmStats,
+}
+
+impl TmAppResult {
+    /// Speedup of a scheme over Eager (the Fig. 11 normalization).
+    pub fn speedup_over_eager(&self, scheme: Scheme) -> f64 {
+        let cycles = match scheme {
+            Scheme::EagerNaive | Scheme::Eager => self.eager.cycles,
+            Scheme::Lazy => self.lazy.cycles,
+            Scheme::Bulk => self.bulk.cycles,
+            Scheme::BulkPartial => self.bulk_partial.cycles,
+        };
+        self.eager.cycles as f64 / cycles as f64
+    }
+}
+
+/// Runs one TM application profile under the four Fig. 11 schemes,
+/// aggregating statistics over [`SEEDS`] starting at `seed`.
+pub fn run_tm_app(profile: &TmProfile, seed: u64, cfg: &SimConfig) -> TmAppResult {
+    let mut out: Option<TmAppResult> = None;
+    for s in SEEDS.iter().map(|d| seed ^ d) {
+        let wl = profile.generate(s);
+        let one = TmAppResult {
+            name: profile.name.to_string(),
+            eager: run_tm(&wl, Scheme::Eager, cfg),
+            lazy: run_tm(&wl, Scheme::Lazy, cfg),
+            bulk: run_tm(&wl, Scheme::Bulk, cfg),
+            bulk_partial: run_tm(&wl, Scheme::BulkPartial, cfg),
+        };
+        match &mut out {
+            None => out = Some(one),
+            Some(acc) => {
+                acc.eager.merge(&one.eager);
+                acc.lazy.merge(&one.lazy);
+                acc.bulk.merge(&one.bulk);
+                acc.bulk_partial.merge(&one.bulk_partial);
+            }
+        }
+    }
+    out.expect("at least one seed")
+}
+
+/// Runs every TM application of the paper (Table 7 / Figs. 11, 13, 14).
+pub fn run_all_tm(seed: u64, cfg: &SimConfig) -> Vec<TmAppResult> {
+    profiles::tm_profiles()
+        .iter()
+        .map(|p| run_tm_app(p, seed, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tls_runner_produces_speedups() {
+        let p = profiles::tls_profile("mcf").unwrap();
+        let r = run_tls_app(&p, 1, &SimConfig::tls_default());
+        for s in TlsScheme::ALL {
+            assert!(r.speedup(s) > 0.5, "{s}: {}", r.speedup(s));
+        }
+    }
+
+    #[test]
+    fn tm_runner_normalizes_to_eager() {
+        let p = profiles::tm_profile("sjbb2k").unwrap();
+        let r = run_tm_app(&p, 1, &SimConfig::tm_default());
+        assert!((r.speedup_over_eager(Scheme::Eager) - 1.0).abs() < 1e-12);
+        assert!(r.speedup_over_eager(Scheme::Bulk) > 0.3);
+    }
+}

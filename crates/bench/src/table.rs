@@ -1,0 +1,85 @@
+//! Plain-text table formatting and small numeric helpers for the
+//! experiment binaries.
+
+/// Geometric mean of strictly positive values. Returns 0 for empty input.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(values.iter().all(|&v| v > 0.0), "geomean needs positive values");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a float with `prec` decimals.
+pub fn fmt_f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Prints an aligned table: header row, separator, then rows. Column
+/// widths fit the widest cell.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect();
+        println!("{}", parts.join("  "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_known_values() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn fmt_f_precision() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(2.0, 0), "2");
+    }
+
+    #[test]
+    fn print_table_smoke() {
+        print_table(
+            &["App", "X"],
+            &[vec!["a".into(), "1.0".into()], vec!["bb".into(), "2.5".into()]],
+        );
+    }
+}

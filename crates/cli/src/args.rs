@@ -1,0 +1,288 @@
+//! Argument parsing for the `bulk` command-line driver. Hand-rolled and
+//! dependency-free; every failure produces a message pointing at the
+//! offending flag.
+
+use bulk_tls::TlsScheme;
+use bulk_tm::Scheme;
+
+/// A parsed `bulk` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `bulk list` — show applications, schemes and the signature catalog.
+    List,
+    /// `bulk tm ...` — run one TM simulation.
+    Tm(TmArgs),
+    /// `bulk tls ...` — run one TLS simulation.
+    Tls(TlsArgs),
+    /// `bulk replay --file F --scheme S` — run a serialized trace.
+    Replay(ReplayArgs),
+    /// `bulk sweep-sig --app A` — signature-size ablation on one app.
+    SweepSig { app: String, seed: u64 },
+    /// `bulk help` or `--help`.
+    Help,
+}
+
+/// Options of `bulk tm`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TmArgs {
+    /// Application profile name (Table 4).
+    pub app: String,
+    /// Conflict-detection scheme.
+    pub scheme: Scheme,
+    /// Workload seed.
+    pub seed: u64,
+    /// Override transactions per thread.
+    pub txs: Option<usize>,
+    /// Signature configuration id (`S1`..`S23`).
+    pub sig: String,
+    /// Write the generated trace to this path.
+    pub dump_trace: Option<String>,
+}
+
+/// Options of `bulk tls`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TlsArgs {
+    /// Application profile name (SPECint stand-in).
+    pub app: String,
+    /// Conflict-detection scheme.
+    pub scheme: TlsScheme,
+    /// Workload seed.
+    pub seed: u64,
+    /// Override task count.
+    pub tasks: Option<usize>,
+    /// Write the generated trace to this path.
+    pub dump_trace: Option<String>,
+}
+
+/// Options of `bulk replay`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayArgs {
+    /// Path of a trace serialized by `--dump-trace` (TM or TLS; detected
+    /// from the header).
+    pub file: String,
+    /// Scheme name, interpreted per trace kind.
+    pub scheme: String,
+}
+
+/// Usage text printed by `bulk help`.
+pub const USAGE: &str = "\
+bulk — run the Bulk Disambiguation reproduction
+
+USAGE:
+  bulk list
+  bulk tm  --app <name> [--scheme <eager-naive|eager|lazy|bulk|bulk-partial>]
+           [--seed <n>] [--txs <n>] [--sig <S1..S23>] [--dump-trace <file>]
+  bulk tls --app <name> [--scheme <eager|lazy|bulk|bulk-no-overlap>]
+           [--seed <n>] [--tasks <n>] [--dump-trace <file>]
+  bulk replay --file <trace> --scheme <name>
+  bulk sweep-sig --app <name> [--seed <n>]
+  bulk help
+";
+
+/// Parses a TM scheme name.
+pub fn parse_tm_scheme(s: &str) -> Result<Scheme, String> {
+    match s {
+        "eager-naive" => Ok(Scheme::EagerNaive),
+        "eager" => Ok(Scheme::Eager),
+        "lazy" => Ok(Scheme::Lazy),
+        "bulk" => Ok(Scheme::Bulk),
+        "bulk-partial" => Ok(Scheme::BulkPartial),
+        other => Err(format!(
+            "unknown TM scheme `{other}` (expected eager-naive|eager|lazy|bulk|bulk-partial)"
+        )),
+    }
+}
+
+/// Parses a TLS scheme name.
+pub fn parse_tls_scheme(s: &str) -> Result<TlsScheme, String> {
+    match s {
+        "eager" => Ok(TlsScheme::Eager),
+        "lazy" => Ok(TlsScheme::Lazy),
+        "bulk" => Ok(TlsScheme::Bulk),
+        "bulk-no-overlap" => Ok(TlsScheme::BulkNoOverlap),
+        other => Err(format!(
+            "unknown TLS scheme `{other}` (expected eager|lazy|bulk|bulk-no-overlap)"
+        )),
+    }
+}
+
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, found `{flag}`"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn take(&mut self, name: &str) -> Option<String> {
+        let i = self.pairs.iter().position(|(n, _)| n == name)?;
+        Some(self.pairs.remove(i).1)
+    }
+
+    fn finish(self) -> Result<(), String> {
+        match self.pairs.first() {
+            Some((n, _)) => Err(format!("unknown flag --{n}")),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Parses a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for any unknown command, unknown flag,
+/// missing value, or malformed number.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "tm" => {
+            let mut f = Flags::parse(rest)?;
+            let app = f.take("app").ok_or("tm: --app is required")?;
+            let scheme = parse_tm_scheme(&f.take("scheme").unwrap_or_else(|| "bulk".into()))?;
+            let seed = parse_num(f.take("seed"), 42, "--seed")?;
+            let txs = match f.take("txs") {
+                Some(v) => {
+                    Some(v.parse().map_err(|_| format!("--txs: bad number `{v}`"))?)
+                }
+                None => None,
+            };
+            let sig = f.take("sig").unwrap_or_else(|| "S14".into());
+            let dump_trace = f.take("dump-trace");
+            f.finish()?;
+            Ok(Command::Tm(TmArgs { app, scheme, seed, txs, sig, dump_trace }))
+        }
+        "tls" => {
+            let mut f = Flags::parse(rest)?;
+            let app = f.take("app").ok_or("tls: --app is required")?;
+            let scheme =
+                parse_tls_scheme(&f.take("scheme").unwrap_or_else(|| "bulk".into()))?;
+            let seed = parse_num(f.take("seed"), 42, "--seed")?;
+            let tasks = match f.take("tasks") {
+                Some(v) => {
+                    Some(v.parse().map_err(|_| format!("--tasks: bad number `{v}`"))?)
+                }
+                None => None,
+            };
+            let dump_trace = f.take("dump-trace");
+            f.finish()?;
+            Ok(Command::Tls(TlsArgs { app, scheme, seed, tasks, dump_trace }))
+        }
+        "replay" => {
+            let mut f = Flags::parse(rest)?;
+            let file = f.take("file").ok_or("replay: --file is required")?;
+            let scheme = f.take("scheme").ok_or("replay: --scheme is required")?;
+            f.finish()?;
+            Ok(Command::Replay(ReplayArgs { file, scheme }))
+        }
+        "sweep-sig" => {
+            let mut f = Flags::parse(rest)?;
+            let app = f.take("app").ok_or("sweep-sig: --app is required")?;
+            let seed = parse_num(f.take("seed"), 42, "--seed")?;
+            f.finish()?;
+            Ok(Command::SweepSig { app, seed })
+        }
+        other => Err(format!("unknown command `{other}`; try `bulk help`")),
+    }
+}
+
+fn parse_num(v: Option<String>, default: u64, flag: &str) -> Result<u64, String> {
+    match v {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{flag}: bad number `{v}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_tm_with_defaults() {
+        let c = parse(&args("tm --app mc")).unwrap();
+        assert_eq!(
+            c,
+            Command::Tm(TmArgs {
+                app: "mc".into(),
+                scheme: Scheme::Bulk,
+                seed: 42,
+                txs: None,
+                sig: "S14".into(),
+                dump_trace: None,
+            })
+        );
+    }
+
+    #[test]
+    fn parses_full_tm() {
+        let c = parse(&args(
+            "tm --app lu --scheme lazy --seed 7 --txs 20 --sig S4 --dump-trace /tmp/t",
+        ))
+        .unwrap();
+        match c {
+            Command::Tm(a) => {
+                assert_eq!(a.scheme, Scheme::Lazy);
+                assert_eq!(a.seed, 7);
+                assert_eq!(a.txs, Some(20));
+                assert_eq!(a.sig, "S4");
+                assert_eq!(a.dump_trace.as_deref(), Some("/tmp/t"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_tls_and_replay_and_sweep() {
+        assert!(matches!(
+            parse(&args("tls --app gzip --scheme bulk-no-overlap")).unwrap(),
+            Command::Tls(a) if a.scheme == TlsScheme::BulkNoOverlap
+        ));
+        assert!(matches!(
+            parse(&args("replay --file t.trace --scheme bulk")).unwrap(),
+            Command::Replay(_)
+        ));
+        assert!(matches!(
+            parse(&args("sweep-sig --app cb --seed 3")).unwrap(),
+            Command::SweepSig { seed: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("tm --app mc --bogus 1")).is_err());
+        assert!(parse(&args("tm --app mc --scheme wat")).is_err());
+        assert!(parse(&args("tm")).is_err());
+        assert!(parse(&args("tm --app")).is_err());
+        assert!(parse(&args("tm --app mc --seed nope")).is_err());
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("list")).unwrap(), Command::List);
+    }
+}

@@ -1,0 +1,154 @@
+//! `bulk` — command-line driver for the Bulk Disambiguation reproduction.
+//!
+//! Run `bulk help` for usage. The driver can run any application profile
+//! under any scheme, dump/replay traces, list the catalogs and sweep
+//! signature configurations.
+
+mod args;
+mod report;
+
+use std::process::ExitCode;
+
+use args::{parse, Command, ReplayArgs, TlsArgs, TmArgs, USAGE};
+use bulk_sig::{table8, table8_spec, BitPermutation, Granularity, SignatureConfig};
+use bulk_sim::SimConfig;
+use bulk_tm::TmMachine;
+use bulk_trace::{io, profiles};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv) {
+        Ok(cmd) => match run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::List => {
+            list();
+            Ok(())
+        }
+        Command::Tm(a) => run_tm(a),
+        Command::Tls(a) => run_tls(a),
+        Command::Replay(a) => replay(a),
+        Command::SweepSig { app, seed } => sweep_sig(&app, seed),
+    }
+}
+
+fn list() {
+    println!("TM applications (Table 4 stand-ins):");
+    for p in profiles::tm_profiles() {
+        println!(
+            "  {:<8} rd={:<5} wr={:<5} threads={}",
+            p.name, p.rd_lines, p.wr_lines, p.threads
+        );
+    }
+    println!("\nTLS applications (SPECint2000 stand-ins):");
+    for p in profiles::tls_profiles() {
+        println!(
+            "  {:<8} rd={:<6} wr={:<5} tasks={}",
+            p.name, p.rd_words, p.wr_words, p.tasks
+        );
+    }
+    println!("\nTM schemes:  eager-naive eager lazy bulk bulk-partial");
+    println!("TLS schemes: eager lazy bulk bulk-no-overlap");
+    println!("\nSignature catalog (Table 8):");
+    for s in table8() {
+        println!("  {:<4} {:>6} bits  chunks {:?}", s.id, s.full_size_bits(), s.chunks);
+    }
+}
+
+fn signature(id: &str) -> Result<SignatureConfig, String> {
+    let spec = table8_spec(id).ok_or_else(|| format!("unknown signature `{id}`"))?;
+    let cfg = SignatureConfig::from_spec(spec, BitPermutation::paper_tm(), Granularity::Line, 64);
+    Ok(cfg)
+}
+
+fn run_tm(a: TmArgs) -> Result<(), String> {
+    let mut p = profiles::tm_profile(&a.app)
+        .ok_or_else(|| format!("unknown TM app `{}` (try `bulk list`)", a.app))?;
+    if let Some(txs) = a.txs {
+        p.txs_per_thread = txs;
+    }
+    let wl = p.generate(a.seed);
+    if let Some(path) = &a.dump_trace {
+        std::fs::write(path, io::tm_to_string(&wl)).map_err(|e| e.to_string())?;
+        println!("trace written to {path}");
+    }
+    let sig = signature(&a.sig)?;
+    let cfg = SimConfig::tm_default();
+    let stats = TmMachine::with_signature(&wl, a.scheme, &cfg, sig).run();
+    report::print_tm(&a.app, a.scheme, &stats);
+    Ok(())
+}
+
+fn run_tls(a: TlsArgs) -> Result<(), String> {
+    let mut p = profiles::tls_profile(&a.app)
+        .ok_or_else(|| format!("unknown TLS app `{}` (try `bulk list`)", a.app))?;
+    if let Some(tasks) = a.tasks {
+        p.tasks = tasks;
+    }
+    let wl = p.generate(a.seed);
+    if let Some(path) = &a.dump_trace {
+        std::fs::write(path, io::tls_to_string(&wl)).map_err(|e| e.to_string())?;
+        println!("trace written to {path}");
+    }
+    let cfg = SimConfig::tls_default();
+    let seq = bulk_tls::run_tls_sequential(&wl, &cfg);
+    let stats = bulk_tls::run_tls(&wl, a.scheme, &cfg);
+    report::print_tls(&a.app, a.scheme, seq, &stats);
+    Ok(())
+}
+
+fn replay(a: ReplayArgs) -> Result<(), String> {
+    let text = std::fs::read_to_string(&a.file).map_err(|e| e.to_string())?;
+    if text.starts_with("TM ") {
+        let wl = io::tm_from_str(&text).map_err(|e| e.to_string())?;
+        let scheme = args::parse_tm_scheme(&a.scheme)?;
+        let stats = bulk_tm::run_tm(&wl, scheme, &SimConfig::tm_default());
+        report::print_tm(&wl.name.clone(), scheme, &stats);
+        Ok(())
+    } else if text.starts_with("TLS ") {
+        let wl = io::tls_from_str(&text).map_err(|e| e.to_string())?;
+        let scheme = args::parse_tls_scheme(&a.scheme)?;
+        let cfg = SimConfig::tls_default();
+        let seq = bulk_tls::run_tls_sequential(&wl, &cfg);
+        let stats = bulk_tls::run_tls(&wl, scheme, &cfg);
+        report::print_tls(&wl.name.clone(), scheme, seq, &stats);
+        Ok(())
+    } else {
+        Err("unrecognized trace header (expected `TM <name>` or `TLS <name>`)".into())
+    }
+}
+
+fn sweep_sig(app: &str, seed: u64) -> Result<(), String> {
+    let p = profiles::tm_profile(app)
+        .ok_or_else(|| format!("unknown TM app `{app}` (try `bulk list`)"))?;
+    let wl = p.generate(seed);
+    let cfg = SimConfig::tm_default();
+    println!("{:<6} {:>7} {:>9} {:>7} {:>9}", "config", "bits", "squashes", "false", "cycles");
+    for id in ["S1", "S4", "S9", "S12", "S14", "S17", "S19", "S23"] {
+        let sig = signature(id)?;
+        let bits = sig.size_bits();
+        let stats = TmMachine::with_signature(&wl, bulk_tm::Scheme::Bulk, &cfg, sig).run();
+        println!(
+            "{:<6} {:>7} {:>9} {:>7} {:>9}",
+            id, bits, stats.squashes, stats.false_squashes, stats.cycles
+        );
+    }
+    Ok(())
+}

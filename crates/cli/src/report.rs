@@ -1,0 +1,113 @@
+//! Human-readable run reports for the CLI.
+
+use bulk_mem::MsgClass;
+use bulk_tls::{TlsScheme, TlsStats};
+use bulk_tm::{Scheme, TmStats};
+
+/// Prints a TM run summary.
+pub fn print_tm(app: &str, scheme: Scheme, s: &TmStats) {
+    println!("TM run: app={app} scheme={scheme}");
+    println!("  commits            {}", s.commits);
+    println!(
+        "  squashes           {} ({} from aliasing, {:.1}%)",
+        s.squashes,
+        s.false_squashes,
+        100.0 * s.false_squash_frac()
+    );
+    if s.partial_rollbacks > 0 {
+        println!(
+            "  partial rollbacks  {} ({} sections)",
+            s.partial_rollbacks, s.sections_rolled_back
+        );
+    }
+    if s.stalls > 0 {
+        println!("  eager stalls       {}", s.stalls);
+    }
+    if s.livelocked {
+        println!("  *** LIVELOCKED (squash cap hit) ***");
+    }
+    println!(
+        "  footprints         rd {:.1} / wr {:.1} lines per committed tx",
+        s.avg_rd_set(),
+        s.avg_wr_set()
+    );
+    println!("  safe writebacks    {:.2} per tx", s.safe_wb_per_commit());
+    println!(
+        "  overflow           {} spills, {} area accesses",
+        s.overflow_spills, s.overflow_accesses
+    );
+    println!("  cycles             {}", s.cycles);
+    print_bw("  ", &s.bw);
+}
+
+/// Prints a TLS run summary.
+pub fn print_tls(app: &str, scheme: TlsScheme, seq_cycles: u64, s: &TlsStats) {
+    println!("TLS run: app={app} scheme={scheme}");
+    println!("  commits            {}", s.commits);
+    println!(
+        "  squashes           {} ({} from aliasing, {:.1}%)",
+        s.squashes,
+        s.false_squashes,
+        100.0 * s.false_squash_frac()
+    );
+    println!(
+        "  footprints         rd {:.1} / wr {:.1} words per committed task",
+        s.avg_rd_set(),
+        s.avg_wr_set()
+    );
+    println!(
+        "  set restriction    {:.2} safe WB/task, {:.1} wr-wr conflicts/1k tasks",
+        s.safe_wb_per_task(),
+        s.wr_wr_per_1k_tasks()
+    );
+    println!("  word merges        {}", s.line_merges);
+    println!(
+        "  cycles             {} (sequential {}, speedup {:.2}x)",
+        s.cycles,
+        seq_cycles,
+        seq_cycles as f64 / s.cycles as f64
+    );
+    print_bw("  ", &s.bw);
+}
+
+fn print_bw(indent: &str, bw: &bulk_mem::BandwidthStats) {
+    let parts: Vec<String> = MsgClass::ALL
+        .iter()
+        .map(|c| format!("{c}={}", human_bytes(bw.bytes(*c))))
+        .collect();
+    println!("{indent}traffic            {}", parts.join("  "));
+    println!(
+        "{indent}commit bandwidth   {} in {} broadcasts",
+        human_bytes(bw.commit_bytes()),
+        bw.commit_count()
+    );
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 10_000_000 {
+        format!("{:.1}MB", b as f64 / 1e6)
+    } else if b >= 10_000 {
+        format!("{:.1}KB", b as f64 / 1e3)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(0), "0B");
+        assert_eq!(human_bytes(9_999), "9999B");
+        assert_eq!(human_bytes(20_000), "20.0KB");
+        assert_eq!(human_bytes(12_000_000), "12.0MB");
+    }
+
+    #[test]
+    fn reports_do_not_panic() {
+        print_tm("t", Scheme::Bulk, &TmStats::default());
+        print_tls("t", TlsScheme::Bulk, 1, &TlsStats::default());
+    }
+}

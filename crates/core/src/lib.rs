@@ -1,0 +1,54 @@
+//! The Bulk Disambiguation Module and protocols — the primary contribution
+//! of *Bulk Disambiguation of Speculative Threads in Multiprocessors*
+//! (Ceze, Tuck, Caşcaval & Torrellas, ISCA 2006), built on the signature
+//! primitives of [`bulk_sig`] and the memory substrate of [`bulk_mem`].
+//!
+//! The crate provides:
+//!
+//! * [`Bdm`] — the per-processor Bulk Disambiguation Module (paper Fig. 7):
+//!   per-version R/W signature pairs, shadow signatures, overflow bits, and
+//!   the `δ(W_run)` / `OR(δ(W_pre))` cache-set registers;
+//! * [`flows`] — the commit/squash flowcharts of Fig. 5: bulk address
+//!   disambiguation, bulk invalidation on squash and on remote commit, and
+//!   the fine-grain word-merge path of §4.4;
+//! * [`set_restriction`] — enforcement and verification of the Set
+//!   Restriction (§4.3/§4.5) that makes bulk invalidation of dirty lines
+//!   safe;
+//! * [`SectionStack`] — closed nested transactions with partial rollback
+//!   (§6.2.1); and
+//! * spill/reload of version signatures for overflow and context switches
+//!   (§6.2.2).
+//!
+//! # Example: the Fig. 1 scenario
+//!
+//! ```
+//! use bulk_core::Bdm;
+//! use bulk_mem::{Addr, CacheGeometry};
+//! use bulk_sig::SignatureConfig;
+//!
+//! // Two processors, each with a BDM.
+//! let mut px = Bdm::new(SignatureConfig::s14_tm(), CacheGeometry::tm_l1(), 1);
+//! let mut py = Bdm::new(SignatureConfig::s14_tm(), CacheGeometry::tm_l1(), 1);
+//! let vx = px.alloc_version().unwrap();
+//! let vy = py.alloc_version().unwrap();
+//!
+//! px.record_store(vx, Addr::new(0x1000)); // x writes A
+//! py.record_load(vy, Addr::new(0x1000));  // y reads A
+//!
+//! // x commits: it broadcasts only W_x; y bulk-disambiguates in one shot.
+//! let commit = px.commit(vx);
+//! assert!(py.disambiguate(vy, &commit.w).squash());
+//! ```
+
+mod bdm;
+pub mod flows;
+mod nesting;
+pub mod set_restriction;
+
+pub use bdm::{Bdm, CommitSignatures, Disambiguation, SpilledVersion, VersionId};
+pub use flows::{
+    apply_remote_commit, invalidate_clean_matching, squash, CommitApplication,
+    SquashInvalidation,
+};
+pub use nesting::SectionStack;
+pub use set_restriction::{check_speculative_store, verify_set_restriction, StoreCheck};

@@ -1,0 +1,170 @@
+//! The Set Restriction (paper §4.3, §4.5): at any time, all dirty lines in
+//! one cache set belong to a single owner — one speculative thread, or the
+//! non-speculative state. Together with exact δ decoding this makes bulk
+//! invalidation of dirty lines safe despite aliased signatures.
+
+use bulk_mem::{Addr, Cache, LineAddr};
+
+use crate::{Bdm, VersionId};
+
+/// The BDM controller's decision for a speculative store (paper §4.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreCheck {
+    /// The store may proceed. Any listed dirty lines are non-speculative
+    /// and must first be written back to memory ("safe writebacks"); they
+    /// remain cached clean.
+    Proceed {
+        /// Non-speculative dirty lines of the target set to write back.
+        safe_writebacks: Vec<LineAddr>,
+    },
+    /// The target set already holds dirty lines of a *different*
+    /// speculative version (`δ(W_run)`, `OR(δ(W_pre))` = (0, 1)): a
+    /// write-write set conflict. The runtime resolves it by squashing the
+    /// more speculative thread, preempting, or merging (paper §4.5).
+    ConflictWithPreempted,
+}
+
+impl StoreCheck {
+    /// Whether the store may proceed.
+    pub fn may_proceed(&self) -> bool {
+        matches!(self, StoreCheck::Proceed { .. })
+    }
+}
+
+/// Checks a speculative store by the *running* version `v` against the Set
+/// Restriction, using only the BDM's two bitmask registers and the cache
+/// set's dirty lines — never any per-line speculative metadata.
+///
+/// The caller must apply the returned safe writebacks (marking those lines
+/// clean and accounting WB bandwidth) before letting the store update the
+/// cache, then call [`Bdm::record_store`].
+///
+/// # Panics
+///
+/// Panics if `v` is not the BDM's running version.
+pub fn check_speculative_store(bdm: &Bdm, v: VersionId, addr: Addr, cache: &Cache) -> StoreCheck {
+    assert_eq!(bdm.running(), Some(v), "set-restriction check is for the running version");
+    let set = bdm.set_of(addr);
+    let run_bit = bdm.delta_w_run().get(set);
+    let pre_bit = bdm.or_delta_w_pre().get(set);
+    debug_assert!(
+        !(run_bit && pre_bit),
+        "set {set} owned by both running and preempted versions"
+    );
+    if pre_bit {
+        StoreCheck::ConflictWithPreempted
+    } else if run_bit {
+        StoreCheck::Proceed { safe_writebacks: Vec::new() }
+    } else {
+        // (0,0): any dirty lines in the set are non-speculative; they must
+        // be written back before the first speculative write to the set.
+        StoreCheck::Proceed { safe_writebacks: cache.dirty_lines_in_set(set).collect() }
+    }
+}
+
+/// Asserts (in tests and debug runs) that the Set Restriction holds for a
+/// processor: every dirty line's set is owned by at most one speculative
+/// version, and dirty lines in speculative-owned sets pass that owner's
+/// write-signature membership test.
+pub fn verify_set_restriction(bdm: &Bdm, cache: &Cache) -> Result<(), String> {
+    let geom = bdm.geometry();
+    for set in 0..geom.num_sets() {
+        let owners: Vec<VersionId> = bdm
+            .versions_in_use()
+            .filter(|&v| bdm.decode_write_sets(v).get(set))
+            .collect();
+        if owners.len() > 1 && cache.set_has_dirty(set) {
+            return Err(format!("set {set} dirty with {} speculative owners", owners.len()));
+        }
+        if let [owner] = owners[..] {
+            for line in cache.dirty_lines_in_set(set) {
+                if !bdm.write_signature(owner).contains_any_word_of_line(line) {
+                    return Err(format!(
+                        "dirty line {line} in speculative set {set} fails owner membership"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulk_mem::CacheGeometry;
+    use bulk_sig::SignatureConfig;
+
+    fn setup() -> (Bdm, Cache) {
+        let geom = CacheGeometry::tm_l1();
+        (Bdm::new(SignatureConfig::s14_tm(), geom, 2), Cache::new(geom))
+    }
+
+    #[test]
+    fn first_write_to_clean_set_proceeds_without_writebacks() {
+        let (mut bdm, cache) = setup();
+        let v = bdm.alloc_version().unwrap();
+        bdm.set_running(Some(v));
+        match check_speculative_store(&bdm, v, Addr::new(0x40), &cache) {
+            StoreCheck::Proceed { safe_writebacks } => assert!(safe_writebacks.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonspeculative_dirty_lines_must_be_written_back() {
+        let (mut bdm, mut cache) = setup();
+        let v = bdm.alloc_version().unwrap();
+        bdm.set_running(Some(v));
+        // A non-speculative dirty line sits in the target set.
+        let dirty = Addr::new(0x40).line(64);
+        cache.fill_dirty(dirty);
+        match check_speculative_store(&bdm, v, Addr::new(0x40), &cache) {
+            StoreCheck::Proceed { safe_writebacks } => {
+                assert_eq!(safe_writebacks, vec![dirty]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_write_to_owned_set_is_free() {
+        let (mut bdm, mut cache) = setup();
+        let v = bdm.alloc_version().unwrap();
+        bdm.set_running(Some(v));
+        bdm.record_store(v, Addr::new(0x40));
+        cache.fill_dirty(Addr::new(0x40).line(64));
+        match check_speculative_store(&bdm, v, Addr::new(0x2040), &cache) {
+            StoreCheck::Proceed { safe_writebacks } => assert!(safe_writebacks.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preempted_owner_conflicts() {
+        let (mut bdm, cache) = setup();
+        let v0 = bdm.alloc_version().unwrap();
+        let v1 = bdm.alloc_version().unwrap();
+        bdm.set_running(Some(v0));
+        bdm.record_store(v0, Addr::new(0x40));
+        // v0 preempted, v1 runs and writes the same set.
+        bdm.set_running(Some(v1));
+        assert_eq!(
+            check_speculative_store(&bdm, v1, Addr::new(0x2040), &cache),
+            StoreCheck::ConflictWithPreempted
+        );
+    }
+
+    #[test]
+    fn verifier_accepts_clean_state_and_flags_violation() {
+        let (mut bdm, mut cache) = setup();
+        let v = bdm.alloc_version().unwrap();
+        bdm.set_running(Some(v));
+        bdm.record_store(v, Addr::new(0x40));
+        cache.fill_dirty(Addr::new(0x40).line(64));
+        assert!(verify_set_restriction(&bdm, &cache).is_ok());
+        // Sneak an unrelated dirty line into the owned set.
+        cache.fill_dirty(Addr::new(0x4040).line(64));
+        assert!(verify_set_restriction(&bdm, &cache).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests of the BDM protocols: squash safety under the Set
+//! Restriction (DESIGN.md invariant 5), no-lost-updates in the fine-grain
+//! merge path (invariant 4), and disambiguation completeness.
+
+use bulk_core::{
+    apply_remote_commit, check_speculative_store, flows, set_restriction, Bdm, StoreCheck,
+};
+use bulk_mem::{Addr, Cache, CacheGeometry, LineState};
+use bulk_sig::{Signature, SignatureConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn tm_setup() -> (Bdm, Cache) {
+    let geom = CacheGeometry::tm_l1();
+    (Bdm::new(SignatureConfig::s14_tm(), geom, 2), Cache::new(geom))
+}
+
+fn addr(raw: u32) -> Addr {
+    Addr::new(raw * 64) // line-aligned
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Driving two interleaved speculative versions through the paper's
+    /// store protocol (Set Restriction enforced via the BDM's bitmasks)
+    /// keeps the restriction invariant true at every step, and squashing
+    /// either version never discards the other's dirty lines.
+    #[test]
+    fn set_restriction_and_squash_safety(
+        writes in prop::collection::vec((any::<bool>(), 0u32..2048), 1..80),
+    ) {
+        let (mut bdm, mut cache) = tm_setup();
+        let v0 = bdm.alloc_version().unwrap();
+        let v1 = bdm.alloc_version().unwrap();
+        let mut exact: [HashSet<u32>; 2] = [HashSet::new(), HashSet::new()];
+
+        for (which, raw) in writes {
+            let (v, idx) = if which { (v1, 1) } else { (v0, 0) };
+            bdm.set_running(Some(v));
+            let a = addr(raw);
+            match check_speculative_store(&bdm, v, a, &cache) {
+                StoreCheck::Proceed { safe_writebacks } => {
+                    for wb in safe_writebacks {
+                        cache.mark_clean(wb);
+                    }
+                    cache.store(a.line(64));
+                    bdm.record_store(v, a);
+                    exact[idx].insert(raw);
+                }
+                StoreCheck::ConflictWithPreempted => {
+                    // Protocol squashes someone; here we just skip the
+                    // write, which also preserves the restriction.
+                }
+            }
+            set_restriction::verify_set_restriction(&bdm, &cache)
+                .map_err(TestCaseError::fail)?;
+        }
+
+        // Squash v1: every v0 dirty line must survive.
+        let v0_dirty: Vec<u32> = exact[0]
+            .iter()
+            .copied()
+            .filter(|&r| cache.state_of(addr(r).line(64)) == Some(LineState::Dirty))
+            .collect();
+        flows::squash(&mut bdm, v1, &mut cache, false);
+        for r in v0_dirty {
+            prop_assert_eq!(
+                cache.state_of(addr(r).line(64)),
+                Some(LineState::Dirty),
+                "v0's line {} lost by v1's squash",
+                r
+            );
+        }
+        // And v1's speculative dirty lines are gone.
+        for &r in &exact[1] {
+            if exact[0].contains(&r) {
+                continue;
+            }
+            prop_assert_ne!(cache.state_of(addr(r).line(64)), Some(LineState::Dirty));
+        }
+    }
+
+    /// Bulk address disambiguation never misses a true conflict
+    /// (completeness — the dual of the false-positive inexactness).
+    #[test]
+    fn disambiguation_has_no_false_negatives(
+        wc in prop::collection::hash_set(0u32..100_000, 1..60),
+        reads in prop::collection::hash_set(0u32..100_000, 0..120),
+        writes in prop::collection::hash_set(0u32..100_000, 0..60),
+    ) {
+        let (mut bdm, _) = tm_setup();
+        let v = bdm.alloc_version().unwrap();
+        for &r in &reads {
+            bdm.record_load(v, addr(r));
+        }
+        for &w in &writes {
+            bdm.record_store(v, addr(w));
+        }
+        let mut w_sig = Signature::with_shared(bdm.config().clone());
+        for &w in &wc {
+            w_sig.insert_addr(addr(w));
+        }
+        let truly = wc.iter().any(|w| reads.contains(w) || writes.contains(w));
+        let d = bdm.disambiguate(v, &w_sig);
+        if truly {
+            prop_assert!(d.squash(), "missed a true conflict");
+        }
+    }
+
+    /// Applying a remote commit never invalidates dirty lines at line
+    /// granularity (they are non-speculative aliases, §4.3), and always
+    /// removes every truly-committed clean line.
+    #[test]
+    fn remote_commit_application(
+        committed in prop::collection::hash_set(0u32..4096, 1..40),
+        clean in prop::collection::hash_set(0u32..4096, 0..40),
+        dirty in prop::collection::hash_set(0u32..4096, 0..10),
+    ) {
+        let (bdm, mut cache) = tm_setup();
+        for &c in &clean {
+            cache.fill_clean(addr(c).line(64));
+        }
+        for &d in &dirty {
+            cache.fill_dirty(addr(d).line(64));
+        }
+        let mut w_c = Signature::with_shared(bdm.config().clone());
+        for &c in &committed {
+            w_c.insert_addr(addr(c));
+        }
+        let app = apply_remote_commit(&bdm, &w_c, &mut cache);
+        // Dirty lines never invalidated.
+        for &d in &dirty {
+            if cache.contains(addr(d).line(64)) || clean.contains(&d) {
+                continue;
+            }
+            // It may have been evicted during fills, but never by the
+            // commit application.
+            prop_assert!(!app.invalidated.contains(&addr(d).line(64)));
+        }
+        // Every committed line that was resident clean is gone.
+        for c in committed.iter().filter(|c| clean.contains(c) && !dirty.contains(c)) {
+            prop_assert!(!cache.contains(addr(*c).line(64)));
+        }
+    }
+
+    /// Spill/reload of a version's signatures is lossless (§6.2.2).
+    #[test]
+    fn spill_reload_round_trip(
+        reads in prop::collection::vec(0u32..100_000, 0..60),
+        writes in prop::collection::vec(0u32..100_000, 0..60),
+        overflowed in any::<bool>(),
+    ) {
+        let geom = CacheGeometry::tm_l1();
+        let mut bdm = Bdm::new(SignatureConfig::s14_tm(), geom, 1);
+        let v = bdm.alloc_version().unwrap();
+        for &r in &reads {
+            bdm.record_load(v, addr(r));
+        }
+        for &w in &writes {
+            bdm.record_store(v, addr(w));
+        }
+        if overflowed {
+            bdm.note_overflow(v);
+        }
+        let r_before = bdm.read_signature(v).clone();
+        let w_before = bdm.write_signature(v).clone();
+        let spilled = bdm.spill_version(v);
+        let v2 = bdm.reload_version(spilled).expect("slot free after spill");
+        prop_assert_eq!(bdm.read_signature(v2), &r_before);
+        prop_assert_eq!(bdm.write_signature(v2), &w_before);
+        prop_assert_eq!(bdm.has_overflowed(v2), overflowed);
+    }
+}

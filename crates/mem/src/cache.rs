@@ -1,0 +1,406 @@
+//! A set-associative, write-back data cache with true-LRU replacement.
+//!
+//! A deliberate design point, mirroring the paper (§4.5): the cache carries
+//! **no speculative metadata** — no speculative bits, no version IDs, no
+//! per-word access bits. All speculation bookkeeping lives outside, in the
+//! Bulk Disambiguation Module. The cache only knows line addresses and a
+//! clean/dirty state.
+//!
+//! Data values are not stored: the simulators track architectural values
+//! separately where an experiment needs them; the cache models presence,
+//! dirtiness, placement and replacement.
+
+use crate::{CacheGeometry, LineAddr};
+
+/// Coherence-visible state of a resident line. Invalid lines are simply not
+/// resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Resident and consistent with memory (shared/exclusive-clean).
+    Clean,
+    /// Resident and modified with respect to memory.
+    Dirty,
+}
+
+/// A resident cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLine {
+    addr: LineAddr,
+    state: LineState,
+    lru: u64,
+}
+
+impl CacheLine {
+    /// The line's address.
+    #[inline]
+    pub fn addr(&self) -> LineAddr {
+        self.addr
+    }
+
+    /// The line's clean/dirty state.
+    #[inline]
+    pub fn state(&self) -> LineState {
+        self.state
+    }
+
+    /// Whether the line is dirty.
+    #[inline]
+    pub fn is_dirty(&self) -> bool {
+        self.state == LineState::Dirty
+    }
+}
+
+/// A line displaced by a fill. Dirty victims must be written back by the
+/// caller (and accounted as writeback bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Address of the displaced line.
+    pub addr: LineAddr,
+    /// State the line had when displaced.
+    pub state: LineState,
+}
+
+/// Result of a [`Cache::store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The line was already resident and dirty.
+    HitDirty,
+    /// The line was resident clean and has been upgraded to dirty (a
+    /// coherence upgrade message is due).
+    HitUpgrade,
+    /// The line was not resident; it has been filled dirty, possibly
+    /// displacing a victim.
+    Miss(Option<EvictedLine>),
+}
+
+/// A set-associative write-back cache (see module docs).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geom: CacheGeometry,
+    sets: Vec<Vec<CacheLine>>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache of the given shape.
+    pub fn new(geom: CacheGeometry) -> Self {
+        Cache {
+            sets: vec![Vec::with_capacity(geom.assoc() as usize); geom.num_sets() as usize],
+            geom,
+            tick: 0,
+        }
+    }
+
+    /// The cache's shape.
+    #[inline]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        self.geom.set_of_line(line) as usize
+    }
+
+    /// Whether `line` is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)].iter().any(|l| l.addr == line)
+    }
+
+    /// The state of `line`, or `None` if not resident.
+    pub fn state_of(&self, line: LineAddr) -> Option<LineState> {
+        self.sets[self.set_index(line)]
+            .iter()
+            .find(|l| l.addr == line)
+            .map(|l| l.state)
+    }
+
+    /// Performs a load of `line`. Returns `true` on hit. On a miss the line
+    /// is filled clean and the displaced victim, if any, is returned through
+    /// `evicted`.
+    pub fn load(&mut self, line: LineAddr) -> (bool, Option<EvictedLine>) {
+        if self.touch(line) {
+            (true, None)
+        } else {
+            (false, self.fill(line, LineState::Clean))
+        }
+    }
+
+    /// Performs a store to `line` (write-allocate).
+    pub fn store(&mut self, line: LineAddr) -> StoreOutcome {
+        let set = self.set_index(line);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.addr == line) {
+            l.lru = tick;
+            return match l.state {
+                LineState::Dirty => StoreOutcome::HitDirty,
+                LineState::Clean => {
+                    l.state = LineState::Dirty;
+                    StoreOutcome::HitUpgrade
+                }
+            };
+        }
+        StoreOutcome::Miss(self.fill(line, LineState::Dirty))
+    }
+
+    /// Updates LRU state for `line` if resident; returns whether it was.
+    pub fn touch(&mut self, line: LineAddr) -> bool {
+        let set = self.set_index(line);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.addr == line) {
+            l.lru = tick;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `line` clean (as after a fill from memory), returning a
+    /// displaced victim if the set was full. If the line was already
+    /// resident its state is left unchanged.
+    pub fn fill_clean(&mut self, line: LineAddr) -> Option<EvictedLine> {
+        if self.touch(line) {
+            return None;
+        }
+        self.fill(line, LineState::Clean)
+    }
+
+    /// Inserts `line` dirty, returning a displaced victim if the set was
+    /// full. If the line was already resident it is marked dirty.
+    pub fn fill_dirty(&mut self, line: LineAddr) -> Option<EvictedLine> {
+        if self.touch(line) {
+            self.mark_dirty(line);
+            return None;
+        }
+        self.fill(line, LineState::Dirty)
+    }
+
+    fn fill(&mut self, line: LineAddr, state: LineState) -> Option<EvictedLine> {
+        let assoc = self.geom.assoc() as usize;
+        let set_idx = self.set_index(line);
+        self.tick += 1;
+        let tick = self.tick;
+        let set = &mut self.sets[set_idx];
+        debug_assert!(!set.iter().any(|l| l.addr == line));
+        let evicted = if set.len() == assoc {
+            let (victim, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("non-empty set");
+            let v = set.swap_remove(victim);
+            Some(EvictedLine { addr: v.addr, state: v.state })
+        } else {
+            None
+        };
+        set.push(CacheLine { addr: line, state, lru: tick });
+        evicted
+    }
+
+    /// Marks a resident line dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn mark_dirty(&mut self, line: LineAddr) {
+        let set = self.set_index(line);
+        let l = self.sets[set]
+            .iter_mut()
+            .find(|l| l.addr == line)
+            .expect("mark_dirty on non-resident line");
+        l.state = LineState::Dirty;
+    }
+
+    /// Marks a resident line clean (as after a writeback that keeps the line
+    /// resident, which is what the Set Restriction's "safe writebacks" do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn mark_clean(&mut self, line: LineAddr) {
+        let set = self.set_index(line);
+        let l = self.sets[set]
+            .iter_mut()
+            .find(|l| l.addr == line)
+            .expect("mark_clean on non-resident line");
+        l.state = LineState::Clean;
+    }
+
+    /// Removes `line`, returning its prior state if it was resident.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineState> {
+        let set = self.set_index(line);
+        let pos = self.sets[set].iter().position(|l| l.addr == line)?;
+        Some(self.sets[set].swap_remove(pos).state)
+    }
+
+    /// Removes every line, leaving the cache empty.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// The resident lines of cache set `set`, in no particular order.
+    ///
+    /// This is the "read all valid line addresses of the set" step of the
+    /// paper's signature expansion (Fig. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn lines_in_set(&self, set: u32) -> &[CacheLine] {
+        &self.sets[set as usize]
+    }
+
+    /// Whether cache set `set` holds at least one dirty line.
+    pub fn set_has_dirty(&self, set: u32) -> bool {
+        self.sets[set as usize].iter().any(|l| l.is_dirty())
+    }
+
+    /// The dirty lines of cache set `set`.
+    pub fn dirty_lines_in_set(&self, set: u32) -> impl Iterator<Item = LineAddr> + '_ {
+        self.sets[set as usize]
+            .iter()
+            .filter(|l| l.is_dirty())
+            .map(|l| l.addr)
+    }
+
+    /// Iterates over every resident line.
+    pub fn iter(&self) -> impl Iterator<Item = &CacheLine> {
+        self.sets.iter().flat_map(|s| s.iter())
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether no line is resident.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(|s| s.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets, 2 ways, 64-byte lines.
+        Cache::new(CacheGeometry::new(256, 2, 64))
+    }
+
+    #[test]
+    fn load_miss_then_hit() {
+        let mut c = tiny();
+        let l = LineAddr::new(4);
+        let (hit, ev) = c.load(l);
+        assert!(!hit);
+        assert!(ev.is_none());
+        let (hit, _) = c.load(l);
+        assert!(hit);
+        assert_eq!(c.state_of(l), Some(LineState::Clean));
+    }
+
+    #[test]
+    fn store_allocates_dirty() {
+        let mut c = tiny();
+        let l = LineAddr::new(2);
+        assert_eq!(c.store(l), StoreOutcome::Miss(None));
+        assert_eq!(c.state_of(l), Some(LineState::Dirty));
+        assert_eq!(c.store(l), StoreOutcome::HitDirty);
+    }
+
+    #[test]
+    fn store_upgrades_clean_line() {
+        let mut c = tiny();
+        let l = LineAddr::new(2);
+        c.load(l);
+        assert_eq!(c.store(l), StoreOutcome::HitUpgrade);
+        assert_eq!(c.state_of(l), Some(LineState::Dirty));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even raw line addrs).
+        let (a, b, d) = (LineAddr::new(0), LineAddr::new(2), LineAddr::new(4));
+        c.load(a);
+        c.load(b);
+        c.load(a); // refresh a; b is now LRU
+        let (_, ev) = c.load(d);
+        assert_eq!(ev, Some(EvictedLine { addr: b, state: LineState::Clean }));
+        assert!(c.contains(a) && c.contains(d) && !c.contains(b));
+    }
+
+    #[test]
+    fn dirty_victim_reported_dirty() {
+        let mut c = tiny();
+        let (a, b, d) = (LineAddr::new(0), LineAddr::new(2), LineAddr::new(4));
+        c.store(a);
+        c.load(b);
+        c.touch(b); // a is LRU
+        let (_, ev) = c.load(d);
+        assert_eq!(ev, Some(EvictedLine { addr: a, state: LineState::Dirty }));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        let l = LineAddr::new(8);
+        c.store(l);
+        assert_eq!(c.invalidate(l), Some(LineState::Dirty));
+        assert_eq!(c.invalidate(l), None);
+        assert!(!c.contains(l));
+    }
+
+    #[test]
+    fn set_queries() {
+        let mut c = tiny();
+        let even = LineAddr::new(6); // set 0
+        let odd = LineAddr::new(7); // set 1
+        c.store(even);
+        c.load(odd);
+        assert!(c.set_has_dirty(0));
+        assert!(!c.set_has_dirty(1));
+        assert_eq!(c.dirty_lines_in_set(0).collect::<Vec<_>>(), vec![even]);
+        assert_eq!(c.lines_in_set(1).len(), 1);
+    }
+
+    #[test]
+    fn mark_clean_then_dirty() {
+        let mut c = tiny();
+        let l = LineAddr::new(1);
+        c.store(l);
+        c.mark_clean(l);
+        assert_eq!(c.state_of(l), Some(LineState::Clean));
+        c.mark_dirty(l);
+        assert_eq!(c.state_of(l), Some(LineState::Dirty));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = tiny();
+        c.store(LineAddr::new(1));
+        c.load(LineAddr::new(2));
+        assert_eq!(c.len(), 2);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fill_dirty_marks_existing_resident_line() {
+        let mut c = tiny();
+        let l = LineAddr::new(2);
+        c.load(l);
+        assert!(c.fill_dirty(l).is_none());
+        assert_eq!(c.state_of(l), Some(LineState::Dirty));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn mark_dirty_missing_panics() {
+        tiny().mark_dirty(LineAddr::new(9));
+    }
+}

@@ -1,0 +1,254 @@
+//! Interconnect traffic classes and bandwidth accounting.
+//!
+//! The paper's Figure 13 breaks total TM bandwidth into five classes:
+//! invalidations (`Inv`), other coherence messages such as upgrades and
+//! downgrades (`Coh`), accesses to the unbounded overflow area (`UB`),
+//! writebacks (`WB`) and line fills (`Fill`). Commit traffic travels as
+//! invalidation-class traffic (the paper: "Most of the Inv bandwidth usage
+//! in Lazy and Bulk is due to the commit operations"), but is *also*
+//! tracked separately here so Figure 14 (commit bandwidth of Bulk vs Lazy)
+//! can be regenerated.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A class of interconnect message, as broken down in Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// Invalidation traffic, including commit broadcasts.
+    Inv,
+    /// Other coherence traffic: upgrades, downgrades, nacks.
+    Coh,
+    /// Accesses to the unbounded memory overflow area.
+    Ub,
+    /// Writebacks of dirty lines.
+    Wb,
+    /// Line fills.
+    Fill,
+}
+
+impl MsgClass {
+    /// All classes, in the order Figure 13 stacks them.
+    pub const ALL: [MsgClass; 5] =
+        [MsgClass::Inv, MsgClass::Coh, MsgClass::Ub, MsgClass::Wb, MsgClass::Fill];
+
+    fn index(self) -> usize {
+        match self {
+            MsgClass::Inv => 0,
+            MsgClass::Coh => 1,
+            MsgClass::Ub => 2,
+            MsgClass::Wb => 3,
+            MsgClass::Fill => 4,
+        }
+    }
+}
+
+impl fmt::Display for MsgClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MsgClass::Inv => "Inv",
+            MsgClass::Coh => "Coh",
+            MsgClass::Ub => "UB",
+            MsgClass::Wb => "WB",
+            MsgClass::Fill => "Fill",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Sizes, in bytes, of the messages the simulated machine exchanges.
+///
+/// These follow common snoopy-bus conventions: a header plus either an
+/// address or a full line of data. Commit messages carry either an
+/// enumeration of line addresses (Lazy) or an RLE-compressed signature
+/// (Bulk); those payload sizes are computed by the runtimes and passed to
+/// [`BandwidthStats::record_commit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgSizes {
+    /// Bytes of an address-only message (header + address).
+    pub addr_msg: u64,
+    /// Bytes of a data-carrying message (header + one line).
+    pub line_msg: u64,
+    /// Bytes of the fixed header on variable-payload messages (commits).
+    pub header: u64,
+}
+
+impl MsgSizes {
+    /// Default sizes for a 64-byte-line machine: 8-byte address messages,
+    /// 72-byte line messages, 8-byte headers.
+    pub fn for_line_bytes(line_bytes: u32) -> Self {
+        MsgSizes { addr_msg: 8, line_msg: 8 + line_bytes as u64, header: 8 }
+    }
+}
+
+impl Default for MsgSizes {
+    fn default() -> Self {
+        MsgSizes::for_line_bytes(64)
+    }
+}
+
+/// Accumulated interconnect traffic, by class, plus separately tracked
+/// commit-payload bytes (for Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BandwidthStats {
+    bytes: [u64; 5],
+    commit_bytes: u64,
+    commit_count: u64,
+}
+
+impl BandwidthStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        BandwidthStats::default()
+    }
+
+    /// Records `bytes` of traffic of the given class.
+    pub fn record(&mut self, class: MsgClass, bytes: u64) {
+        self.bytes[class.index()] += bytes;
+    }
+
+    /// Records a commit broadcast of `payload_bytes` (plus header), which
+    /// travels as `Inv`-class traffic and is also tallied as commit
+    /// bandwidth.
+    pub fn record_commit(&mut self, payload_bytes: u64, sizes: &MsgSizes) {
+        let total = payload_bytes + sizes.header;
+        self.record(MsgClass::Inv, total);
+        self.commit_bytes += total;
+        self.commit_count += 1;
+    }
+
+    /// Bytes recorded for a class.
+    pub fn bytes(&self, class: MsgClass) -> u64 {
+        self.bytes[class.index()]
+    }
+
+    /// Total bytes across all classes.
+    pub fn total(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Bytes of commit broadcasts (subset of `Inv`).
+    pub fn commit_bytes(&self) -> u64 {
+        self.commit_bytes
+    }
+
+    /// Number of commit broadcasts recorded.
+    pub fn commit_count(&self) -> u64 {
+        self.commit_count
+    }
+
+    /// Per-class fractions of the total, in [`MsgClass::ALL`] order.
+    /// Returns zeros if no traffic was recorded.
+    pub fn breakdown(&self) -> [f64; 5] {
+        let total = self.total();
+        if total == 0 {
+            return [0.0; 5];
+        }
+        let mut out = [0.0; 5];
+        for (i, b) in self.bytes.iter().enumerate() {
+            out[i] = *b as f64 / total as f64;
+        }
+        out
+    }
+}
+
+impl Add for BandwidthStats {
+    type Output = BandwidthStats;
+
+    fn add(mut self, rhs: BandwidthStats) -> BandwidthStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for BandwidthStats {
+    fn add_assign(&mut self, rhs: BandwidthStats) {
+        for i in 0..self.bytes.len() {
+            self.bytes[i] += rhs.bytes[i];
+        }
+        self.commit_bytes += rhs.commit_bytes;
+        self.commit_count += rhs.commit_count;
+    }
+}
+
+impl fmt::Display for BandwidthStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for class in MsgClass::ALL {
+            write!(f, "{}={}B ", class, self.bytes(class))?;
+        }
+        write!(f, "total={}B commit={}B", self.total(), self.commit_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = BandwidthStats::new();
+        s.record(MsgClass::Fill, 72);
+        s.record(MsgClass::Fill, 72);
+        s.record(MsgClass::Wb, 72);
+        assert_eq!(s.bytes(MsgClass::Fill), 144);
+        assert_eq!(s.bytes(MsgClass::Wb), 72);
+        assert_eq!(s.bytes(MsgClass::Inv), 0);
+        assert_eq!(s.total(), 216);
+    }
+
+    #[test]
+    fn commits_count_as_inv() {
+        let mut s = BandwidthStats::new();
+        let sizes = MsgSizes::default();
+        s.record_commit(100, &sizes);
+        assert_eq!(s.bytes(MsgClass::Inv), 108);
+        assert_eq!(s.commit_bytes(), 108);
+        assert_eq!(s.commit_count(), 1);
+        assert_eq!(s.total(), 108);
+    }
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let mut s = BandwidthStats::new();
+        s.record(MsgClass::Inv, 10);
+        s.record(MsgClass::Coh, 30);
+        s.record(MsgClass::Ub, 20);
+        s.record(MsgClass::Wb, 15);
+        s.record(MsgClass::Fill, 25);
+        let sum: f64 = s.breakdown().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        assert_eq!(BandwidthStats::new().breakdown(), [0.0; 5]);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = BandwidthStats::new();
+        a.record(MsgClass::Fill, 5);
+        let mut b = BandwidthStats::new();
+        b.record(MsgClass::Fill, 7);
+        b.record_commit(1, &MsgSizes::default());
+        let c = a + b;
+        assert_eq!(c.bytes(MsgClass::Fill), 12);
+        assert_eq!(c.commit_count(), 1);
+    }
+
+    #[test]
+    fn default_sizes_follow_line_bytes() {
+        let s = MsgSizes::for_line_bytes(64);
+        assert_eq!(s.line_msg, 72);
+        assert_eq!(MsgSizes::default(), s);
+    }
+
+    #[test]
+    fn display_contains_all_classes() {
+        let s = BandwidthStats::new();
+        let d = format!("{s}");
+        for c in ["Inv", "Coh", "UB", "WB", "Fill"] {
+            assert!(d.contains(c), "{d} missing {c}");
+        }
+    }
+}

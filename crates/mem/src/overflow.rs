@@ -1,0 +1,184 @@
+//! The per-thread memory overflow area of the paper's §6.2.2.
+//!
+//! When a speculative thread's dirty lines are evicted from the cache they
+//! move to an *overflow area* in memory. Conventional lazy schemes must
+//! consult this area on every disambiguation; Bulk never does (signatures
+//! are the sole disambiguation record) and additionally filters ordinary
+//! misses with a signature membership test before touching the area. The
+//! paper's Table 7 "Overflow Accesses Bulk/Lazy" column measures exactly
+//! this difference, so the model counts accesses.
+
+use std::collections::HashSet;
+
+use crate::LineAddr;
+
+/// A per-thread overflow area holding speculative dirty lines evicted from
+/// the cache, with access counting.
+#[derive(Debug, Clone, Default)]
+pub struct OverflowArea {
+    lines: HashSet<LineAddr>,
+    accesses: u64,
+}
+
+impl OverflowArea {
+    /// Creates an empty overflow area.
+    pub fn new() -> Self {
+        OverflowArea::default()
+    }
+
+    /// Moves an evicted speculative dirty line into the area. The spill
+    /// itself is a cache writeback, not a consultation of the area, so it
+    /// does not count as an access.
+    pub fn spill(&mut self, line: LineAddr) {
+        self.lines.insert(line);
+    }
+
+    /// Looks up whether `line` is held here. Counts as one access.
+    pub fn lookup(&mut self, line: LineAddr) -> bool {
+        self.accesses += 1;
+        self.lines.contains(&line)
+    }
+
+    /// Whether `line` is held here, **without** counting an access. This is
+    /// what an oracle (or a scheme that keeps separate exact metadata) would
+    /// see; used by tests.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.lines.contains(&line)
+    }
+
+    /// Removes `line` from the area if present, counting one access.
+    /// Returns whether it was present.
+    pub fn reclaim(&mut self, line: LineAddr) -> bool {
+        self.accesses += 1;
+        self.lines.remove(&line)
+    }
+
+    /// Walks the whole area (as a conventional lazy scheme does when
+    /// disambiguating a commit against overflowed addresses). Counts one
+    /// access per held line, and returns the lines intersecting `probe`.
+    pub fn disambiguate_walk<'a>(
+        &mut self,
+        probe: impl IntoIterator<Item = &'a LineAddr>,
+    ) -> Vec<LineAddr> {
+        self.accesses += self.lines.len() as u64;
+        let probe: HashSet<&LineAddr> = probe.into_iter().collect();
+        self.lines
+            .iter()
+            .filter(|l| probe.contains(l))
+            .copied()
+            .collect()
+    }
+
+    /// Deallocates everything. Bulk discards the area in one step
+    /// (`walk_entries = false`, one access if anything was held); a
+    /// conventional scheme walks the entries to fold them into memory
+    /// (`walk_entries = true`, one access per line).
+    pub fn deallocate(&mut self, walk_entries: bool) {
+        if !self.lines.is_empty() {
+            self.accesses += if walk_entries { self.lines.len() as u64 } else { 1 };
+        }
+        self.lines.clear();
+    }
+
+    /// Drops the area without any memory traffic — what a Bulk commit
+    /// does: the spilled lines are already part of memory, so the area is
+    /// simply forgotten (§6.2.2).
+    pub fn discard(&mut self) {
+        self.lines.clear();
+    }
+
+    /// Number of lines currently held.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the area holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Total accesses performed so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Resets the access counter (e.g. between measurement intervals).
+    pub fn reset_accesses(&mut self) {
+        self.accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spill_and_lookup() {
+        let mut o = OverflowArea::new();
+        let l = LineAddr::new(42);
+        assert!(!o.lookup(l));
+        o.spill(l);
+        assert!(o.lookup(l));
+        assert_eq!(o.accesses(), 2, "spills are not consultations");
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn reclaim_removes() {
+        let mut o = OverflowArea::new();
+        o.spill(LineAddr::new(1));
+        assert!(o.reclaim(LineAddr::new(1)));
+        assert!(!o.reclaim(LineAddr::new(1)));
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn walk_counts_per_line_and_intersects() {
+        let mut o = OverflowArea::new();
+        for i in 0..10 {
+            o.spill(LineAddr::new(i));
+        }
+        o.reset_accesses();
+        let probe = [LineAddr::new(3), LineAddr::new(100)];
+        let hits = o.disambiguate_walk(probe.iter());
+        assert_eq!(hits, vec![LineAddr::new(3)]);
+        assert_eq!(o.accesses(), 10);
+    }
+
+    #[test]
+    fn deallocate_walk_vs_discard() {
+        let mut o = OverflowArea::new();
+        o.spill(LineAddr::new(1));
+        o.spill(LineAddr::new(2));
+        o.reset_accesses();
+        o.deallocate(true);
+        assert_eq!(o.accesses(), 2, "conventional walk touches each entry");
+        assert!(o.is_empty());
+
+        let mut o2 = OverflowArea::new();
+        o2.spill(LineAddr::new(1));
+        o2.reset_accesses();
+        o2.deallocate(false);
+        assert_eq!(o2.accesses(), 1, "bulk discard is a single access");
+        o2.deallocate(false);
+        assert_eq!(o2.accesses(), 1, "empty deallocation is free");
+    }
+
+    #[test]
+    fn discard_is_free() {
+        let mut o = OverflowArea::new();
+        o.spill(LineAddr::new(5));
+        o.discard();
+        assert!(o.is_empty());
+        assert_eq!(o.accesses(), 0);
+    }
+
+    #[test]
+    fn contains_does_not_count() {
+        let mut o = OverflowArea::new();
+        o.spill(LineAddr::new(9));
+        o.reset_accesses();
+        assert!(o.contains(LineAddr::new(9)));
+        assert_eq!(o.accesses(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the cache model: capacity, inclusion of
+//! recently-used lines, state transitions and eviction accounting.
+
+use bulk_mem::{Addr, Cache, CacheGeometry, LineState, StoreOutcome};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Load(u32),
+    Store(u32),
+    Invalidate(u32),
+    MarkClean(u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..4096).prop_map(Op::Load),
+            (0u32..4096).prop_map(Op::Store),
+            (0u32..4096).prop_map(Op::Invalidate),
+            (0u32..4096).prop_map(Op::MarkClean),
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sets never exceed associativity; every line sits in its home set;
+    /// evictions only happen from full sets.
+    #[test]
+    fn capacity_and_placement(ops in arb_ops()) {
+        let geom = CacheGeometry::tm_l1();
+        let mut cache = Cache::new(geom);
+        for op in ops {
+            match op {
+                Op::Load(l) => {
+                    let line = Addr::new(l * 64).line(64);
+                    let (_, _evicted) = cache.load(line);
+                    prop_assert!(cache.contains(line));
+                }
+                Op::Store(l) => {
+                    let line = Addr::new(l * 64).line(64);
+                    cache.store(line);
+                    prop_assert_eq!(cache.state_of(line), Some(LineState::Dirty));
+                }
+                Op::Invalidate(l) => {
+                    let line = Addr::new(l * 64).line(64);
+                    cache.invalidate(line);
+                    prop_assert!(!cache.contains(line));
+                }
+                Op::MarkClean(l) => {
+                    let line = Addr::new(l * 64).line(64);
+                    if cache.contains(line) {
+                        cache.mark_clean(line);
+                        prop_assert_eq!(cache.state_of(line), Some(LineState::Clean));
+                    }
+                }
+            }
+            for set in 0..geom.num_sets() {
+                let lines = cache.lines_in_set(set);
+                prop_assert!(lines.len() <= geom.assoc() as usize);
+                for l in lines {
+                    prop_assert_eq!(geom.set_of_line(l.addr()), set);
+                }
+            }
+        }
+        prop_assert!(cache.len() <= (geom.num_sets() * geom.assoc()) as usize);
+    }
+
+    /// A just-accessed line is never the next victim of its set (true LRU).
+    #[test]
+    fn lru_protects_most_recent(fill in prop::collection::vec(0u32..64, 1..40)) {
+        let geom = CacheGeometry::new(16 * 1024, 4, 64);
+        let mut cache = Cache::new(geom);
+        let mut last: Option<bulk_mem::LineAddr> = None;
+        for (i, f) in fill.iter().enumerate() {
+            // All lines map to set 0 (multiples of num_sets).
+            let line = bulk_mem::LineAddr::new(f * geom.num_sets() + i as u32 * geom.num_sets());
+            let (_, evicted) = cache.load(line);
+            if let (Some(prev), Some(e)) = (last, evicted) {
+                prop_assert_ne!(e.addr, prev, "evicted the most recently used line");
+            }
+            last = Some(line);
+        }
+    }
+
+    /// Store outcomes faithfully report the prior state.
+    #[test]
+    fn store_outcome_matches_state(lines in prop::collection::vec(0u32..64, 0..200)) {
+        let geom = CacheGeometry::tm_l1();
+        let mut cache = Cache::new(geom);
+        for l in lines {
+            let line = bulk_mem::LineAddr::new(l);
+            let before = cache.state_of(line);
+            let outcome = cache.store(line);
+            match before {
+                Some(LineState::Dirty) => prop_assert_eq!(outcome, StoreOutcome::HitDirty),
+                Some(LineState::Clean) => prop_assert_eq!(outcome, StoreOutcome::HitUpgrade),
+                None => prop_assert!(matches!(outcome, StoreOutcome::Miss(_))),
+            }
+            prop_assert_eq!(cache.state_of(line), Some(LineState::Dirty));
+        }
+    }
+
+    /// Dirty victims are reported exactly when a dirty line leaves.
+    #[test]
+    fn dirty_eviction_reporting(stores in prop::collection::vec(0u32..32, 0..100)) {
+        let geom = CacheGeometry::new(16 * 1024, 4, 64); // 64 sets
+        let mut cache = Cache::new(geom);
+        let mut dirty_in: std::collections::HashSet<u32> = Default::default();
+        for s in stores {
+            let line = bulk_mem::LineAddr::new(s * geom.num_sets()); // all set 0
+            match cache.store(line) {
+                StoreOutcome::Miss(Some(victim))
+                    if victim.state == LineState::Dirty => {
+                        prop_assert!(dirty_in.remove(&victim.addr.raw()));
+                    }
+                StoreOutcome::Miss(None) => {}
+                _ => {}
+            }
+            dirty_in.insert(line.raw());
+            // The cache's view of dirty lines in set 0 matches the model.
+            let cache_dirty: std::collections::HashSet<u32> =
+                cache.dirty_lines_in_set(0).map(|l| l.raw()).collect();
+            prop_assert_eq!(&cache_dirty, &dirty_in);
+        }
+    }
+}

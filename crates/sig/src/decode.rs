@@ -1,0 +1,350 @@
+//! The δ decode operation (paper Table 1): turn a signature into the set of
+//! cache-set indices its addresses can map to.
+//!
+//! When every cache-index bit of the (permuted) key falls inside a single
+//! C-field — as in the paper's default configurations — the result is
+//! **exact**: precisely the set indices of the inserted addresses. When the
+//! index bits are spread over multiple fields (or fall outside all fields),
+//! the result is a conservative superset, which is safe for performance
+//! studies but not for the Set-Restriction argument; the BDM therefore
+//! insists on [`SignatureConfig::is_exactly_decodable`] configurations.
+
+use std::fmt;
+
+use bulk_mem::CacheGeometry;
+
+use crate::{Signature, SignatureConfig};
+
+/// A bitmask over the sets of a cache, as produced by δ and stored in the
+/// BDM's `δ(W_run)` / `OR(δ(W_pre))` registers (paper Fig. 7).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SetBitmask {
+    bits: Vec<u64>,
+    num_sets: u32,
+}
+
+impl SetBitmask {
+    /// Creates an all-zero bitmask over `num_sets` cache sets.
+    pub fn new(num_sets: u32) -> Self {
+        SetBitmask { bits: vec![0; num_sets.div_ceil(64) as usize], num_sets }
+    }
+
+    /// Number of cache sets covered.
+    pub fn num_sets(&self) -> u32 {
+        self.num_sets
+    }
+
+    /// Sets the bit for cache set `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set(&mut self, idx: u32) {
+        assert!(idx < self.num_sets, "set index out of range");
+        self.bits[(idx / 64) as usize] |= 1 << (idx % 64);
+    }
+
+    /// Whether the bit for cache set `idx` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get(&self, idx: u32) -> bool {
+        assert!(idx < self.num_sets, "set index out of range");
+        self.bits[(idx / 64) as usize] >> (idx % 64) & 1 == 1
+    }
+
+    /// OR-accumulates another bitmask (used for `OR(δ(W_pre))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks cover different numbers of sets.
+    pub fn or_assign(&mut self, other: &SetBitmask) {
+        assert_eq!(self.num_sets, other.num_sets, "bitmask size mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Whether any bit is set.
+    pub fn any(&self) -> bool {
+        self.bits.iter().any(|&w| w != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterates over the set indices whose bit is set, ascending. This is
+    /// the FSM of the paper's Fig. 4 walking the selected sets.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = wi as u32 * 64;
+            std::iter::successors(
+                if w == 0 { None } else { Some((w, base + w.trailing_zeros())) },
+                move |&(w, _)| {
+                    let w = w & (w - 1);
+                    if w == 0 {
+                        None
+                    } else {
+                        Some((w, base + w.trailing_zeros()))
+                    }
+                },
+            )
+            .map(|(_, idx)| idx)
+        })
+    }
+}
+
+impl fmt::Display for SetBitmask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SetBitmask[{}/{}]", self.count(), self.num_sets)
+    }
+}
+
+/// How each cache-index bit of the raw key is recovered from the signature.
+#[derive(Debug, Clone, Copy)]
+enum IndexBitSource {
+    /// Bit `pos` of C-field `field`.
+    Field { field: usize, pos: u32 },
+    /// Not covered by any C-field: both values are possible.
+    Unknown,
+}
+
+impl Signature {
+    /// The δ operation: the cache-set bitmask of this signature for `geom`.
+    ///
+    /// Exact when [`SignatureConfig::is_exactly_decodable`] holds for this
+    /// config and geometry; otherwise a conservative superset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's line size differs from the cache's.
+    pub fn decode_sets(&self, geom: &CacheGeometry) -> SetBitmask {
+        let config = self.config();
+        assert_eq!(
+            config.line_bytes(),
+            geom.line_bytes(),
+            "signature and cache disagree on line size"
+        );
+        let mut mask = SetBitmask::new(geom.num_sets());
+        if self.is_empty() {
+            return mask;
+        }
+
+        let index_range = config.index_bit_range(geom);
+        let sources: Vec<IndexBitSource> = index_range
+            .clone()
+            .map(|b| locate_bit(config, b))
+            .collect();
+
+        // Per involved field, the distinct partial index values its set
+        // C-values contribute; unknown bits contribute both values.
+        let mut partials: Vec<u32> = vec![0];
+        let mut fields_done: Vec<usize> = Vec::new();
+        for (out_bit, src) in sources.iter().enumerate() {
+            match *src {
+                IndexBitSource::Unknown => {
+                    let mut next = Vec::with_capacity(partials.len() * 2);
+                    for &p in &partials {
+                        next.push(p);
+                        next.push(p | 1 << out_bit);
+                    }
+                    partials = next;
+                }
+                IndexBitSource::Field { field, .. } => {
+                    if fields_done.contains(&field) {
+                        continue; // whole field handled at first encounter
+                    }
+                    fields_done.push(field);
+                    // All index bits this field contributes.
+                    let bits: Vec<(usize, u32)> = sources
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(ob, s)| match *s {
+                            IndexBitSource::Field { field: f, pos } if f == field => {
+                                Some((ob, pos))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    let mut contribs: Vec<u32> = self
+                        .field_values(field)
+                        .map(|v| {
+                            bits.iter()
+                                .fold(0u32, |acc, &(ob, pos)| acc | ((v >> pos) & 1) << ob)
+                        })
+                        .collect();
+                    contribs.sort_unstable();
+                    contribs.dedup();
+                    let mut next = Vec::with_capacity(partials.len() * contribs.len());
+                    for &p in &partials {
+                        for &c in &contribs {
+                            next.push(p | c);
+                        }
+                    }
+                    partials = next;
+                    partials.sort_unstable();
+                    partials.dedup();
+                }
+            }
+        }
+        for p in partials {
+            mask.set(p);
+        }
+        mask
+    }
+}
+
+/// Finds where raw-key bit `b` lands after permutation, and which C-field
+/// covers it.
+fn locate_bit(config: &SignatureConfig, b: u32) -> IndexBitSource {
+    let dest = u32::from(config.permutation().destination_of(b as u8));
+    for (i, &c) in config.chunks().iter().enumerate() {
+        let start = config.chunk_start(i);
+        if (start..start + c).contains(&dest) {
+            return IndexBitSource::Field { field: i, pos: dest - start };
+        }
+    }
+    IndexBitSource::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitPermutation, Granularity};
+    use bulk_mem::{Addr, LineAddr};
+
+    #[test]
+    fn bitmask_basics() {
+        let mut m = SetBitmask::new(128);
+        assert!(!m.any());
+        m.set(0);
+        m.set(127);
+        m.set(64);
+        assert!(m.get(0) && m.get(64) && m.get(127) && !m.get(1));
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![0, 64, 127]);
+        m.clear();
+        assert!(!m.any());
+    }
+
+    #[test]
+    fn bitmask_or() {
+        let mut a = SetBitmask::new(64);
+        a.set(1);
+        let mut b = SetBitmask::new(64);
+        b.set(2);
+        a.or_assign(&b);
+        assert!(a.get(1) && a.get(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitmask_bounds() {
+        SetBitmask::new(8).set(8);
+    }
+
+    #[test]
+    fn decode_is_exact_for_paper_tm_default() {
+        let geom = CacheGeometry::tm_l1();
+        let cfg = crate::SignatureConfig::s14_tm();
+        assert!(cfg.is_exactly_decodable(&geom));
+        let mut s = Signature::new(cfg);
+        let lines = [0u32, 5, 128, 129, 7777, 65535].map(LineAddr::new);
+        for &l in &lines {
+            s.insert_line(l);
+        }
+        let mask = s.decode_sets(&geom);
+        let mut expected: Vec<u32> = lines.iter().map(|&l| geom.set_of_line(l)).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn decode_is_exact_for_paper_tls_default() {
+        let geom = CacheGeometry::tls_l1();
+        let cfg = crate::SignatureConfig::s14_tls();
+        assert!(cfg.is_exactly_decodable(&geom));
+        let mut s = Signature::new(cfg);
+        let addrs = [0u32, 0x40, 0x44, 0x1000, 0xfff0, 0xdead_bee0].map(Addr::new);
+        for &a in &addrs {
+            s.insert_addr(a);
+        }
+        let mask = s.decode_sets(&geom);
+        let mut expected: Vec<u32> =
+            addrs.iter().map(|&a| geom.set_of_word(a.word())).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn decode_of_empty_signature_is_empty() {
+        let s = Signature::new(crate::SignatureConfig::s14_tm());
+        assert!(!s.decode_sets(&CacheGeometry::tm_l1()).any());
+    }
+
+    #[test]
+    fn decode_with_uncovered_index_bits_is_superset() {
+        // One 4-bit chunk over 7 index bits: bits 4..6 are unknown.
+        let geom = CacheGeometry::tm_l1();
+        let cfg = crate::SignatureConfig::new(
+            vec![4],
+            BitPermutation::identity(),
+            Granularity::Line,
+            64,
+        );
+        assert!(!cfg.is_exactly_decodable(&geom));
+        let mut s = Signature::new(cfg);
+        let line = LineAddr::new(0b101_0011);
+        s.insert_line(line);
+        let mask = s.decode_sets(&geom);
+        // Must cover the true set...
+        assert!(mask.get(geom.set_of_line(line)));
+        // ...and exactly the 8 combinations of the 3 unknown bits.
+        assert_eq!(mask.count(), 8);
+    }
+
+    #[test]
+    fn decode_split_index_bits_is_conservative_superset() {
+        // Index bits split across two 4-bit chunks (line index bits 0..6).
+        let geom = CacheGeometry::tm_l1();
+        let cfg = crate::SignatureConfig::new(
+            vec![4, 4],
+            BitPermutation::identity(),
+            Granularity::Line,
+            64,
+        );
+        let mut s = Signature::new(cfg);
+        let lines = [LineAddr::new(0b0010_0001), LineAddr::new(0b0101_0010)];
+        for &l in &lines {
+            s.insert_line(l);
+        }
+        let mask = s.decode_sets(&geom);
+        for &l in &lines {
+            assert!(mask.get(geom.set_of_line(l)));
+        }
+        // Cross products of the two fields: up to 4 combinations.
+        assert!(mask.count() <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "line size")]
+    fn decode_rejects_mismatched_line_size() {
+        let s = Signature::new(crate::SignatureConfig::new(
+            vec![8],
+            BitPermutation::identity(),
+            Granularity::Line,
+            32,
+        ));
+        let _ = s.decode_sets(&CacheGeometry::tm_l1());
+    }
+}

@@ -1,0 +1,134 @@
+//! Signature expansion (paper §3.3): find the lines resident in a cache
+//! that may belong to a signature, via `δ` plus per-line membership tests —
+//! rather than a naive walk of every cache tag.
+
+use bulk_mem::{Cache, LineAddr, LineState};
+
+use crate::Signature;
+
+/// A cache line selected by signature expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpandedLine {
+    /// The matching line's address.
+    pub addr: LineAddr,
+    /// Its clean/dirty state at expansion time.
+    pub state: LineState,
+}
+
+impl Signature {
+    /// Expands this signature against `cache`: applies δ to obtain the
+    /// cache-set bitmask (Fig. 4's FSM input), then for each selected set
+    /// reads the valid line addresses and keeps those passing the
+    /// membership test. For word-granularity signatures a line matches if
+    /// any of its words may be in the signature.
+    ///
+    /// The result is a superset of the truly matching lines (aliasing), and
+    /// never misses a truly matching resident line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature's line size differs from the cache's.
+    pub fn expand(&self, cache: &Cache) -> Vec<ExpandedLine> {
+        let geom = cache.geometry();
+        let mask = self.decode_sets(&geom);
+        let mut out = Vec::new();
+        for set in mask.iter_ones() {
+            for line in cache.lines_in_set(set) {
+                if self.contains_any_word_of_line(line.addr()) {
+                    out.push(ExpandedLine { addr: line.addr(), state: line.state() });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of cache tags signature expansion reads for this cache —
+    /// the cost the δ pre-selection saves versus a full tag walk.
+    pub fn expansion_tag_reads(&self, cache: &Cache) -> usize {
+        let geom = cache.geometry();
+        self.decode_sets(&geom)
+            .iter_ones()
+            .map(|set| cache.lines_in_set(set).len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignatureConfig;
+    use bulk_mem::{Addr, CacheGeometry};
+
+    #[test]
+    fn expansion_finds_inserted_resident_lines() {
+        let geom = CacheGeometry::tm_l1();
+        let mut cache = Cache::new(geom);
+        let mut sig = Signature::new(SignatureConfig::s14_tm());
+        let hot = [LineAddr::new(3), LineAddr::new(1000), LineAddr::new(77)];
+        let cold = [LineAddr::new(4), LineAddr::new(2000)];
+        for &l in &hot {
+            cache.fill_dirty(l);
+            sig.insert_line(l);
+        }
+        for &l in &cold {
+            cache.fill_clean(l);
+        }
+        let found = sig.expand(&cache);
+        for &l in &hot {
+            assert!(found.iter().any(|e| e.addr == l && e.state == LineState::Dirty));
+        }
+        // No cold line may appear unless aliased; with S14 and 5 lines,
+        // aliasing into both the set mask and the membership test for these
+        // specific addresses does not occur.
+        for &l in &cold {
+            assert!(!found.iter().any(|e| e.addr == l));
+        }
+    }
+
+    #[test]
+    fn expansion_skips_non_resident_lines() {
+        let geom = CacheGeometry::tm_l1();
+        let cache = Cache::new(geom);
+        let mut sig = Signature::new(SignatureConfig::s14_tm());
+        sig.insert_line(LineAddr::new(42));
+        assert!(sig.expand(&cache).is_empty());
+    }
+
+    #[test]
+    fn expansion_with_word_granularity() {
+        let geom = CacheGeometry::tls_l1();
+        let mut cache = Cache::new(geom);
+        let mut sig = Signature::new(SignatureConfig::s14_tls());
+        let a = Addr::new(0x4000);
+        cache.fill_dirty(a.line(64));
+        sig.insert_addr(a); // one word of the line
+        let found = sig.expand(&cache);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].addr, a.line(64));
+    }
+
+    #[test]
+    fn tag_reads_bounded_by_selected_sets() {
+        let geom = CacheGeometry::tm_l1();
+        let mut cache = Cache::new(geom);
+        // Fill many sets.
+        for i in 0..256u32 {
+            cache.fill_clean(LineAddr::new(i));
+        }
+        let mut sig = Signature::new(SignatureConfig::s14_tm());
+        sig.insert_line(LineAddr::new(10));
+        // δ selects one set of 128; that set holds 2 lines (10 and 138).
+        assert_eq!(sig.expansion_tag_reads(&cache), 2);
+        assert!(sig.expansion_tag_reads(&cache) < cache.len());
+    }
+
+    #[test]
+    fn empty_signature_expands_to_nothing() {
+        let geom = CacheGeometry::tm_l1();
+        let mut cache = Cache::new(geom);
+        cache.fill_dirty(LineAddr::new(1));
+        let sig = Signature::new(SignatureConfig::s14_tm());
+        assert!(sig.expand(&cache).is_empty());
+        assert_eq!(sig.expansion_tag_reads(&cache), 0);
+    }
+}

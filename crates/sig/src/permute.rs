@@ -1,0 +1,236 @@
+//! Bit permutations applied to addresses before signature encoding.
+//!
+//! The first step of adding an address to a signature (paper Fig. 2) is a
+//! fixed permutation of its bits. Good permutations group high-variance bits
+//! into large C-fields and are shown in §7.5 / Fig. 15 to matter
+//! significantly for accuracy. The paper's Table 5 gives the permutations
+//! used for the TM and TLS experiments; both are provided as constructors,
+//! along with uniformly random permutations for the Fig. 15 sweep.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A permutation of the low `width` bits of an address.
+///
+/// `map[i]` is the *source* bit index whose value lands at *destination*
+/// position `i`, matching the paper's "(bit indices, LSB is 0)" notation.
+/// Bits at positions `>= width` pass through unchanged ("the high-order
+/// bits not shown in the permutation stay in their original position").
+///
+/// ```
+/// use bulk_sig::BitPermutation;
+/// // Swap the two low bits of a 2-bit-wide permutation.
+/// let p = BitPermutation::from_map(vec![1, 0]).unwrap();
+/// assert_eq!(p.apply(0b01), 0b10);
+/// assert_eq!(p.apply(0b10), 0b01);
+/// assert_eq!(p.apply(0b100), 0b100); // untouched high bit
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitPermutation {
+    map: Vec<u8>,
+}
+
+/// Error returned when a bit-index list is not a permutation of `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidPermutationError {
+    /// The offending map.
+    pub map: Vec<u8>,
+}
+
+impl std::fmt::Display for InvalidPermutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bit map {:?} is not a permutation of 0..{}", self.map, self.map.len())
+    }
+}
+
+impl std::error::Error for InvalidPermutationError {}
+
+impl BitPermutation {
+    /// The identity permutation (no reordering).
+    pub fn identity() -> Self {
+        BitPermutation { map: Vec::new() }
+    }
+
+    /// Builds a permutation from a destination-ordered list of source bit
+    /// indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPermutationError`] if `map` is not a permutation of
+    /// `0..map.len()` or is longer than 32.
+    pub fn from_map(map: Vec<u8>) -> Result<Self, InvalidPermutationError> {
+        if map.len() > 32 {
+            return Err(InvalidPermutationError { map });
+        }
+        let mut seen = [false; 32];
+        for &b in &map {
+            if (b as usize) >= map.len() || seen[b as usize] {
+                return Err(InvalidPermutationError { map });
+            }
+            seen[b as usize] = true;
+        }
+        Ok(BitPermutation { map })
+    }
+
+    /// The paper's TM permutation (Table 5), over 26-bit line addresses:
+    /// `[0-6, 9, 11, 17, 7-8, 10, 12, 13, 15-16, 18-20, 14]`.
+    pub fn paper_tm() -> Self {
+        BitPermutation::from_map(vec![
+            0, 1, 2, 3, 4, 5, 6, 9, 11, 17, 7, 8, 10, 12, 13, 15, 16, 18, 19, 20, 14,
+        ])
+        .expect("paper TM permutation is valid")
+    }
+
+    /// The paper's TLS permutation (Table 5), over 30-bit word addresses:
+    /// `[0-9, 11-19, 21, 10, 20, 22]`.
+    pub fn paper_tls() -> Self {
+        BitPermutation::from_map(vec![
+            0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18, 19, 21, 10, 20, 22,
+        ])
+        .expect("paper TLS permutation is valid")
+    }
+
+    /// A uniformly random permutation of the low `width` bits, optionally
+    /// keeping the low `fixed_low` bits in place (so that cache-index bits
+    /// remain decodable — see the paper's δ requirement, §4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fixed_low > width` or `width > 32`.
+    pub fn random<R: Rng + ?Sized>(width: u8, fixed_low: u8, rng: &mut R) -> Self {
+        assert!(fixed_low <= width && width <= 32);
+        let mut tail: Vec<u8> = (fixed_low..width).collect();
+        tail.shuffle(rng);
+        let mut map: Vec<u8> = (0..fixed_low).collect();
+        map.extend(tail);
+        BitPermutation { map }
+    }
+
+    /// Number of bits the permutation covers.
+    pub fn width(&self) -> u8 {
+        self.map.len() as u8
+    }
+
+    /// The destination-ordered source bit indices (empty for identity).
+    pub fn map(&self) -> &[u8] {
+        &self.map
+    }
+
+    /// Applies the permutation to an address key.
+    #[inline]
+    pub fn apply(&self, key: u32) -> u32 {
+        if self.map.is_empty() {
+            return key;
+        }
+        let w = self.map.len();
+        let low_mask: u32 = if w == 32 { u32::MAX } else { (1u32 << w) - 1 };
+        let mut out = key & !low_mask;
+        for (dst, &src) in self.map.iter().enumerate() {
+            out |= ((key >> src) & 1) << dst;
+        }
+        out
+    }
+
+    /// Where source bit `src` lands after permutation.
+    #[inline]
+    pub fn destination_of(&self, src: u8) -> u8 {
+        self.map
+            .iter()
+            .position(|&s| s == src)
+            .map(|d| d as u8)
+            .unwrap_or(src)
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0u8; self.map.len()];
+        for (dst, &src) in self.map.iter().enumerate() {
+            inv[src as usize] = dst as u8;
+        }
+        BitPermutation { map: inv }
+    }
+}
+
+impl Default for BitPermutation {
+    fn default() -> Self {
+        BitPermutation::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_is_noop() {
+        let p = BitPermutation::identity();
+        for k in [0u32, 1, 0xdead_beef, u32::MAX] {
+            assert_eq!(p.apply(k), k);
+        }
+    }
+
+    #[test]
+    fn paper_permutations_are_valid_and_bijective() {
+        for p in [BitPermutation::paper_tm(), BitPermutation::paper_tls()] {
+            let inv = p.inverse();
+            for k in [0u32, 1, 0x2bad_cafe, 0x03ff_ffff] {
+                assert_eq!(inv.apply(p.apply(k)), k);
+            }
+        }
+        assert_eq!(BitPermutation::paper_tm().width(), 21);
+        assert_eq!(BitPermutation::paper_tls().width(), 23);
+    }
+
+    #[test]
+    fn paper_tm_moves_bit_9_to_position_7() {
+        let p = BitPermutation::paper_tm();
+        assert_eq!(p.apply(1 << 9), 1 << 7);
+        assert_eq!(p.destination_of(9), 7);
+        // Index bits 0..6 stay put.
+        for b in 0..7 {
+            assert_eq!(p.destination_of(b), b);
+        }
+    }
+
+    #[test]
+    fn high_bits_pass_through() {
+        let p = BitPermutation::paper_tm();
+        assert_eq!(p.apply(1 << 25), 1 << 25);
+        assert_eq!(p.apply(1 << 21), 1 << 21);
+    }
+
+    #[test]
+    fn rejects_non_permutations() {
+        assert!(BitPermutation::from_map(vec![0, 0]).is_err());
+        assert!(BitPermutation::from_map(vec![0, 2]).is_err());
+        assert!(BitPermutation::from_map(vec![1]).is_err());
+    }
+
+    #[test]
+    fn random_keeps_fixed_low_bits() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let p = BitPermutation::random(26, 7, &mut rng);
+            for b in 0..7 {
+                assert_eq!(p.destination_of(b), b);
+            }
+            let inv = p.inverse();
+            assert_eq!(inv.apply(p.apply(0x1234_5678)), 0x1234_5678);
+        }
+    }
+
+    #[test]
+    fn random_is_seeded_deterministic() {
+        let a = BitPermutation::random(20, 0, &mut SmallRng::seed_from_u64(1));
+        let b = BitPermutation::random(20, 0, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_error_displays() {
+        let e = BitPermutation::from_map(vec![0, 0]).unwrap_err();
+        assert!(e.to_string().contains("not a permutation"));
+    }
+}

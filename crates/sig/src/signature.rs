@@ -1,0 +1,522 @@
+//! The signature register and the primitive bulk operations of the paper's
+//! Table 1: intersection (∩), union (∪), emptiness (= ∅) and membership (∈).
+
+use std::fmt;
+use std::sync::Arc;
+
+use bulk_mem::{Addr, LineAddr, WordAddr};
+
+use crate::{Granularity, SignatureConfig};
+
+/// A hardware address signature (paper §3.1): a fixed-size register that
+/// hash-encodes a set of addresses as a superset.
+///
+/// An address is added by permuting its bits, slicing the result into
+/// C-fields, decoding each C-field and OR-ing it into the corresponding
+/// V-field (Fig. 2). Every insert therefore sets exactly one bit per
+/// V-field, and a signature is empty iff **any** V-field is all-zero.
+///
+/// All operations are *inexact but correct*: `contains` may report false
+/// positives, never false negatives; `intersect` yields a superset of the
+/// true intersection.
+///
+/// ```
+/// use bulk_sig::{Signature, SignatureConfig};
+/// use bulk_mem::Addr;
+///
+/// let cfg = SignatureConfig::s14_tm();
+/// let mut w = Signature::new(cfg.clone());
+/// assert!(w.is_empty());
+/// w.insert_addr(Addr::new(0x8000));
+/// assert!(w.contains_addr(Addr::new(0x8000)));
+/// assert!(w.contains_addr(Addr::new(0x8004))); // same line
+/// ```
+#[derive(Clone)]
+pub struct Signature {
+    config: Arc<SignatureConfig>,
+    /// One bit vector per V-field.
+    fields: Vec<Vec<u64>>,
+}
+
+impl Signature {
+    /// Creates an empty signature with the given configuration.
+    pub fn new(config: SignatureConfig) -> Self {
+        Signature::with_shared(Arc::new(config))
+    }
+
+    /// Creates an empty signature sharing an existing configuration
+    /// (preferred when many signatures use one config).
+    pub fn with_shared(config: Arc<SignatureConfig>) -> Self {
+        let fields = config
+            .chunks()
+            .iter()
+            .map(|&c| vec![0u64; Self::words_for(c)])
+            .collect();
+        Signature { config, fields }
+    }
+
+    fn words_for(chunk_bits: u32) -> usize {
+        (1u64 << chunk_bits).div_ceil(64) as usize
+    }
+
+    /// The signature's configuration.
+    pub fn config(&self) -> &Arc<SignatureConfig> {
+        &self.config
+    }
+
+    /// Adds a raw key (an already granularity-converted address).
+    pub fn insert_key(&mut self, key: u32) {
+        for (i, v) in self.config.chunk_values(key) {
+            self.fields[i][(v / 64) as usize] |= 1u64 << (v % 64);
+        }
+    }
+
+    /// Adds the line/word containing the byte address `addr`, according to
+    /// the config's granularity.
+    pub fn insert_addr(&mut self, addr: Addr) {
+        self.insert_key(self.config.key_of_addr(addr));
+    }
+
+    /// Adds a line address (line-granularity configs only).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the config encodes word addresses.
+    pub fn insert_line(&mut self, line: LineAddr) {
+        self.insert_key(self.config.key_of_line(line));
+    }
+
+    /// Adds a word address (word-granularity configs only).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the config encodes line addresses.
+    pub fn insert_word(&mut self, word: WordAddr) {
+        self.insert_key(self.config.key_of_word(word));
+    }
+
+    /// Membership test for a raw key (∈ of Table 1). May return false
+    /// positives, never false negatives.
+    pub fn contains_key(&self, key: u32) -> bool {
+        self.config
+            .chunk_values(key)
+            .all(|(i, v)| self.fields[i][(v / 64) as usize] >> (v % 64) & 1 == 1)
+    }
+
+    /// Membership test for a byte address at the config's granularity.
+    pub fn contains_addr(&self, addr: Addr) -> bool {
+        self.contains_key(self.config.key_of_addr(addr))
+    }
+
+    /// Membership test for a line address (line-granularity configs).
+    pub fn contains_line(&self, line: LineAddr) -> bool {
+        self.contains_key(self.config.key_of_line(line))
+    }
+
+    /// Membership test for a word address (word-granularity configs).
+    pub fn contains_word(&self, word: WordAddr) -> bool {
+        self.contains_key(self.config.key_of_word(word))
+    }
+
+    /// Whether any word of `line` may be in the signature. This is how a
+    /// word-granularity signature answers line-level questions (bulk
+    /// invalidation walks cache lines). For line-granularity configs this
+    /// is the plain line membership test.
+    pub fn contains_any_word_of_line(&self, line: LineAddr) -> bool {
+        match self.config.granularity() {
+            Granularity::Line => self.contains_line(line),
+            Granularity::Word => line
+                .words(self.config.line_bytes())
+                .any(|w| self.contains_word(w)),
+        }
+    }
+
+    /// The emptiness test of Table 1: true iff at least one V-field is
+    /// all-zero, in which case the signature encodes no address.
+    pub fn is_empty(&self) -> bool {
+        self.fields
+            .iter()
+            .any(|f| f.iter().all(|&w| w == 0))
+    }
+
+    /// Signature intersection (∩ of Table 1): bit-wise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two signatures have different configurations.
+    pub fn intersect(&self, other: &Signature) -> Signature {
+        self.check_compatible(other);
+        let fields = self
+            .fields
+            .iter()
+            .zip(&other.fields)
+            .map(|(a, b)| a.iter().zip(b).map(|(x, y)| x & y).collect())
+            .collect();
+        Signature { config: self.config.clone(), fields }
+    }
+
+    /// Whether `self ∩ other ≠ ∅`, without materialising the intersection.
+    /// This is the core of bulk address disambiguation (paper Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two signatures have different configurations.
+    pub fn intersects(&self, other: &Signature) -> bool {
+        self.check_compatible(other);
+        self.fields
+            .iter()
+            .zip(&other.fields)
+            .all(|(a, b)| a.iter().zip(b).any(|(x, y)| x & y != 0))
+    }
+
+    /// Signature union (∪ of Table 1): bit-wise OR. Used e.g. to combine
+    /// the write signatures of nested transactions at outer commit (§6.2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two signatures have different configurations.
+    pub fn union(&self, other: &Signature) -> Signature {
+        let mut out = self.clone();
+        out.union_assign(other);
+        out
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two signatures have different configurations.
+    pub fn union_assign(&mut self, other: &Signature) {
+        self.check_compatible(other);
+        for (a, b) in self.fields.iter_mut().zip(&other.fields) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x |= y;
+            }
+        }
+    }
+
+    /// Clears the signature — the paper's one-instruction commit (§5.1).
+    pub fn clear(&mut self) {
+        for f in &mut self.fields {
+            f.iter_mut().for_each(|w| *w = 0);
+        }
+    }
+
+    /// Fraction of the signature's bits that are set (its "fill ratio"),
+    /// the quantity that drives aliasing.
+    ///
+    /// ```
+    /// use bulk_sig::{Signature, SignatureConfig};
+    /// let s = Signature::new(SignatureConfig::s14_tm());
+    /// assert_eq!(s.fill_ratio(), 0.0);
+    /// ```
+    pub fn fill_ratio(&self) -> f64 {
+        self.popcount() as f64 / self.config.size_bits() as f64
+    }
+
+    /// Analytic estimate of the probability that `self ∩ other ≠ ∅` for
+    /// *independent* address sets — the Bloom-filter false-positive model:
+    /// per V-field, `1 - (1 - fill_self)^(popcount_other)` composed over
+    /// fields. Useful for sizing signatures before running a workload;
+    /// real address streams are correlated, so measured rates differ.
+    pub fn estimated_collision_rate(&self, other: &Signature) -> f64 {
+        self.check_compatible(other);
+        let mut p = 1.0;
+        for i in 0..self.config.num_fields() {
+            let range = self.config.field_range(i);
+            let bits = (range.end - range.start) as f64;
+            let mine = self.fields[i].iter().map(|w| w.count_ones() as u64).sum::<u64>() as f64;
+            let theirs =
+                other.fields[i].iter().map(|w| w.count_ones() as u64).sum::<u64>() as f64;
+            p *= 1.0 - (1.0 - mine / bits).powf(theirs);
+        }
+        p
+    }
+
+    /// Total number of set bits across all V-fields.
+    pub fn popcount(&self) -> u64 {
+        self.fields
+            .iter()
+            .flat_map(|f| f.iter())
+            .map(|w| w.count_ones() as u64)
+            .sum()
+    }
+
+    /// The set bit positions (C-field values) of V-field `i`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn field_values(&self, i: usize) -> impl Iterator<Item = u32> + '_ {
+        self.fields[i].iter().enumerate().flat_map(|(wi, &w)| {
+            let base = wi as u32 * 64;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// The signature's bits as one flat, LSB-first vector (fields
+    /// concatenated in order). Canonical form used by the RLE codec.
+    pub fn flat_bits(&self) -> Vec<u64> {
+        let total = self.config.size_bits();
+        let mut out = vec![0u64; total.div_ceil(64) as usize];
+        for (i, f) in self.fields.iter().enumerate() {
+            let range = self.config.field_range(i);
+            let field_bits = range.end - range.start;
+            for bit_in_field in 0..field_bits {
+                if f[(bit_in_field / 64) as usize] >> (bit_in_field % 64) & 1 == 1 {
+                    let pos = range.start + bit_in_field;
+                    out[(pos / 64) as usize] |= 1u64 << (pos % 64);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a signature from its flat bit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is shorter than the config requires.
+    pub fn from_flat_bits(config: Arc<SignatureConfig>, bits: &[u64]) -> Signature {
+        let mut sig = Signature::with_shared(config);
+        let total = sig.config.size_bits();
+        assert!(bits.len() as u64 * 64 >= total, "flat bit vector too short");
+        for i in 0..sig.config.num_fields() {
+            let range = sig.config.field_range(i);
+            for bit_in_field in 0..(range.end - range.start) {
+                let pos = range.start + bit_in_field;
+                if bits[(pos / 64) as usize] >> (pos % 64) & 1 == 1 {
+                    sig.fields[i][(bit_in_field / 64) as usize] |= 1u64 << (bit_in_field % 64);
+                }
+            }
+        }
+        sig
+    }
+
+    fn check_compatible(&self, other: &Signature) {
+        assert!(
+            Arc::ptr_eq(&self.config, &other.config) || self.config == other.config,
+            "signature operation on incompatible configurations"
+        );
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+impl PartialEq for Signature {
+    fn eq(&self, other: &Signature) -> bool {
+        *self.config == *other.config && self.fields == other.fields
+    }
+}
+
+impl Eq for Signature {}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Signature")
+            .field("size_bits", &self.config.size_bits())
+            .field("granularity", &self.config.granularity())
+            .field("popcount", &self.popcount())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitPermutation;
+
+    fn small() -> SignatureConfig {
+        SignatureConfig::new(vec![4, 4], BitPermutation::identity(), Granularity::Line, 64)
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let mut s = Signature::new(small());
+        s.insert_key(0x13);
+        assert!(s.contains_key(0x13));
+        assert!(!s.contains_key(0x24));
+        assert_eq!(s.popcount(), 2); // one bit per field
+    }
+
+    #[test]
+    fn no_false_negatives_many_keys() {
+        let mut s = Signature::new(SignatureConfig::s14_tm());
+        let keys: Vec<u32> =
+            (0..500u32).map(|i| i.wrapping_mul(2654435761) % (1 << 26)).collect();
+        for &k in &keys {
+            s.insert_key(k);
+        }
+        for &k in &keys {
+            assert!(s.contains_key(k));
+        }
+    }
+
+    #[test]
+    fn aliasing_produces_false_positives_in_tiny_config() {
+        // Keys 0x00 and 0x11 set bits {V1:0,V2:0} and {V1:1,V2:1};
+        // key 0x10 (V1:0, V2:1) then false-positives.
+        let mut s = Signature::new(small());
+        s.insert_key(0x00);
+        s.insert_key(0x11);
+        assert!(s.contains_key(0x10));
+        assert!(s.contains_key(0x01));
+    }
+
+    #[test]
+    fn empty_iff_any_field_zero() {
+        let cfg = small();
+        let mut a = Signature::new(cfg.clone());
+        assert!(a.is_empty());
+        a.insert_key(3);
+        assert!(!a.is_empty());
+        // Intersection of two disjoint-field signatures is empty.
+        let mut b = Signature::new(cfg);
+        b.insert_key(0x44);
+        let i = a.intersect(&b);
+        assert!(i.is_empty());
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn intersection_is_superset_of_true_intersection() {
+        let cfg = SignatureConfig::s14_tm().into_shared();
+        let mut a = Signature::with_shared(cfg.clone());
+        let mut b = Signature::with_shared(cfg);
+        for k in 0..100u32 {
+            a.insert_key(k);
+        }
+        for k in 50..150u32 {
+            b.insert_key(k);
+        }
+        let i = a.intersect(&b);
+        for k in 50..100u32 {
+            assert!(i.contains_key(k), "true member {k} missing from ∩");
+        }
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn union_contains_both_sides() {
+        let cfg = SignatureConfig::s14_tm().into_shared();
+        let mut a = Signature::with_shared(cfg.clone());
+        let mut b = Signature::with_shared(cfg);
+        a.insert_key(7);
+        b.insert_key(9);
+        let u = a.union(&b);
+        assert!(u.contains_key(7) && u.contains_key(9));
+        // Union never loses bits from either side (keys may share bits in
+        // some fields, so the count is between 2 and 4 for S14).
+        assert!(u.popcount() >= a.popcount().max(b.popcount()));
+        assert!(u.popcount() <= a.popcount() + b.popcount());
+    }
+
+    #[test]
+    fn clear_commits() {
+        let mut s = Signature::new(small());
+        s.insert_key(5);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.popcount(), 0);
+    }
+
+    #[test]
+    fn field_values_report_set_positions() {
+        let mut s = Signature::new(small());
+        s.insert_key(0x31); // C1 = 1, C2 = 3
+        assert_eq!(s.field_values(0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(s.field_values(1).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn flat_bits_round_trip() {
+        let cfg = SignatureConfig::s14_tm().into_shared();
+        let mut s = Signature::with_shared(cfg.clone());
+        for k in [0u32, 1, 1023, 4096, 0x3ff_ffff] {
+            s.insert_key(k);
+        }
+        let bits = s.flat_bits();
+        let s2 = Signature::from_flat_bits(cfg, &bits);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn flat_bits_round_trip_unaligned_fields() {
+        // Chunks of 3 and 5 bits: 8-bit and 32-bit fields, both sub-word.
+        let cfg = SignatureConfig::new(
+            vec![3, 5],
+            BitPermutation::identity(),
+            Granularity::Line,
+            64,
+        )
+        .into_shared();
+        let mut s = Signature::with_shared(cfg.clone());
+        for k in 0..40u32 {
+            s.insert_key(k * 7);
+        }
+        let s2 = Signature::from_flat_bits(cfg, &s.flat_bits());
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn word_granularity_line_probe() {
+        let mut s = Signature::new(SignatureConfig::s14_tls());
+        let line = LineAddr::new(100);
+        s.insert_word(line.word(64, 3));
+        assert!(s.contains_any_word_of_line(line));
+        assert!(!s.contains_any_word_of_line(LineAddr::new(5000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn mixed_config_ops_panic() {
+        let a = Signature::new(SignatureConfig::s14_tm());
+        let b = Signature::new(small());
+        let _ = a.intersects(&b);
+    }
+
+    #[test]
+    fn fill_ratio_and_estimate_behave() {
+        let cfg = SignatureConfig::s14_tm().into_shared();
+        let mut a = Signature::with_shared(cfg.clone());
+        let mut b = Signature::with_shared(cfg.clone());
+        assert_eq!(a.estimated_collision_rate(&b), 0.0);
+        for k in 0..22u32 {
+            a.insert_key(k.wrapping_mul(2654435761) % (1 << 26));
+        }
+        for k in 100..168u32 {
+            b.insert_key(k.wrapping_mul(2654435761) % (1 << 26));
+        }
+        assert!(a.fill_ratio() > 0.0 && a.fill_ratio() < 0.05);
+        let p = a.estimated_collision_rate(&b);
+        assert!(p > 0.0 && p < 1.0, "p = {p}");
+        // Denser signatures collide more.
+        let mut dense = Signature::with_shared(cfg);
+        for k in 0..500u32 {
+            dense.insert_key(k.wrapping_mul(48271) % (1 << 26));
+        }
+        assert!(dense.estimated_collision_rate(&b) > p);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = Signature::new(small());
+        assert!(format!("{s:?}").contains("Signature"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests for the signature invariants of DESIGN.md §6:
+//! superset encoding, intersection/union soundness, δ exactness,
+//! RLE round-trip, and word-mask conservatism.
+
+use bulk_mem::{Addr, CacheGeometry, LineAddr};
+use bulk_sig::{
+    merge_line, table8, BitPermutation, Granularity, Signature, SignatureConfig,
+};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SignatureConfig> {
+    // Any Table 8 spec, line or word granularity, identity or the
+    // matching paper permutation.
+    (0..table8().len(), any::<bool>(), any::<bool>()).prop_map(|(i, word, permute)| {
+        let spec = table8()[i];
+        let (gran, perm) = if word {
+            (
+                Granularity::Word,
+                if permute { BitPermutation::paper_tls() } else { BitPermutation::identity() },
+            )
+        } else {
+            (
+                Granularity::Line,
+                if permute { BitPermutation::paper_tm() } else { BitPermutation::identity() },
+            )
+        };
+        SignatureConfig::from_spec(spec, perm, gran, 64)
+    })
+}
+
+fn arb_addrs() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..0x0400_0000, 0..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: no false negatives, ever.
+    #[test]
+    fn superset_encoding(config in arb_config(), addrs in arb_addrs()) {
+        let mut s = Signature::new(config);
+        for &a in &addrs {
+            s.insert_addr(Addr::new(a));
+        }
+        for &a in &addrs {
+            prop_assert!(s.contains_addr(Addr::new(a)));
+        }
+        prop_assert_eq!(s.is_empty(), addrs.is_empty());
+    }
+
+    /// Invariant 2: H(A1) ∩ H(A2) covers every address in A1 ∩ A2, and
+    /// `intersects` is consistent with the materialised intersection.
+    #[test]
+    fn intersection_soundness(
+        config in arb_config(),
+        a1 in arb_addrs(),
+        a2 in arb_addrs(),
+    ) {
+        let shared = config.into_shared();
+        let mut s1 = Signature::with_shared(shared.clone());
+        let mut s2 = Signature::with_shared(shared);
+        for &a in &a1 {
+            s1.insert_addr(Addr::new(a));
+        }
+        for &a in &a2 {
+            s2.insert_addr(Addr::new(a));
+        }
+        let inter = s1.intersect(&s2);
+        prop_assert_eq!(s1.intersects(&s2), !inter.is_empty());
+        for a in a1.iter().filter(|a| a2.contains(a)) {
+            let key1 = s1.config().key_of_addr(Addr::new(*a));
+            prop_assert!(inter.contains_key(key1));
+        }
+    }
+
+    /// Union covers both operands and is monotone in popcount.
+    #[test]
+    fn union_covers_operands(
+        config in arb_config(),
+        a1 in arb_addrs(),
+        a2 in arb_addrs(),
+    ) {
+        let shared = config.into_shared();
+        let mut s1 = Signature::with_shared(shared.clone());
+        let mut s2 = Signature::with_shared(shared);
+        for &a in &a1 {
+            s1.insert_addr(Addr::new(a));
+        }
+        for &a in &a2 {
+            s2.insert_addr(Addr::new(a));
+        }
+        let u = s1.union(&s2);
+        for &a in a1.iter().chain(&a2) {
+            prop_assert!(u.contains_addr(Addr::new(a)));
+        }
+        prop_assert!(u.popcount() >= s1.popcount().max(s2.popcount()));
+        prop_assert!(u.popcount() <= s1.popcount() + s2.popcount());
+    }
+
+    /// Invariant 3: δ is exact for the paper's default configurations —
+    /// the decoded bitmask equals precisely the inserted addresses' sets.
+    #[test]
+    fn decode_is_exact_for_defaults(word_gran in any::<bool>(), addrs in arb_addrs()) {
+        let (config, geom) = if word_gran {
+            (SignatureConfig::s14_tls(), CacheGeometry::tls_l1())
+        } else {
+            (SignatureConfig::s14_tm(), CacheGeometry::tm_l1())
+        };
+        prop_assume!(config.is_exactly_decodable(&geom));
+        let mut s = Signature::new(config);
+        let mut expected: Vec<u32> = Vec::new();
+        for &a in &addrs {
+            s.insert_addr(Addr::new(a));
+            let addr = Addr::new(a);
+            expected.push(if word_gran {
+                geom.set_of_word(addr.word())
+            } else {
+                geom.set_of_line(addr.line(64))
+            });
+        }
+        expected.sort_unstable();
+        expected.dedup();
+        let mask = s.decode_sets(&geom);
+        prop_assert_eq!(mask.iter_ones().collect::<Vec<_>>(), expected);
+    }
+
+    /// δ is always a superset of the true sets, for any configuration.
+    #[test]
+    fn decode_is_conservative_for_any_config(config in arb_config(), addrs in arb_addrs()) {
+        let geom = CacheGeometry::tm_l1();
+        prop_assume!(config.line_bytes() == geom.line_bytes());
+        let word = config.granularity() == Granularity::Word;
+        let mut s = Signature::new(config);
+        for &a in &addrs {
+            s.insert_addr(Addr::new(a));
+        }
+        let mask = s.decode_sets(&geom);
+        for &a in &addrs {
+            let set = if word {
+                geom.set_of_word(Addr::new(a).word())
+            } else {
+                geom.set_of_line(Addr::new(a).line(64))
+            };
+            prop_assert!(mask.get(set), "set {set} of {a:#x} missing from δ");
+        }
+    }
+
+    /// Invariant 6: RLE round-trips exactly, and the size accessor agrees
+    /// with the materialised code.
+    #[test]
+    fn rle_round_trip(config in arb_config(), addrs in arb_addrs()) {
+        let shared = config.into_shared();
+        let mut s = Signature::with_shared(shared.clone());
+        for &a in &addrs {
+            s.insert_addr(Addr::new(a));
+        }
+        let compressed = s.compress();
+        prop_assert_eq!(compressed.size_bits(), s.compressed_size_bits());
+        let restored = Signature::decompress(shared, &compressed).expect("valid code");
+        prop_assert_eq!(s, restored);
+    }
+
+    /// Invariant 4 (mask side): the updated-word bitmask covers every word
+    /// actually written and the merge keeps exactly the masked words.
+    #[test]
+    fn word_mask_is_conservative_and_merge_respects_it(
+        line_raw in 0u32..0x100_0000,
+        written in prop::collection::btree_set(0u32..16, 0..16),
+    ) {
+        let line = LineAddr::new(line_raw);
+        let mut w = Signature::new(SignatureConfig::s14_tls());
+        for &i in &written {
+            w.insert_word(line.word(64, i));
+        }
+        let mask = w.updated_word_bitmask(line);
+        for &i in &written {
+            prop_assert!(mask.contains(i));
+        }
+        let committed: Vec<u64> = (0..16).map(|i| 1000 + i).collect();
+        let local: Vec<u64> = (0..16).map(|i| 2000 + i).collect();
+        let merged = merge_line(&committed, &local, mask);
+        for i in 0..16u32 {
+            let expect = if mask.contains(i) { &local } else { &committed };
+            prop_assert_eq!(merged[i as usize], expect[i as usize]);
+        }
+    }
+
+    /// Clearing a signature always yields the empty signature (the
+    /// paper's one-operation commit).
+    #[test]
+    fn clear_is_total(config in arb_config(), addrs in arb_addrs()) {
+        let mut s = Signature::new(config);
+        for &a in &addrs {
+            s.insert_addr(Addr::new(a));
+        }
+        s.clear();
+        prop_assert!(s.is_empty());
+        prop_assert_eq!(s.popcount(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Machine parameters, mirroring the paper's Table 5.
+
+use bulk_mem::{CacheGeometry, MsgSizes};
+
+/// Timing and shape parameters of the simulated CMP.
+///
+/// The two constructors reproduce the paper's Table 5 machines:
+/// [`SimConfig::tls_default`] (4 processors, 16 KB L1) and
+/// [`SimConfig::tm_default`] (8 processors, 32 KB L1). Latencies the paper
+/// does not specify (main-memory round trip, squash/spawn overheads) use
+/// values typical of 2006-era CMP studies and are plainly configurable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of processors.
+    pub num_procs: usize,
+    /// L1 cache shape.
+    pub geom: CacheGeometry,
+    /// L1 hit round trip, cycles (Table 5: 2).
+    pub l1_hit: u64,
+    /// Minimum round trip to a neighbour's L1, cycles (Table 5: 8).
+    pub neighbor_rt: u64,
+    /// Main-memory round trip, cycles.
+    pub mem_rt: u64,
+    /// Cycles per non-memory instruction (the paper's cores retire ~3/cycle;
+    /// the trace generator folds ILP into its `Compute` costs).
+    pub compute_cpi: u64,
+    /// Fixed cost of a commit arbitration (gaining bus ownership).
+    pub commit_arb: u64,
+    /// Bus throughput in bytes per cycle, for commit-broadcast occupancy.
+    pub bus_bytes_per_cycle: u64,
+    /// Cost of restarting a squashed thread (pipeline flush + re-dispatch).
+    pub squash_overhead: u64,
+    /// Cost of spawning a TLS task on another processor.
+    pub spawn_overhead: u64,
+    /// Interconnect message sizes.
+    pub msg_sizes: MsgSizes,
+}
+
+impl SimConfig {
+    /// The paper's TLS machine: 4 processors, 16 KB 4-way 64 B L1.
+    pub fn tls_default() -> Self {
+        SimConfig {
+            num_procs: 4,
+            geom: CacheGeometry::tls_l1(),
+            l1_hit: 2,
+            neighbor_rt: 8,
+            mem_rt: 80,
+            compute_cpi: 1,
+            commit_arb: 10,
+            bus_bytes_per_cycle: 8,
+            squash_overhead: 20,
+            spawn_overhead: 12,
+            msg_sizes: MsgSizes::for_line_bytes(64),
+        }
+    }
+
+    /// The paper's TM machine: 8 processors, 32 KB 4-way 64 B L1.
+    pub fn tm_default() -> Self {
+        SimConfig { num_procs: 8, geom: CacheGeometry::tm_l1(), ..SimConfig::tls_default() }
+    }
+
+    /// Cycles a broadcast of `payload_bytes` occupies the bus.
+    pub fn broadcast_cycles(&self, payload_bytes: u64) -> u64 {
+        (payload_bytes + self.msg_sizes.header).div_ceil(self.bus_bytes_per_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_shapes() {
+        let tls = SimConfig::tls_default();
+        assert_eq!(tls.num_procs, 4);
+        assert_eq!(tls.geom.size_bytes(), 16 * 1024);
+        assert_eq!(tls.l1_hit, 2);
+        assert_eq!(tls.neighbor_rt, 8);
+        let tm = SimConfig::tm_default();
+        assert_eq!(tm.num_procs, 8);
+        assert_eq!(tm.geom.size_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn broadcast_cycles_round_up() {
+        let c = SimConfig::tm_default();
+        // 100 B payload + 8 B header at 8 B/cycle = 14 cycles.
+        assert_eq!(c.broadcast_cycles(100), 14);
+        assert_eq!(c.broadcast_cycles(0), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Discrete-event timing substrate for the Bulk reproduction: the Table 5
+//! machine configurations, per-processor cycle/traffic accounting, a
+//! serializing commit bus and a deterministic event queue.
+//!
+//! The TM ([`bulk_tm`](../bulk_tm/index.html)) and TLS
+//! ([`bulk_tls`](../bulk_tls/index.html)) runtimes drive their protocol
+//! state machines over these pieces; this crate knows nothing about
+//! speculation itself.
+//!
+//! ```
+//! use bulk_sim::{CoreTimer, SimConfig};
+//! use bulk_mem::{Addr, BandwidthStats, Cache};
+//!
+//! let cfg = SimConfig::tm_default();
+//! let mut timer = CoreTimer::new();
+//! let mut cache = Cache::new(cfg.geom);
+//! let mut bw = BandwidthStats::new();
+//! timer.load(&mut cache, Addr::new(0x40).line(64), false, &cfg, &mut bw);
+//! assert_eq!(timer.now(), cfg.mem_rt); // cold miss
+//! ```
+
+mod config;
+mod queue;
+mod timer;
+
+pub use config::SimConfig;
+pub use queue::{min_index, EventQueue};
+pub use timer::{AccessTiming, Bus, CoreTimer, FillSource};

@@ -1,0 +1,25 @@
+//! Thread-level-speculation runtime for the Bulk reproduction: ordered
+//! speculative tasks on the paper's 4-processor machine, with in-order
+//! commit, squash cascades, word-granularity disambiguation, Partial
+//! Overlap (§6.3) and the multi-version BDM that makes the Set
+//! Restriction's write–write conflicts observable (Table 6).
+//!
+//! ```
+//! use bulk_sim::SimConfig;
+//! use bulk_tls::{run_tls, run_tls_sequential, TlsScheme};
+//! use bulk_trace::profiles;
+//!
+//! let wl = profiles::tls_profile("mcf").unwrap().generate(1);
+//! let cfg = SimConfig::tls_default();
+//! let seq = run_tls_sequential(&wl, &cfg);
+//! let bulk = run_tls(&wl, TlsScheme::Bulk, &cfg);
+//! assert!(bulk.cycles < seq); // speculative parallelism pays off
+//! ```
+
+mod machine;
+mod scheme;
+mod stats;
+
+pub use machine::{run_tls, run_tls_sequential, TlsMachine};
+pub use scheme::TlsScheme;
+pub use stats::TlsStats;

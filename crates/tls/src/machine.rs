@@ -1,0 +1,978 @@
+//! The TLS machine: ordered speculative tasks on a multiprocessor.
+//!
+//! Tasks of a [`TlsWorkload`] execute in speculative order on the paper's
+//! 4-processor machine (Table 5): a task spawns its successor at its
+//! `Spawn` op, tasks commit strictly in order, and a dependence violation
+//! squashes the offending task *and all more-speculative tasks* (the
+//! cascade). Each processor's BDM holds two version slots, so a processor
+//! whose task finished but cannot yet commit starts the next task — which
+//! is what makes the Set Restriction's write–write set conflicts (Table 6)
+//! reachable.
+//!
+//! As in the TM runtime, exact word-level sets are tracked as an oracle to
+//! classify aliasing artifacts; Bulk's decisions use signatures only.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use bulk_core::{check_speculative_store, flows, Bdm, StoreCheck, VersionId};
+use bulk_mem::{Addr, Cache, LineAddr, MsgClass, WordAddr};
+use bulk_sig::{Signature, SignatureConfig};
+use bulk_sim::{Bus, CoreTimer, SimConfig};
+use bulk_trace::{TlsOp, TlsWorkload};
+
+use crate::{TlsScheme, TlsStats};
+
+/// BDM version slots per processor (running + awaiting-commit).
+const VERSIONS_PER_PROC: usize = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    NotStarted,
+    Ready,
+    Running,
+    WaitingCommit,
+    Committed,
+}
+
+struct Task {
+    ops: Vec<TlsOp>,
+    pc: usize,
+    status: Status,
+    proc: Option<usize>,
+    version: Option<VersionId>,
+    r_words: HashSet<WordAddr>,
+    w_words: HashSet<WordAddr>,
+    /// Exact snapshot of `w_words` at the spawn point (Partial Overlap).
+    w_prespawn: HashSet<WordAddr>,
+    ready_at: Option<u64>,
+    finish_time: u64,
+    /// Spawn-time invalidation payload for this task's processor (§6.3):
+    /// the parent's write signature / exact lines at spawn.
+    spawn_inval_sig: Option<Signature>,
+    spawn_inval_lines: Vec<LineAddr>,
+    restarts: u32,
+}
+
+impl Task {
+    fn in_flight(&self) -> bool {
+        matches!(self.status, Status::Running | Status::WaitingCommit)
+    }
+
+    fn reads_or_writes(&self, w: WordAddr) -> bool {
+        self.r_words.contains(&w) || self.w_words.contains(&w)
+    }
+}
+
+struct Proc {
+    timer: CoreTimer,
+    cache: Cache,
+    bdm: Bdm,
+    running: Option<usize>,
+}
+
+/// The simulated TLS multiprocessor. Construct with [`TlsMachine::new`],
+/// run with [`TlsMachine::run`] (or use [`run_tls`]).
+pub struct TlsMachine {
+    cfg: SimConfig,
+    scheme: TlsScheme,
+    sig_config: Arc<SignatureConfig>,
+    procs: Vec<Proc>,
+    tasks: Vec<Task>,
+    oldest_uncommitted: usize,
+    last_commit_finish: u64,
+    bus: Bus,
+    stats: TlsStats,
+}
+
+/// Runs `workload` under `scheme` and returns the collected statistics.
+pub fn run_tls(workload: &TlsWorkload, scheme: TlsScheme, cfg: &SimConfig) -> TlsStats {
+    TlsMachine::new(workload, scheme, cfg).run()
+}
+
+/// Executes the workload sequentially (the Fig. 10 baseline): all tasks in
+/// order on one processor, no speculation overheads. Returns total cycles.
+pub fn run_tls_sequential(workload: &TlsWorkload, cfg: &SimConfig) -> u64 {
+    let mut timer = CoreTimer::new();
+    let mut cache = Cache::new(cfg.geom);
+    let mut bw = bulk_mem::BandwidthStats::new();
+    for task in &workload.tasks {
+        for op in &task.ops {
+            match *op {
+                TlsOp::Compute(n) => timer.compute(u64::from(n), cfg),
+                TlsOp::Read(a) => {
+                    timer.load(&mut cache, a.line(cfg.geom.line_bytes()), false, cfg, &mut bw);
+                }
+                TlsOp::Write(a) => {
+                    timer.store(&mut cache, a.line(cfg.geom.line_bytes()), false, cfg, &mut bw);
+                }
+                TlsOp::Spawn => {}
+            }
+        }
+    }
+    timer.now()
+}
+
+impl TlsMachine {
+    /// Builds a machine with the paper's S14 word-granularity signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no tasks.
+    pub fn new(workload: &TlsWorkload, scheme: TlsScheme, cfg: &SimConfig) -> Self {
+        TlsMachine::with_signature(workload, scheme, cfg, SignatureConfig::s14_tls())
+    }
+
+    /// Builds a machine with an explicit signature configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no tasks or the signature is not
+    /// word-granularity.
+    pub fn with_signature(
+        workload: &TlsWorkload,
+        scheme: TlsScheme,
+        cfg: &SimConfig,
+        sig: SignatureConfig,
+    ) -> Self {
+        assert!(!workload.tasks.is_empty(), "workload has no tasks");
+        assert_eq!(
+            sig.granularity(),
+            bulk_sig::Granularity::Word,
+            "TLS disambiguation is word-granularity"
+        );
+        let sig_config = sig.into_shared();
+        let procs = (0..cfg.num_procs)
+            .map(|_| Proc {
+                timer: CoreTimer::new(),
+                cache: Cache::new(cfg.geom),
+                bdm: Bdm::new((*sig_config).clone(), cfg.geom, VERSIONS_PER_PROC),
+                running: None,
+            })
+            .collect();
+        let tasks = workload
+            .tasks
+            .iter()
+            .map(|t| Task {
+                ops: t.ops.clone(),
+                pc: 0,
+                status: Status::NotStarted,
+                proc: None,
+                version: None,
+                r_words: HashSet::new(),
+                w_words: HashSet::new(),
+                w_prespawn: HashSet::new(),
+                ready_at: None,
+                finish_time: 0,
+                spawn_inval_sig: None,
+                spawn_inval_lines: Vec::new(),
+                restarts: 0,
+            })
+            .collect();
+        let mut m = TlsMachine {
+            cfg: cfg.clone(),
+            scheme,
+            sig_config,
+            procs,
+            tasks,
+            oldest_uncommitted: 0,
+            last_commit_finish: 0,
+            bus: Bus::new(),
+            stats: TlsStats::default(),
+        };
+        m.tasks[0].ready_at = Some(0);
+        m
+    }
+
+    /// Runs the machine to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation stops making progress (a scheduling bug).
+    pub fn run(mut self) -> TlsStats {
+        let op_total: usize = self.tasks.iter().map(|t| t.ops.len() + 1).sum();
+        let budget = (op_total as u64 + 1000) * 200;
+        let mut steps = 0u64;
+        while self.oldest_uncommitted < self.tasks.len() {
+            steps += 1;
+            assert!(steps < budget, "TLS simulation failed to make progress");
+            self.try_commits();
+            if self.oldest_uncommitted >= self.tasks.len() {
+                break;
+            }
+            self.assign_tasks();
+            let Some(p) = self.pick_proc() else {
+                // Nothing runnable: the oldest task must be committable.
+                assert!(
+                    self.tasks[self.oldest_uncommitted].status == Status::WaitingCommit,
+                    "no runnable processor and nothing to commit"
+                );
+                continue;
+            };
+            self.step(p);
+        }
+        self.stats.cycles = self
+            .procs
+            .iter()
+            .map(|p| p.timer.now())
+            .max()
+            .unwrap_or(0)
+            .max(self.last_commit_finish);
+        self.stats
+    }
+
+    fn pick_proc(&self) -> Option<usize> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.running.is_some())
+            .min_by_key(|(i, p)| (p.timer.now(), *i))
+            .map(|(i, _)| i)
+    }
+
+    fn tasks_on_proc(&self, p: usize) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| {
+                t.proc == Some(p)
+                    && matches!(t.status, Status::Ready | Status::Running | Status::WaitingCommit)
+            })
+            .count()
+    }
+
+    fn assign_tasks(&mut self) {
+        // 1. Resume restarted (Ready) tasks on their affined processors.
+        for p in 0..self.procs.len() {
+            if self.procs[p].running.is_some() {
+                continue;
+            }
+            let ready = self
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Ready && t.proc == Some(p))
+                .map(|(i, _)| i)
+                .min();
+            if let Some(i) = ready {
+                self.start_on(p, i, false);
+            }
+        }
+        // 2. Start new tasks in order on free processors (lowest clock
+        // first), respecting the per-processor version budget.
+        loop {
+            let Some(i) = self
+                .tasks
+                .iter()
+                .position(|t| t.status == Status::NotStarted)
+                .filter(|&i| self.tasks[i].ready_at.is_some())
+            else {
+                return;
+            };
+            let Some(p) = self
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(q, p)| p.running.is_none() && self.tasks_on_proc(*q) < VERSIONS_PER_PROC)
+                .min_by_key(|(q, p)| (p.timer.now(), *q))
+                .map(|(q, _)| q)
+            else {
+                return;
+            };
+            self.tasks[i].proc = Some(p);
+            self.start_on(p, i, true);
+        }
+    }
+
+    fn start_on(&mut self, p: usize, i: usize, fresh: bool) {
+        let t = &mut self.tasks[i];
+        t.status = Status::Running;
+        t.pc = 0;
+        self.procs[p].running = Some(i);
+        if fresh {
+            let ready_at = t.ready_at.expect("spawned before start");
+            self.procs[p].timer.wait_until(ready_at + self.cfg.spawn_overhead);
+            if self.scheme.uses_signatures() {
+                let v = self.procs[p].bdm.alloc_version().expect("version budget enforced");
+                self.tasks[i].version = Some(v);
+            }
+            // Partial Overlap spawn-time invalidation: drop stale clean
+            // copies of everything the parent wrote before the spawn.
+            if self.scheme.partial_overlap() {
+                if let Some(sig) = self.tasks[i].spawn_inval_sig.take() {
+                    let inv = flows::invalidate_clean_matching(&sig, &mut self.procs[p].cache);
+                    self.stats.spawn_invalidations += inv.len() as u64;
+                }
+                let lines = std::mem::take(&mut self.tasks[i].spawn_inval_lines);
+                for l in lines {
+                    if self.procs[p].cache.state_of(l) == Some(bulk_mem::LineState::Clean) {
+                        self.procs[p].cache.invalidate(l);
+                        self.stats.spawn_invalidations += 1;
+                    }
+                }
+            }
+        }
+        if self.scheme.uses_signatures() {
+            let v = self.tasks[i].version.expect("version allocated");
+            self.procs[p].bdm.set_running(Some(v));
+        }
+    }
+
+    fn step(&mut self, p: usize) {
+        let i = self.procs[p].running.expect("running task");
+        if self.tasks[i].pc >= self.tasks[i].ops.len() {
+            self.finish_task(p, i);
+            return;
+        }
+        let op = self.tasks[i].ops[self.tasks[i].pc];
+        match op {
+            TlsOp::Compute(n) => {
+                self.procs[p].timer.compute(u64::from(n), &self.cfg);
+                self.tasks[i].pc += 1;
+            }
+            TlsOp::Spawn => {
+                self.op_spawn(p, i);
+            }
+            TlsOp::Read(a) => {
+                self.op_read(p, i, a);
+            }
+            TlsOp::Write(a) => {
+                self.op_write(p, i, a);
+            }
+        }
+        if self.procs[p].running == Some(i) && self.tasks[i].pc >= self.tasks[i].ops.len() {
+            self.finish_task(p, i);
+        }
+    }
+
+    fn op_spawn(&mut self, p: usize, i: usize) {
+        let now = self.procs[p].timer.now();
+        self.tasks[i].w_prespawn = self.tasks[i].w_words.clone();
+        if self.scheme.partial_overlap() && self.scheme.uses_signatures() {
+            let v = self.tasks[i].version.expect("in flight");
+            let snapshot = self.procs[p].bdm.begin_shadow(v);
+            if let Some(child) = self.tasks.get_mut(i + 1) {
+                if child.status == Status::NotStarted {
+                    child.spawn_inval_sig = Some(snapshot);
+                }
+            }
+        } else if self.scheme.partial_overlap() {
+            let lines: Vec<LineAddr> = self.tasks[i]
+                .w_prespawn
+                .iter()
+                .map(|w| w.line(self.cfg.geom.line_bytes()))
+                .collect::<HashSet<_>>()
+                .into_iter()
+                .collect();
+            if let Some(child) = self.tasks.get_mut(i + 1) {
+                if child.status == Status::NotStarted {
+                    child.spawn_inval_lines = lines;
+                }
+            }
+        }
+        if let Some(child) = self.tasks.get_mut(i + 1) {
+            if child.ready_at.is_none() {
+                child.ready_at = Some(now);
+            }
+        }
+        self.tasks[i].pc += 1;
+        self.procs[p].timer.advance(1);
+    }
+
+    fn op_read(&mut self, p: usize, i: usize, a: Addr) {
+        let line = a.line(self.cfg.geom.line_bytes());
+        let in_neighbor = self.neighbor_has(p, line);
+        let mut bw = std::mem::take(&mut self.stats.bw);
+        let proc = &mut self.procs[p];
+        let acc = proc.timer.load(&mut proc.cache, line, in_neighbor, &self.cfg, &mut bw);
+        self.stats.bw = bw;
+        if acc.writeback.is_some() {
+            self.stats.bw.record(MsgClass::Wb, self.cfg.msg_sizes.line_msg);
+        }
+        self.tasks[i].r_words.insert(a.word());
+        if self.scheme.uses_signatures() {
+            let v = self.tasks[i].version.expect("in flight");
+            self.procs[p].bdm.record_load(v, a);
+        }
+        self.tasks[i].pc += 1;
+    }
+
+    fn op_write(&mut self, p: usize, i: usize, a: Addr) {
+        let word = a.word();
+        let line = a.line(self.cfg.geom.line_bytes());
+        // Eager disambiguation: squash more-speculative tasks that already
+        // touched this word.
+        if self.scheme.is_eager() {
+            let victim = (i + 1..self.tasks.len())
+                .find(|&j| self.tasks[j].in_flight() && self.tasks[j].reads_or_writes(word));
+            if let Some(j) = victim {
+                let now = self.procs[p].timer.now();
+                let dep = 1;
+                self.squash_cascade(j, now, true, dep);
+            }
+        }
+        // Set Restriction enforcement (Bulk schemes only).
+        if self.scheme.uses_signatures() {
+            let v = self.tasks[i].version.expect("in flight");
+            match check_speculative_store(&self.procs[p].bdm, v, a, &self.procs[p].cache) {
+                StoreCheck::Proceed { safe_writebacks } => {
+                    let n = safe_writebacks.len() as u64;
+                    for wb in safe_writebacks {
+                        self.procs[p].cache.mark_clean(wb);
+                    }
+                    self.stats.safe_writebacks += n;
+                    self.stats.bw.record(MsgClass::Wb, n * self.cfg.msg_sizes.line_msg);
+                }
+                StoreCheck::ConflictWithPreempted => {
+                    // The preempted owner is older; squash the most
+                    // speculative of the two — this running task.
+                    self.stats.wr_wr_set_conflicts += 1;
+                    let now = self.procs[p].timer.now();
+                    self.squash_cascade(i, now, true, 0);
+                    return; // task restarted; do not perform the write
+                }
+            }
+        }
+        let in_neighbor = self.neighbor_has(p, line);
+        let mut bw = std::mem::take(&mut self.stats.bw);
+        let proc = &mut self.procs[p];
+        let acc = proc.timer.store(&mut proc.cache, line, in_neighbor, &self.cfg, &mut bw);
+        self.stats.bw = bw;
+        if acc.writeback.is_some() {
+            self.stats.bw.record(MsgClass::Wb, self.cfg.msg_sizes.line_msg);
+        }
+        if self.scheme.is_eager() {
+            // Eager schemes propagate the update (invalidation) right away.
+            self.stats.bw.record(MsgClass::Inv, self.cfg.msg_sizes.addr_msg);
+        }
+        self.tasks[i].w_words.insert(word);
+        if self.scheme.uses_signatures() {
+            let v = self.tasks[i].version.expect("in flight");
+            self.procs[p].bdm.record_store(v, a);
+        }
+        self.tasks[i].pc += 1;
+    }
+
+    fn finish_task(&mut self, p: usize, i: usize) {
+        // An implicit spawn if the task never spawned explicitly.
+        if let Some(child) = self.tasks.get_mut(i + 1) {
+            if child.ready_at.is_none() {
+                child.ready_at = Some(self.procs[p].timer.now());
+            }
+        }
+        self.tasks[i].status = Status::WaitingCommit;
+        self.tasks[i].finish_time = self.procs[p].timer.now();
+        self.procs[p].running = None;
+        if self.scheme.uses_signatures() {
+            self.procs[p].bdm.set_running(None);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn try_commits(&mut self) {
+        while self.oldest_uncommitted < self.tasks.len()
+            && self.tasks[self.oldest_uncommitted].status == Status::WaitingCommit
+        {
+            let i = self.oldest_uncommitted;
+            // The commit is a global event at `request`; defer it until
+            // every running processor's clock has reached that time, so
+            // receivers' access histories are complete up to the commit.
+            let request = self.tasks[i].finish_time.max(self.last_commit_finish);
+            let laggard = self
+                .procs
+                .iter()
+                .any(|p| p.running.is_some() && p.timer.now() < request);
+            if laggard {
+                break;
+            }
+            self.commit_task(i);
+            self.oldest_uncommitted += 1;
+        }
+    }
+
+    fn commit_task(&mut self, i: usize) {
+        let p = self.tasks[i].proc.expect("committed task had a processor");
+        let exact_w_words = self.tasks[i].w_words.clone();
+        let exact_prespawn = self.tasks[i].w_prespawn.clone();
+        let exact_lines: HashSet<LineAddr> = exact_w_words
+            .iter()
+            .map(|w| w.line(self.cfg.geom.line_bytes()))
+            .collect();
+
+        // Broadcast.
+        let (payload, w_sig, w_sh_sig) = match self.scheme {
+            TlsScheme::Eager => (0u64, None, None),
+            TlsScheme::Lazy => {
+                (exact_w_words.len() as u64 * self.cfg.msg_sizes.addr_msg, None, None)
+            }
+            TlsScheme::Bulk | TlsScheme::BulkNoOverlap => {
+                let v = self.tasks[i].version.expect("in flight");
+                let sigs = self.procs[p].bdm.commit(v);
+                let mut payload = sigs.w.compressed_size_bits().div_ceil(8);
+                if let Some(sh) = &sigs.w_sh {
+                    payload += sh.compressed_size_bits().div_ceil(8);
+                }
+                (payload, Some(sigs.w), sigs.w_sh)
+            }
+        };
+        let request = self.tasks[i].finish_time.max(self.last_commit_finish);
+        let duration = self.cfg.commit_arb
+            + if self.scheme.is_eager() { 0 } else { self.cfg.broadcast_cycles(payload) };
+        let start = self.bus.acquire(request, duration);
+        let finish = start + duration;
+        self.last_commit_finish = finish;
+        if !self.scheme.is_eager() {
+            self.stats.bw.record_commit(payload, &self.cfg.msg_sizes);
+        }
+        self.stats.commits += 1;
+        self.stats.rd_set_words += self.tasks[i].r_words.len() as u64;
+        self.stats.wr_set_words += self.tasks[i].w_words.len() as u64;
+
+
+        // Disambiguate against more-speculative in-flight tasks, in order.
+        let mut squash_from: Option<(usize, bool, u64)> = None;
+        for j in i + 1..self.tasks.len() {
+            if !self.tasks[j].in_flight() {
+                if self.tasks[j].status == Status::NotStarted {
+                    break;
+                }
+                continue;
+            }
+            let first_child = j == i + 1;
+            let use_overlap = first_child && self.scheme.partial_overlap();
+            let exact_conflict = {
+                let t = &self.tasks[j];
+                exact_w_words
+                    .iter()
+                    .filter(|w| !(use_overlap && exact_prespawn.contains(*w)))
+                    .any(|w| t.reads_or_writes(*w))
+            };
+            let violated = match self.scheme {
+                // Eager already detected and resolved every violation at
+                // store time; by commit the successor's re-reads are in
+                // correct order and must not squash again.
+                TlsScheme::Eager => false,
+                TlsScheme::Lazy => exact_conflict,
+                TlsScheme::Bulk | TlsScheme::BulkNoOverlap => {
+                    let sig = match (&w_sh_sig, use_overlap) {
+                        (Some(sh), true) => sh,
+                        _ => w_sig.as_ref().expect("bulk commit has signature"),
+                    };
+                    let q = self.tasks[j].proc.expect("in-flight task has proc");
+                    let v = self.tasks[j].version.expect("in-flight task has version");
+                    self.procs[q].bdm.disambiguate(v, sig).squash()
+                }
+            };
+            if violated {
+                let dep = {
+                    let t = &self.tasks[j];
+                    exact_w_words
+                        .iter()
+                        .filter(|w| !(use_overlap && exact_prespawn.contains(*w)))
+                        .filter(|w| t.reads_or_writes(**w))
+                        .count() as u64
+                };
+                squash_from = Some((j, exact_conflict, dep));
+                break;
+            }
+        }
+
+        // Apply commit invalidations to every other processor's cache.
+        let skip_proc_of_squashed = squash_from.map(|(j, _, _)| j);
+        for q in 0..self.procs.len() {
+            if q == p {
+                continue;
+            }
+            // Squashed tasks' caches get cleaned by the squash itself; the
+            // commit invalidation still applies to lines of *other* tasks
+            // on that processor, so we apply it everywhere.
+            let _ = skip_proc_of_squashed;
+            match self.scheme {
+                TlsScheme::Eager | TlsScheme::Lazy => {
+                    self.exact_apply_commit(q, &exact_lines, &exact_w_words);
+                }
+                TlsScheme::Bulk | TlsScheme::BulkNoOverlap => {
+                    let w = w_sig.as_ref().expect("bulk commit has signature");
+                    let proc = &mut self.procs[q];
+                    let app = flows::apply_remote_commit(&proc.bdm, w, &mut proc.cache);
+                    let false_inv = app
+                        .invalidated
+                        .iter()
+                        .filter(|l| !exact_lines.contains(l))
+                        .count() as u64;
+                    self.stats.false_invalidations += false_inv;
+                    self.stats.line_merges += app.merged.len() as u64;
+                    // Merged lines are refetched from the network (Fig. 6).
+                    self.stats
+                        .bw
+                        .record(MsgClass::Fill, app.merged.len() as u64 * self.cfg.msg_sizes.line_msg);
+                }
+            }
+        }
+
+        if let Some((j, truly, dep)) = squash_from {
+            self.squash_cascade(j, finish, truly, dep);
+        }
+
+        // Committer cleanup.
+        if self.scheme.uses_signatures() {
+            if let Some(v) = self.tasks[i].version.take() {
+                self.procs[p].bdm.free_version(v);
+            }
+        }
+        self.tasks[i].status = Status::Committed;
+    }
+
+    /// Exact-scheme commit application: invalidate committed lines in
+    /// cache `q`, except lines partially written by a local in-flight task
+    /// (those merge word-wise, as per-word access bits would allow).
+    fn exact_apply_commit(
+        &mut self,
+        q: usize,
+        lines: &HashSet<LineAddr>,
+        words: &HashSet<WordAddr>,
+    ) {
+        let line_bytes = self.cfg.geom.line_bytes();
+        let local_written: HashSet<LineAddr> = self
+            .tasks
+            .iter()
+            .filter(|t| t.proc == Some(q) && t.in_flight())
+            .flat_map(|t| t.w_words.iter().map(|w| w.line(line_bytes)))
+            .collect();
+        let _ = words;
+        for &l in lines {
+            if local_written.contains(&l) {
+                continue; // word-merged in place
+            }
+            self.procs[q].cache.invalidate(l);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    fn squash_cascade(&mut self, from: usize, at: u64, truly: bool, dep: u64) {
+        if truly {
+            self.stats.dep_set_words += dep;
+            self.stats.dep_samples += 1;
+        }
+        for k in from..self.tasks.len() {
+            match self.tasks[k].status {
+                Status::NotStarted => break,
+                Status::Running | Status::WaitingCommit => {
+                    self.squash_task(k, at, truly);
+                }
+                Status::Ready | Status::Committed => {}
+            }
+        }
+    }
+
+    fn squash_task(&mut self, k: usize, at: u64, truly: bool) {
+        self.stats.squashes += 1;
+        if !truly {
+            self.stats.false_squashes += 1;
+        }
+        let p = self.tasks[k].proc.expect("in-flight task has proc");
+        if self.scheme.uses_signatures() {
+            let v = self.tasks[k].version.expect("in-flight task has version");
+            // TLS squash also invalidates lines the task read (§6.3).
+            let proc = &mut self.procs[p];
+            flows::squash(&mut proc.bdm, v, &mut proc.cache, true);
+        } else {
+            let line_bytes = self.cfg.geom.line_bytes();
+            let dirty: Vec<LineAddr> = self.tasks[k]
+                .w_words
+                .iter()
+                .map(|w| w.line(line_bytes))
+                .filter(|l| self.procs[p].cache.state_of(*l) == Some(bulk_mem::LineState::Dirty))
+                .collect();
+            for l in dirty {
+                self.procs[p].cache.invalidate(l);
+            }
+            let read: Vec<LineAddr> = self.tasks[k]
+                .r_words
+                .iter()
+                .map(|w| w.line(line_bytes))
+                .filter(|l| self.procs[p].cache.state_of(*l) == Some(bulk_mem::LineState::Clean))
+                .collect();
+            for l in read {
+                self.procs[p].cache.invalidate(l);
+            }
+        }
+        if self.procs[p].running == Some(k) {
+            self.procs[p].running = None;
+            if self.scheme.uses_signatures() {
+                self.procs[p].bdm.set_running(None);
+            }
+        }
+        let t = &mut self.tasks[k];
+        t.r_words.clear();
+        t.w_words.clear();
+        t.w_prespawn.clear();
+        t.pc = 0;
+        t.status = Status::Ready;
+        t.restarts += 1;
+        self.procs[p].timer.wait_until(at);
+        self.procs[p].timer.advance(self.cfg.squash_overhead);
+    }
+
+    /// The shared signature configuration of this machine.
+    pub fn signature_config(&self) -> &Arc<SignatureConfig> {
+        &self.sig_config
+    }
+
+    fn neighbor_has(&self, p: usize, line: LineAddr) -> bool {
+        self.procs
+            .iter()
+            .enumerate()
+            .any(|(q, proc)| q != p && proc.cache.contains(line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulk_trace::{profiles, TaskTrace};
+
+    fn cfg() -> SimConfig {
+        SimConfig::tls_default()
+    }
+
+    fn workload(tasks: Vec<Vec<TlsOp>>) -> TlsWorkload {
+        TlsWorkload {
+            name: "test".into(),
+            tasks: tasks.into_iter().map(|ops| TaskTrace { ops }).collect(),
+        }
+    }
+
+    fn w(a: u32) -> TlsOp {
+        TlsOp::Write(Addr::new(a))
+    }
+
+    fn r(a: u32) -> TlsOp {
+        TlsOp::Read(Addr::new(a))
+    }
+
+    #[test]
+    fn independent_tasks_all_commit() {
+        let tasks: Vec<Vec<TlsOp>> = (0..8u32)
+            .map(|i| vec![TlsOp::Spawn, w(0x1_0000 + i * 0x100), TlsOp::Compute(50)])
+            .collect();
+        for s in TlsScheme::ALL {
+            let stats = run_tls(&workload(tasks.clone()), s, &cfg());
+            assert_eq!(stats.commits, 8, "{s}");
+            assert_eq!(stats.squashes, 0, "{s}");
+        }
+    }
+
+    #[test]
+    fn parallel_run_beats_sequential() {
+        let p = profiles::tls_profile("gap").unwrap();
+        let wl = p.generate(3);
+        let seq = run_tls_sequential(&wl, &cfg());
+        let par = run_tls(&wl, TlsScheme::Bulk, &cfg());
+        assert!(par.cycles < seq, "par {} vs seq {seq}", par.cycles);
+    }
+
+    #[test]
+    fn true_dependence_squashes_in_all_schemes() {
+        // Task 0 writes X late; task 1 reads X early.
+        let tasks = vec![
+            vec![TlsOp::Spawn, TlsOp::Compute(5000), w(0x9000)],
+            vec![TlsOp::Spawn, r(0x9000), TlsOp::Compute(100)],
+        ];
+        for s in TlsScheme::ALL {
+            let stats = run_tls(&workload(tasks.clone()), s, &cfg());
+            assert_eq!(stats.commits, 2, "{s}");
+            assert!(stats.squashes >= 1, "{s}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn partial_overlap_prevents_live_in_squash() {
+        // Task 0 writes the live-in BEFORE spawning; task 1 reads it.
+        let tasks = vec![
+            vec![w(0x9000), TlsOp::Spawn, TlsOp::Compute(5000)],
+            vec![TlsOp::Spawn, r(0x9000), TlsOp::Compute(100)],
+        ];
+        let with = run_tls(&workload(tasks.clone()), TlsScheme::Bulk, &cfg());
+        assert_eq!(with.squashes, 0, "partial overlap: {with:?}");
+        let without = run_tls(&workload(tasks.clone()), TlsScheme::BulkNoOverlap, &cfg());
+        assert!(without.squashes >= 1, "no overlap: {without:?}");
+        let lazy = run_tls(&workload(tasks), TlsScheme::Lazy, &cfg());
+        assert_eq!(lazy.squashes, 0, "lazy has exact overlap: {lazy:?}");
+    }
+
+    #[test]
+    fn squash_cascade_hits_descendants() {
+        // Task 0 violates task 1 -> tasks 1..n restart.
+        let mut tasks = vec![vec![TlsOp::Spawn, TlsOp::Compute(20_000), w(0x9000)]];
+        tasks.push(vec![TlsOp::Spawn, r(0x9000), TlsOp::Compute(3000)]);
+        for i in 0..3u32 {
+            tasks.push(vec![TlsOp::Spawn, w(0xA000 + i * 0x100), TlsOp::Compute(3000)]);
+        }
+        let stats = run_tls(&workload(tasks), TlsScheme::Lazy, &cfg());
+        assert_eq!(stats.commits, 5);
+        assert!(stats.squashes >= 2, "cascade: {stats:?}");
+    }
+
+    #[test]
+    fn word_level_disambiguation_merges_instead_of_squashing() {
+        // Adjacent tasks write different words of the same line.
+        let line_base = 0x3000_0000u32;
+        let tasks = vec![
+            vec![TlsOp::Spawn, w(line_base), TlsOp::Compute(2000)],
+            vec![TlsOp::Spawn, w(line_base + 4), TlsOp::Compute(4000)],
+        ];
+        let stats = run_tls(&workload(tasks), TlsScheme::Bulk, &cfg());
+        assert_eq!(stats.commits, 2);
+        assert_eq!(stats.squashes, 0, "different words must not conflict: {stats:?}");
+    }
+
+    #[test]
+    fn eager_restarts_earlier_than_lazy() {
+        let p = profiles::tls_profile("gzip").unwrap(); // high violation rate
+        let wl = p.generate(9);
+        let eager = run_tls(&wl, TlsScheme::Eager, &cfg());
+        let lazy = run_tls(&wl, TlsScheme::Lazy, &cfg());
+        assert!(eager.cycles <= lazy.cycles, "eager {} lazy {}", eager.cycles, lazy.cycles);
+    }
+
+    #[test]
+    fn profile_run_matches_table6_footprints() {
+        let p = profiles::tls_profile("bzip2").unwrap();
+        let wl = p.generate(1);
+        let stats = run_tls(&wl, TlsScheme::Bulk, &cfg());
+        assert_eq!(stats.commits as usize, p.tasks);
+        assert!((stats.avg_rd_set() - p.rd_words).abs() < p.rd_words * 0.5,
+            "rd {}", stats.avg_rd_set());
+        assert!((stats.avg_wr_set() - p.wr_words).abs() < p.wr_words * 0.6,
+            "wr {}", stats.avg_wr_set());
+    }
+
+    #[test]
+    fn spawn_invalidation_counts_with_overlap() {
+        // Parent writes X pre-spawn; the child's processor holds a stale
+        // clean copy of X which the spawn-time bulk invalidation drops.
+        // Only the FIRST child is covered by Partial Overlap: task 1 reads
+        // the live-in safely; task 2 reads unrelated data.
+        let tasks = vec![
+            vec![TlsOp::Read(Addr::new(0x9000)), w(0x9000), TlsOp::Spawn, TlsOp::Compute(3000)],
+            vec![TlsOp::Spawn, r(0x9000), TlsOp::Compute(50)],
+            vec![TlsOp::Spawn, r(0xA000), TlsOp::Compute(50)],
+        ];
+        let stats = run_tls(&workload(tasks), TlsScheme::Bulk, &cfg());
+        assert_eq!(stats.commits, 3);
+        assert_eq!(stats.squashes, 0, "{stats:?}");
+
+        // A SECOND child reading the pre-spawn write is *not* covered and
+        // squashes when the parent commits — the paper's simplification.
+        let tasks = vec![
+            vec![w(0x9000), TlsOp::Spawn, TlsOp::Compute(3000)],
+            vec![TlsOp::Spawn, TlsOp::Compute(50)],
+            vec![TlsOp::Spawn, r(0x9000), TlsOp::Compute(50)],
+        ];
+        let stats = run_tls(&workload(tasks), TlsScheme::Bulk, &cfg());
+        assert_eq!(stats.commits, 3);
+        assert!(stats.squashes >= 1, "second child is unprotected: {stats:?}");
+    }
+
+    #[test]
+    fn restarted_tasks_keep_processor_affinity() {
+        // A violating chain: every squash must restart tasks and still
+        // commit everything exactly once, in order.
+        let mut tasks = Vec::new();
+        for i in 0..12u32 {
+            tasks.push(vec![
+                TlsOp::Spawn,
+                r(0x5000 + ((i + 15) % 16) * 4),
+                TlsOp::Compute(400),
+                w(0x5000 + (i % 16) * 4),
+            ]);
+        }
+        for s in TlsScheme::ALL {
+            let stats = run_tls(&workload(tasks.clone()), s, &cfg());
+            assert_eq!(stats.commits, 12, "{s}");
+        }
+    }
+
+    #[test]
+    fn wr_wr_set_conflict_squashes_running_task() {
+        // Task 0 finishes quickly but cannot commit until... it's oldest,
+        // so it commits immediately. Use tasks 1/2 on one processor: task 1
+        // waits for slow task 0; its processor starts task 2 (version 2),
+        // whose write hits task 1's dirty set -> Set Restriction conflict.
+        let line = |s: u32| 0x4_0000 + s * 64; // set s, distinct tag region
+        let tasks = vec![
+            // Slow head task holds up all commits (chunked so its
+            // processor stays busy in simulation order).
+            {
+                let mut ops = vec![TlsOp::Spawn];
+                ops.extend(std::iter::repeat_n(TlsOp::Compute(1000), 60));
+                ops
+            },
+            // Tasks 1-3 fill the other processors; task 1 dirties set 7
+            // and then waits for the commit token.
+            vec![TlsOp::Spawn, w(line(7)), TlsOp::Compute(10)],
+            // Tasks 2-3 run long in small steps, so their processors stay
+            // busy and task 1's processor is the free one when task 4
+            // becomes ready.
+            {
+                let mut ops = vec![TlsOp::Spawn];
+                ops.extend(std::iter::repeat_n(TlsOp::Compute(100), 8));
+                ops
+            },
+            {
+                let mut ops = vec![TlsOp::Spawn];
+                ops.extend(std::iter::repeat_n(TlsOp::Compute(100), 8));
+                ops
+            },
+            // Task 4 reuses task 1's processor (second version slot) and
+            // writes a DIFFERENT line of set 7 while task 1 still waits.
+            vec![TlsOp::Spawn, w(line(7) + 0x10_0000), TlsOp::Compute(10)],
+        ];
+        let stats = run_tls(&workload(tasks), TlsScheme::Bulk, &cfg());
+        assert_eq!(stats.commits, 5);
+        assert!(
+            stats.wr_wr_set_conflicts >= 1,
+            "co-resident versions dirtying one set must conflict: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn bulk_commit_carries_shadow_signature_bytes() {
+        let tasks = vec![
+            vec![w(0x9000), TlsOp::Spawn, w(0x9100), TlsOp::Compute(500)],
+            vec![TlsOp::Spawn, TlsOp::Compute(10)],
+        ];
+        let with = run_tls(&workload(tasks.clone()), TlsScheme::Bulk, &cfg());
+        let without = run_tls(&workload(tasks), TlsScheme::BulkNoOverlap, &cfg());
+        // Overlap mode broadcasts W plus W_sh: strictly more commit bytes.
+        assert!(
+            with.bw.commit_bytes() > without.bw.commit_bytes(),
+            "with {} vs without {}",
+            with.bw.commit_bytes(),
+            without.bw.commit_bytes()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = profiles::tls_profile("vpr").unwrap();
+        let wl = p.generate(5);
+        let a = run_tls(&wl, TlsScheme::Bulk, &cfg());
+        let b = run_tls(&wl, TlsScheme::Bulk, &cfg());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.squashes, b.squashes);
+    }
+
+    #[test]
+    fn sequential_baseline_is_deterministic() {
+        let p = profiles::tls_profile("mcf").unwrap();
+        let wl = p.generate(5);
+        assert_eq!(run_tls_sequential(&wl, &cfg()), run_tls_sequential(&wl, &cfg()));
+    }
+}

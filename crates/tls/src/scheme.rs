@@ -1,0 +1,76 @@
+//! Conflict-detection schemes compared in the paper's TLS evaluation
+//! (Fig. 10).
+
+use std::fmt;
+
+/// Which scheme the TLS machine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlsScheme {
+    /// Conventional eager scheme: exact word-level disambiguation at each
+    /// store, squashing offending successors immediately.
+    Eager,
+    /// Conventional lazy scheme: exact word sets disambiguated at commit.
+    /// Includes exact-information Partial Overlap support, as the paper's
+    /// Lazy baseline does ("to have a fair comparison with Bulk").
+    Lazy,
+    /// The paper's scheme with word-granularity signatures and Partial
+    /// Overlap (§6.3) — the default Bulk configuration of Fig. 10.
+    Bulk,
+    /// Bulk without Partial Overlap (the `BulkNoOverlap` bar of Fig. 10).
+    BulkNoOverlap,
+}
+
+impl TlsScheme {
+    /// All schemes in the order Fig. 10 plots them.
+    pub const ALL: [TlsScheme; 4] =
+        [TlsScheme::Eager, TlsScheme::Lazy, TlsScheme::Bulk, TlsScheme::BulkNoOverlap];
+
+    /// Whether the scheme uses signatures.
+    pub fn uses_signatures(self) -> bool {
+        matches!(self, TlsScheme::Bulk | TlsScheme::BulkNoOverlap)
+    }
+
+    /// Whether Partial Overlap (shadow signatures / pre-spawn exclusion)
+    /// is enabled.
+    pub fn partial_overlap(self) -> bool {
+        matches!(self, TlsScheme::Lazy | TlsScheme::Bulk)
+    }
+
+    /// Whether conflicts are detected at store time.
+    pub fn is_eager(self) -> bool {
+        self == TlsScheme::Eager
+    }
+}
+
+impl fmt::Display for TlsScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TlsScheme::Eager => "TLS-Eager",
+            TlsScheme::Lazy => "TLS-Lazy",
+            TlsScheme::Bulk => "TLS-Bulk",
+            TlsScheme::BulkNoOverlap => "TLS-BulkNoOverlap",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(TlsScheme::Eager.is_eager());
+        assert!(!TlsScheme::Bulk.is_eager());
+        assert!(TlsScheme::Bulk.uses_signatures());
+        assert!(TlsScheme::BulkNoOverlap.uses_signatures());
+        assert!(TlsScheme::Bulk.partial_overlap());
+        assert!(!TlsScheme::BulkNoOverlap.partial_overlap());
+        assert!(TlsScheme::Lazy.partial_overlap());
+    }
+
+    #[test]
+    fn display_names_match_figure10() {
+        assert_eq!(TlsScheme::BulkNoOverlap.to_string(), "TLS-BulkNoOverlap");
+    }
+}

@@ -1,0 +1,135 @@
+//! Statistics collected by a TLS run — everything Table 6 and Fig. 10
+//! report.
+
+use bulk_mem::BandwidthStats;
+
+/// Aggregate statistics of one TLS simulation.
+#[derive(Debug, Clone, Default)]
+pub struct TlsStats {
+    /// Committed tasks.
+    pub commits: u64,
+    /// Task squashes (each squashed task counts once per restart).
+    pub squashes: u64,
+    /// Squashes caused purely by signature aliasing (Table 6 "Sq (%)").
+    pub false_squashes: u64,
+    /// Sum of committed tasks' read-set sizes, in words.
+    pub rd_set_words: u64,
+    /// Sum of committed tasks' write-set sizes, in words.
+    pub wr_set_words: u64,
+    /// Sum of dependence-set sizes over truly conflicting squashes, words.
+    pub dep_set_words: u64,
+    /// Squashes contributing to `dep_set_words`.
+    pub dep_samples: u64,
+    /// Lines invalidated at commit due to aliasing only (Table 6
+    /// "False Inv/Com").
+    pub false_invalidations: u64,
+    /// Non-speculative dirty lines written back for the Set Restriction
+    /// (Table 6 "Safe WB/Tsk").
+    pub safe_writebacks: u64,
+    /// Write–write set conflicts against a preempted version's dirty lines
+    /// (Table 6 "Wr-Wr Cnf/1k Tasks").
+    pub wr_wr_set_conflicts: u64,
+    /// Partially updated lines merged word-wise at commits (§4.4).
+    pub line_merges: u64,
+    /// Clean lines invalidated at spawns by Partial Overlap (§6.3).
+    pub spawn_invalidations: u64,
+    /// Finish time of the parallel run, in cycles.
+    pub cycles: u64,
+    /// Machine-wide interconnect traffic.
+    pub bw: BandwidthStats,
+}
+
+impl TlsStats {
+    /// Accumulates another run's statistics (used to average experiments
+    /// over several workload seeds).
+    pub fn merge(&mut self, other: &TlsStats) {
+        self.commits += other.commits;
+        self.squashes += other.squashes;
+        self.false_squashes += other.false_squashes;
+        self.rd_set_words += other.rd_set_words;
+        self.wr_set_words += other.wr_set_words;
+        self.dep_set_words += other.dep_set_words;
+        self.dep_samples += other.dep_samples;
+        self.false_invalidations += other.false_invalidations;
+        self.safe_writebacks += other.safe_writebacks;
+        self.wr_wr_set_conflicts += other.wr_wr_set_conflicts;
+        self.line_merges += other.line_merges;
+        self.spawn_invalidations += other.spawn_invalidations;
+        self.cycles += other.cycles;
+        self.bw += other.bw;
+    }
+
+    /// Mean committed read-set size in words.
+    pub fn avg_rd_set(&self) -> f64 {
+        ratio(self.rd_set_words, self.commits)
+    }
+
+    /// Mean committed write-set size in words.
+    pub fn avg_wr_set(&self) -> f64 {
+        ratio(self.wr_set_words, self.commits)
+    }
+
+    /// Mean dependence-set size in words over truly conflicting squashes.
+    pub fn avg_dep_set(&self) -> f64 {
+        ratio(self.dep_set_words, self.dep_samples)
+    }
+
+    /// Fraction of squashes caused by aliasing (0..1).
+    pub fn false_squash_frac(&self) -> f64 {
+        ratio(self.false_squashes, self.squashes)
+    }
+
+    /// False invalidations per commit.
+    pub fn false_inv_per_commit(&self) -> f64 {
+        ratio(self.false_invalidations, self.commits)
+    }
+
+    /// Safe writebacks per committed task.
+    pub fn safe_wb_per_task(&self) -> f64 {
+        ratio(self.safe_writebacks, self.commits)
+    }
+
+    /// Write–write set conflicts per 1000 tasks.
+    pub fn wr_wr_per_1k_tasks(&self) -> f64 {
+        1000.0 * ratio(self.wr_wr_set_conflicts, self.commits)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let s = TlsStats::default();
+        assert_eq!(s.avg_rd_set(), 0.0);
+        assert_eq!(s.wr_wr_per_1k_tasks(), 0.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = TlsStats {
+            commits: 1000,
+            rd_set_words: 39_600,
+            wr_set_words: 10_300,
+            squashes: 50,
+            false_squashes: 5,
+            wr_wr_set_conflicts: 4,
+            safe_writebacks: 4300,
+            ..TlsStats::default()
+        };
+        assert!((s.avg_rd_set() - 39.6).abs() < 1e-9);
+        assert!((s.avg_wr_set() - 10.3).abs() < 1e-9);
+        assert!((s.false_squash_frac() - 0.1).abs() < 1e-9);
+        assert!((s.wr_wr_per_1k_tasks() - 4.0).abs() < 1e-9);
+        assert!((s.safe_wb_per_task() - 4.3).abs() < 1e-9);
+    }
+}

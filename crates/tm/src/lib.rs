@@ -1,0 +1,28 @@
+//! Transactional-memory runtime for the Bulk reproduction: a clock-ordered
+//! multiprocessor that executes [`bulk_trace::TmWorkload`] traces under the
+//! conflict-detection schemes the paper compares — conventional Eager
+//! (naive and with the forward-progress fix of Fig. 12), conventional Lazy
+//! with exact address sets, and the paper's Bulk scheme (optionally with
+//! partial rollback of nested transactions).
+//!
+//! Exact per-address sets are always tracked alongside as an *oracle* to
+//! classify signature false positives (the Table 7 columns) and to assert
+//! correctness; they never influence Bulk's decisions.
+//!
+//! ```
+//! use bulk_sim::SimConfig;
+//! use bulk_tm::{run_tm, Scheme};
+//! use bulk_trace::profiles;
+//!
+//! let workload = profiles::tm_profile("mc").unwrap().generate(1);
+//! let stats = run_tm(&workload, Scheme::Bulk, &SimConfig::tm_default());
+//! assert!(stats.commits > 0);
+//! ```
+
+mod machine;
+mod scheme;
+mod stats;
+
+pub use machine::{run_tm, TmMachine};
+pub use scheme::Scheme;
+pub use stats::TmStats;

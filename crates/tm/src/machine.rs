@@ -1,0 +1,1175 @@
+//! The TM machine: a clock-ordered multiprocessor simulation that executes
+//! [`TmWorkload`] traces under one of the conflict-detection [`Scheme`]s.
+//!
+//! Each processor runs one thread through its trace, one operation at a
+//! time, always advancing the processor with the lowest clock — a
+//! deterministic interleaving that respects per-processor timing. The Bulk
+//! schemes maintain *only* signatures for disambiguation; exact per-address
+//! sets are additionally tracked as an **oracle** to classify signature
+//! false positives and validate correctness, never to make Bulk decisions.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use bulk_core::{check_speculative_store, flows, Bdm, SectionStack, StoreCheck, VersionId};
+use bulk_mem::{Addr, Cache, LineAddr, MsgClass, OverflowArea};
+use bulk_sig::{Signature, SignatureConfig};
+use bulk_sim::{Bus, CoreTimer, SimConfig};
+use bulk_trace::{TmOp, TmWorkload};
+
+use crate::{Scheme, TmStats};
+
+/// Safety cap on total squashes, used to detect the Fig. 12(a) livelock in
+/// the naive Eager scheme.
+const DEFAULT_SQUASH_CAP: u64 = 100_000;
+
+struct Thread {
+    ops: Vec<TmOp>,
+    pc: usize,
+    timer: CoreTimer,
+    cache: Cache,
+    // --- transaction state ---
+    depth: usize,
+    tx_start_pc: usize,
+    tx_start_cycle: u64,
+    tx_serial: u64,
+    // Exact oracle sets for the current outer transaction (line grain).
+    read_set: HashSet<LineAddr>,
+    write_set: HashSet<LineAddr>,
+    // --- Bulk state ---
+    bdm: Bdm,
+    version: Option<VersionId>,
+    // --- Bulk-Partial state ---
+    sections: SectionStack,
+    section_starts: Vec<usize>,
+    exact_sections: Vec<(HashSet<LineAddr>, HashSet<LineAddr>)>,
+    // --- overflow ---
+    overflow: OverflowArea,
+    // --- eager stall (forward-progress fix) ---
+    stalled_on: Option<(usize, u64)>,
+    done: bool,
+}
+
+impl Thread {
+    fn in_tx(&self) -> bool {
+        self.depth > 0
+    }
+
+    fn tx_progress(&self) -> u64 {
+        self.timer.now().saturating_sub(self.tx_start_cycle)
+    }
+
+    fn exact_union_contains(&self, line: LineAddr) -> bool {
+        self.read_set.contains(&line) || self.write_set.contains(&line)
+    }
+}
+
+/// The simulated TM multiprocessor. Construct with [`TmMachine::new`], run
+/// with [`TmMachine::run`] (or use the [`run_tm`] convenience function).
+pub struct TmMachine {
+    cfg: SimConfig,
+    scheme: Scheme,
+    sig_config: Arc<SignatureConfig>,
+    threads: Vec<Thread>,
+    bus: Bus,
+    stats: TmStats,
+    squash_cap: u64,
+}
+
+/// Runs `workload` under `scheme` on the given machine configuration and
+/// returns the collected statistics.
+///
+/// ```
+/// use bulk_sim::SimConfig;
+/// use bulk_tm::{run_tm, Scheme};
+/// use bulk_trace::patterns::fig12b_eager_only_squash;
+///
+/// let w = fig12b_eager_only_squash(3);
+/// let stats = run_tm(&w, Scheme::Lazy, &SimConfig::tm_default());
+/// assert!(stats.commits >= 6);
+/// ```
+pub fn run_tm(workload: &TmWorkload, scheme: Scheme, cfg: &SimConfig) -> TmStats {
+    TmMachine::new(workload, scheme, cfg).run()
+}
+
+impl TmMachine {
+    /// Builds a machine with one processor per workload thread, using the
+    /// paper's default S14 TM signature configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is empty or a trace has unbalanced nesting.
+    pub fn new(workload: &TmWorkload, scheme: Scheme, cfg: &SimConfig) -> Self {
+        TmMachine::with_signature(workload, scheme, cfg, SignatureConfig::s14_tm())
+    }
+
+    /// Builds a machine with an explicit signature configuration (used by
+    /// the Table 8 / Fig. 15 sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is empty or a trace has unbalanced nesting.
+    pub fn with_signature(
+        workload: &TmWorkload,
+        scheme: Scheme,
+        cfg: &SimConfig,
+        sig: SignatureConfig,
+    ) -> Self {
+        assert!(!workload.threads.is_empty(), "workload has no threads");
+        assert_eq!(
+            sig.granularity(),
+            bulk_sig::Granularity::Line,
+            "the TM machine disambiguates at line granularity (Table 5); \
+             word-level merging is exercised by the TLS machine"
+        );
+        let sig_config = sig.into_shared();
+        let threads = workload
+            .threads
+            .iter()
+            .map(|t| {
+                t.validate(8).expect("trace nesting is balanced");
+                Thread {
+                    ops: t.ops.clone(),
+                    pc: 0,
+                    timer: CoreTimer::new(),
+                    cache: Cache::new(cfg.geom),
+                    depth: 0,
+                    tx_start_pc: 0,
+                    tx_start_cycle: 0,
+                    tx_serial: 0,
+                    read_set: HashSet::new(),
+                    write_set: HashSet::new(),
+                    bdm: Bdm::new((*sig_config).clone(), cfg.geom, 2),
+                    version: None,
+                    sections: SectionStack::new(sig_config.clone()),
+                    section_starts: Vec::new(),
+                    exact_sections: Vec::new(),
+                    overflow: OverflowArea::new(),
+                    stalled_on: None,
+                    done: t.ops.is_empty(),
+                }
+            })
+            .collect();
+        TmMachine {
+            cfg: cfg.clone(),
+            scheme,
+            sig_config,
+            threads,
+            bus: Bus::new(),
+            stats: TmStats::default(),
+            squash_cap: DEFAULT_SQUASH_CAP,
+        }
+    }
+
+    /// Overrides the livelock safety cap (total squashes before the run is
+    /// declared livelocked and stopped). Useful to demonstrate Fig. 12(a).
+    pub fn set_squash_cap(&mut self, cap: u64) {
+        self.squash_cap = cap;
+    }
+
+    /// Runs the machine to completion and returns the statistics.
+    pub fn run(mut self) -> TmStats {
+        loop {
+            if self.stats.squashes >= self.squash_cap {
+                self.stats.livelocked = true;
+                break;
+            }
+            let Some(tid) = self.pick_runnable() else {
+                break;
+            };
+            self.step(tid);
+        }
+        self.stats.cycles = self.threads.iter().map(|t| t.timer.now()).max().unwrap_or(0);
+        self.stats.overflow_accesses =
+            self.threads.iter().map(|t| t.overflow.accesses()).sum();
+        self.stats
+    }
+
+    fn pick_runnable(&self) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        let mut any_not_done = false;
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.done {
+                continue;
+            }
+            any_not_done = true;
+            if let Some((blocker, serial)) = t.stalled_on {
+                let b = &self.threads[blocker];
+                if b.tx_serial == serial && b.in_tx() && !b.done {
+                    continue; // still blocked
+                }
+            }
+            let key = (t.timer.now(), i);
+            if best.is_none_or(|(bt, bi)| key < (bt, bi)) {
+                best = Some((t.timer.now(), i));
+            }
+        }
+        let picked = best.map(|(_, i)| i);
+        assert!(
+            picked.is_some() || !any_not_done,
+            "all live threads are stalled: conflict-resolution deadlock"
+        );
+        picked
+    }
+
+    fn step(&mut self, tid: usize) {
+        // A resuming thread re-checks its op with stall cleared.
+        if let Some((blocker, _)) = self.threads[tid].stalled_on {
+            let release = self.threads[blocker].timer.now();
+            let t = &mut self.threads[tid];
+            t.stalled_on = None;
+            t.timer.wait_until(release);
+        }
+        let op = self.threads[tid].ops[self.threads[tid].pc];
+        match op {
+            TmOp::Compute(n) => {
+                self.threads[tid].timer.compute(u64::from(n), &self.cfg);
+                self.threads[tid].pc += 1;
+            }
+            TmOp::Begin => self.op_begin(tid),
+            TmOp::End => self.op_end(tid),
+            TmOp::Read(a) => self.op_read(tid, a),
+            TmOp::Write(a) => self.op_write(tid, a),
+        }
+        if self.threads[tid].pc >= self.threads[tid].ops.len() {
+            self.threads[tid].done = true;
+            debug_assert!(!self.threads[tid].in_tx(), "trace ended inside a transaction");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Operations
+    // ------------------------------------------------------------------
+
+    fn op_begin(&mut self, tid: usize) {
+        let partial = self.scheme == Scheme::BulkPartial;
+        let t = &mut self.threads[tid];
+        if t.depth == 0 {
+            t.tx_serial += 1;
+            t.tx_start_pc = t.pc;
+            t.tx_start_cycle = t.timer.now();
+            t.read_set.clear();
+            t.write_set.clear();
+            if self.scheme.uses_signatures() {
+                if let Some(v) = t.version.take() {
+                    t.bdm.free_version(v);
+                }
+                let v = t.bdm.alloc_version().expect("fresh BDM slot");
+                t.bdm.set_running(Some(v));
+                t.version = Some(v);
+            }
+            if partial {
+                t.sections.clear();
+                t.sections.begin_section();
+                t.section_starts = vec![t.pc + 1];
+                t.exact_sections = vec![Default::default()];
+            }
+        } else if partial {
+            t.sections.begin_section();
+            t.section_starts.push(t.pc + 1);
+            t.exact_sections.push(Default::default());
+        }
+        t.depth += 1;
+        t.pc += 1;
+    }
+
+    fn op_end(&mut self, tid: usize) {
+        let partial = self.scheme == Scheme::BulkPartial;
+        let t = &mut self.threads[tid];
+        debug_assert!(t.depth > 0, "End without Begin");
+        t.depth -= 1;
+        if t.depth > 0 {
+            // Closed-nesting inner commit: nothing becomes visible; a new
+            // section starts (paper Fig. 8 section 3).
+            if partial {
+                t.sections.begin_section();
+                t.section_starts.push(t.pc + 1);
+                t.exact_sections.push(Default::default());
+            }
+            t.pc += 1;
+        } else {
+            self.commit(tid);
+            self.threads[tid].pc += 1;
+        }
+    }
+
+    fn op_read(&mut self, tid: usize, a: Addr) {
+        let line = a.line(self.cfg.geom.line_bytes());
+        // Eager RAW conflict: reading a line speculatively written elsewhere.
+        if self.scheme.is_eager() {
+            let conflicting: Vec<usize> = self
+                .other_tx_threads(tid)
+                .into_iter()
+                .filter(|&j| self.threads[j].write_set.contains(&line))
+                .collect();
+            if !self.resolve_eager_conflicts(tid, &conflicting, line) {
+                return; // stalled; retry this op later
+            }
+        }
+        let in_tx = self.threads[tid].in_tx();
+        let in_neighbor = self.neighbor_has(tid, line);
+        let mut bw = std::mem::take(&mut self.stats.bw);
+        let t = &mut self.threads[tid];
+        let acc = t.timer.load(&mut t.cache, line, in_neighbor, &self.cfg, &mut bw);
+        self.stats.bw = bw;
+        if let Some(victim) = acc.writeback {
+            self.handle_dirty_victim(tid, victim);
+        }
+        let t = &mut self.threads[tid];
+        if in_tx {
+            t.read_set.insert(line);
+            if self.scheme.uses_signatures() {
+                let v = t.version.expect("version in tx");
+                t.bdm.record_load(v, a);
+                if self.scheme == Scheme::BulkPartial {
+                    t.sections.record_load(a);
+                    t.exact_sections.last_mut().expect("open section").0.insert(line);
+                }
+            }
+            if !acc.hit {
+                self.consult_overflow(tid, a, line);
+            }
+        }
+        self.threads[tid].pc += 1;
+    }
+
+    fn op_write(&mut self, tid: usize, a: Addr) {
+        let line = a.line(self.cfg.geom.line_bytes());
+        if !self.threads[tid].in_tx() {
+            self.non_tx_write(tid, a, line);
+            return;
+        }
+        // Eager conflict: writing a line another in-flight tx read/wrote.
+        if self.scheme.is_eager() {
+            let conflicting: Vec<usize> = self
+                .other_tx_threads(tid)
+                .into_iter()
+                .filter(|&j| self.threads[j].exact_union_contains(line))
+                .collect();
+            if !self.resolve_eager_conflicts(tid, &conflicting, line) {
+                return; // stalled
+            }
+            // The eager store itself propagates an invalidation.
+            if !self.threads[tid].write_set.contains(&line) {
+                self.stats.bw.record(MsgClass::Inv, self.cfg.msg_sizes.addr_msg);
+                self.invalidate_in_others(tid, line);
+            }
+        }
+        // Set Restriction enforcement (Bulk schemes).
+        if self.scheme.uses_signatures() {
+            let t = &self.threads[tid];
+            let v = t.version.expect("version in tx");
+            match check_speculative_store(&t.bdm, v, a, &t.cache) {
+                StoreCheck::Proceed { safe_writebacks } => {
+                    let n = safe_writebacks.len() as u64;
+                    let t = &mut self.threads[tid];
+                    for wb in safe_writebacks {
+                        t.cache.mark_clean(wb);
+                    }
+                    self.stats.safe_writebacks += n;
+                    self.stats.bw.record(MsgClass::Wb, n * self.cfg.msg_sizes.line_msg);
+                }
+                StoreCheck::ConflictWithPreempted => {
+                    // Cannot occur with one transaction per processor; kept
+                    // for the multi-version TLS runtime.
+                    unreachable!("TM machine runs one version per processor");
+                }
+            }
+        }
+        let in_neighbor = self.neighbor_has(tid, line);
+        let mut bw = std::mem::take(&mut self.stats.bw);
+        let t = &mut self.threads[tid];
+        let acc = t.timer.store(&mut t.cache, line, in_neighbor, &self.cfg, &mut bw);
+        self.stats.bw = bw;
+        if let Some(victim) = acc.writeback {
+            self.handle_dirty_victim(tid, victim);
+        }
+        let t = &mut self.threads[tid];
+        t.write_set.insert(line);
+        if self.scheme.uses_signatures() {
+            let v = t.version.expect("version in tx");
+            t.bdm.record_store(v, a);
+            if self.scheme == Scheme::BulkPartial {
+                t.sections.record_store(a);
+                t.exact_sections.last_mut().expect("open section").1.insert(line);
+            }
+        }
+        t.pc += 1;
+    }
+
+    /// A non-transactional store: updates this cache and sends an
+    /// individual invalidation that may squash speculative threads
+    /// (paper §4.2 last paragraph).
+    fn non_tx_write(&mut self, tid: usize, a: Addr, line: LineAddr) {
+        self.stats.individual_invalidations += 1;
+        self.stats.bw.record(MsgClass::Inv, self.cfg.msg_sizes.addr_msg);
+        let victims: Vec<usize> = self
+            .other_tx_threads(tid)
+            .into_iter()
+            .filter(|&j| {
+                let o = &self.threads[j];
+                if self.scheme.uses_signatures() {
+                    match self.scheme {
+                        Scheme::BulkPartial => {
+                            let mut probe = Signature::with_shared(self.sig_config.clone());
+                            probe.insert_addr(a);
+                            o.sections.disambiguate(&probe).is_some()
+                        }
+                        _ => o.bdm.disambiguate_addr(o.version.expect("in tx"), a),
+                    }
+                } else {
+                    o.exact_union_contains(line)
+                }
+            })
+            .collect();
+        let now = self.threads[tid].timer.now();
+        for j in victims {
+            let truly = self.threads[j].exact_union_contains(line);
+            self.squash_thread(j, now, truly, if truly { 1 } else { 0 });
+        }
+        self.invalidate_in_others(tid, line);
+        let in_neighbor = self.neighbor_has(tid, line);
+        let mut bw = std::mem::take(&mut self.stats.bw);
+        let t = &mut self.threads[tid];
+        let acc = t.timer.store(&mut t.cache, line, in_neighbor, &self.cfg, &mut bw);
+        self.stats.bw = bw;
+        if let Some(victim) = acc.writeback {
+            self.handle_dirty_victim(tid, victim);
+        }
+        self.threads[tid].pc += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self, tid: usize) {
+        let exact_w: HashSet<LineAddr> = self.threads[tid].write_set.clone();
+        let scheme = self.scheme;
+
+        // Broadcast payload and bus occupancy.
+        let (payload_bytes, w_sig) = match scheme {
+            Scheme::EagerNaive | Scheme::Eager => (0u64, None),
+            Scheme::Lazy => (exact_w.len() as u64 * self.cfg.msg_sizes.addr_msg, None),
+            Scheme::Bulk => {
+                let t = &self.threads[tid];
+                let w = t.bdm.write_signature(t.version.expect("in tx")).clone();
+                (w.compressed_size_bits().div_ceil(8), Some(w))
+            }
+            Scheme::BulkPartial => {
+                let w = self.threads[tid].sections.commit_union();
+                (w.compressed_size_bits().div_ceil(8), Some(w))
+            }
+        };
+        let now = self.threads[tid].timer.now();
+        let duration = self.cfg.commit_arb
+            + if scheme.is_eager() { 0 } else { self.cfg.broadcast_cycles(payload_bytes) };
+        let start = self.bus.acquire(now, duration);
+        let finish = start + duration;
+        self.threads[tid].timer.wait_until(finish);
+        if !scheme.is_eager() {
+            self.stats.bw.record_commit(payload_bytes, &self.cfg.msg_sizes);
+        }
+
+        self.stats.commits += 1;
+        self.stats.rd_set_lines += self.threads[tid].read_set.len() as u64;
+        self.stats.wr_set_lines += self.threads[tid].write_set.len() as u64;
+
+        // Lazy-style commit makes the write set globally visible, pushing
+        // the committed data out of the L1 (TCC-style); the cache stays
+        // largely clean, as the paper's low Safe-WB rates imply.
+        if !scheme.is_eager() {
+            let dirty: Vec<LineAddr> = exact_w
+                .iter()
+                .filter(|l| {
+                    self.threads[tid].cache.state_of(**l)
+                        == Some(bulk_mem::LineState::Dirty)
+                })
+                .copied()
+                .collect();
+            let n = dirty.len() as u64;
+            for l in dirty {
+                self.threads[tid].cache.mark_clean(l);
+            }
+            self.stats.bw.record(MsgClass::Wb, n * self.cfg.msg_sizes.line_msg);
+        }
+
+        // Receivers.
+        for j in self.other_indices(tid) {
+            self.receive_commit(j, tid, &exact_w, w_sig.as_ref(), finish);
+        }
+
+        // Committer cleanup: the paper's clear-a-signature commit.
+        let t = &mut self.threads[tid];
+        if let Some(v) = t.version.take() {
+            let _ = t.bdm.commit(v);
+            t.bdm.free_version(v);
+        }
+        t.sections.clear();
+        t.section_starts.clear();
+        t.exact_sections.clear();
+        t.read_set.clear();
+        t.write_set.clear();
+        t.depth = 0;
+        t.tx_serial += 1; // releases stalled threads
+        // Overflow area at commit: the spilled lines are already in
+        // memory, so Bulk simply forgets the area; a conventional lazy
+        // scheme walks it to fold the data into architectural state.
+        match scheme {
+            Scheme::Lazy => t.overflow.deallocate(true),
+            _ => t.overflow.discard(),
+        }
+    }
+
+    fn receive_commit(
+        &mut self,
+        j: usize,
+        committer: usize,
+        exact_w: &HashSet<LineAddr>,
+        w_sig: Option<&Signature>,
+        finish: u64,
+    ) {
+        let in_tx = self.threads[j].in_tx();
+        let exact_conflict = in_tx && {
+            let o = &self.threads[j];
+            exact_w.iter().any(|l| o.read_set.contains(l) || o.write_set.contains(l))
+        };
+
+        match self.scheme {
+            Scheme::EagerNaive | Scheme::Eager => {
+                // Conflicts were handled at access time; any residue (from
+                // interleaving approximation) is squashed here for safety.
+                if exact_conflict {
+                    let dep = self.exact_dep_size(j, exact_w);
+                    self.squash_thread(j, finish, true, dep);
+                } else {
+                    self.invalidate_lines_exact(j, exact_w);
+                }
+            }
+            Scheme::Lazy => {
+                if exact_conflict {
+                    let dep = self.exact_dep_size(j, exact_w);
+                    self.squash_thread(j, finish, true, dep);
+                } else {
+                    self.invalidate_lines_exact(j, exact_w);
+                    // A conventional lazy scheme must also disambiguate the
+                    // commit against its overflowed addresses in memory.
+                    if in_tx && !self.threads[j].overflow.is_empty() {
+                        let lines: Vec<LineAddr> = exact_w.iter().copied().collect();
+                        let walked = self.threads[j].overflow.len() as u64;
+                        let _ = self.threads[j].overflow.disambiguate_walk(lines.iter());
+                        self.stats
+                            .bw
+                            .record(MsgClass::Ub, walked * self.cfg.msg_sizes.addr_msg);
+                    }
+                }
+            }
+            Scheme::Bulk => {
+                let w = w_sig.expect("bulk commit carries a signature");
+                let sig_conflict = in_tx && {
+                    let o = &self.threads[j];
+                    o.bdm.disambiguate(o.version.expect("in tx"), w).squash()
+                };
+                debug_assert!(!exact_conflict || sig_conflict, "signature false negative");
+                if sig_conflict {
+                    let dep = self.exact_dep_size(j, exact_w);
+                    self.squash_thread(j, finish, exact_conflict, dep);
+                } else {
+                    self.bulk_apply_commit(j, committer, w, exact_w);
+                }
+            }
+            Scheme::BulkPartial => {
+                let w = w_sig.expect("bulk commit carries a signature");
+                let violated = if in_tx { self.threads[j].sections.disambiguate(w) } else { None };
+                match violated {
+                    Some(0) => {
+                        // Violation in the first section: full restart.
+                        let dep = self.exact_dep_size(j, exact_w);
+                        self.squash_thread(j, finish, exact_conflict, dep);
+                    }
+                    Some(sec) => {
+                        self.partial_rollback(j, sec, finish, exact_conflict);
+                    }
+                    None => {
+                        self.bulk_apply_commit(j, committer, w, exact_w);
+                    }
+                }
+            }
+        }
+    }
+
+    fn bulk_apply_commit(
+        &mut self,
+        j: usize,
+        _committer: usize,
+        w: &Signature,
+        exact_w: &HashSet<LineAddr>,
+    ) {
+        let t = &mut self.threads[j];
+        let app = flows::apply_remote_commit(&t.bdm, w, &mut t.cache);
+        let false_inv = app
+            .invalidated
+            .iter()
+            .filter(|l| !exact_w.contains(l))
+            .count() as u64;
+        self.stats.false_invalidations += false_inv;
+        debug_assert!(app.merged.is_empty(), "line-grain TM signatures never merge");
+    }
+
+    fn partial_rollback(&mut self, j: usize, sec: usize, at: u64, truly: bool) {
+        self.stats.partial_rollbacks += 1;
+        if !truly {
+            self.stats.false_squashes += 1;
+        }
+        let t = &mut self.threads[j];
+        self.stats.sections_rolled_back += (t.sections.depth() - sec) as u64;
+        // Discard the rolled-back sections' dirty lines.
+        let w_rolled = t.sections.write_union_from(sec);
+        for e in w_rolled.expand(&t.cache) {
+            if e.state == bulk_mem::LineState::Dirty {
+                t.cache.invalidate(e.addr);
+            }
+        }
+        t.sections.rollback_to(sec);
+        t.section_starts.truncate(sec + 1);
+        // Rebuild the exact oracle sets from the surviving sections.
+        t.exact_sections.truncate(sec);
+        t.exact_sections.push(Default::default());
+        t.read_set = t.exact_sections.iter().flat_map(|(r, _)| r.iter().copied()).collect();
+        t.write_set = t.exact_sections.iter().flat_map(|(_, w)| w.iter().copied()).collect();
+        t.pc = t.section_starts[sec];
+        // Re-entering mid-transaction keeps depth consistent with the
+        // section structure: sections after `sec` came from deeper or later
+        // nesting; recompute depth by replaying is unnecessary because the
+        // restart point records it implicitly — the ops from `pc` onward
+        // re-execute their own Begin/End pairs. Depth at a section start
+        // equals 1 + number of unmatched Begins before it; we conservatively
+        // recompute it here.
+        t.depth = depth_at(&t.ops, t.pc, t.tx_start_pc);
+        t.timer.wait_until(at);
+        t.timer.advance(self.cfg.squash_overhead);
+    }
+
+    fn squash_thread(&mut self, j: usize, at: u64, truly: bool, dep: u64) {
+        self.stats.squashes += 1;
+        if truly {
+            self.stats.dep_set_lines += dep;
+            self.stats.dep_samples += 1;
+        } else {
+            self.stats.false_squashes += 1;
+        }
+        let scheme = self.scheme;
+        let t = &mut self.threads[j];
+        if scheme.uses_signatures() {
+            if let Some(v) = t.version {
+                flows::squash(&mut t.bdm, v, &mut t.cache, false);
+            }
+        } else {
+            // Conventional squash: walk the cache and drop speculative
+            // dirty lines (exact sets say which).
+            let dirty: Vec<LineAddr> = t
+                .write_set
+                .iter()
+                .filter(|l| t.cache.state_of(**l) == Some(bulk_mem::LineState::Dirty))
+                .copied()
+                .collect();
+            for l in dirty {
+                t.cache.invalidate(l);
+            }
+        }
+        // Squash deallocates the overflow area: Bulk discards it in one
+        // step; conventional schemes walk the spilled entries.
+        let spilled = t.overflow.len() as u64;
+        t.overflow.deallocate(!scheme.uses_signatures());
+        self.stats.bw.record(MsgClass::Ub, spilled * self.cfg.msg_sizes.addr_msg);
+        let t = &mut self.threads[j];
+        t.read_set.clear();
+        t.write_set.clear();
+        t.sections.clear();
+        t.section_starts.clear();
+        t.exact_sections.clear();
+        t.depth = 0;
+        t.pc = t.tx_start_pc;
+        t.tx_serial += 1;
+        t.stalled_on = None;
+        t.timer.wait_until(at);
+        t.timer.advance(self.cfg.squash_overhead);
+    }
+
+    // ------------------------------------------------------------------
+    // Eager conflict resolution
+    // ------------------------------------------------------------------
+
+    /// Resolves eager conflicts between `tid` and `conflicting` threads.
+    /// Returns `false` if `tid` must stall and retry the op.
+    fn resolve_eager_conflicts(&mut self, tid: usize, conflicting: &[usize], line: LineAddr) -> bool {
+        if conflicting.is_empty() {
+            return true;
+        }
+        if self.scheme == Scheme::Eager {
+            // Forward-progress fix: the longer-running transaction wins.
+            let my_progress = self.threads[tid].tx_progress();
+            if let Some(&winner) = conflicting
+                .iter()
+                .filter(|&&j| self.threads[j].tx_progress() > my_progress)
+                .max_by_key(|&&j| self.threads[j].tx_progress())
+            {
+                self.stats.stalls += 1;
+                let serial = self.threads[winner].tx_serial;
+                self.threads[tid].stalled_on = Some((winner, serial));
+                return false;
+            }
+        }
+        let now = self.threads[tid].timer.now();
+        for &j in conflicting {
+            let dep = 1; // the conflicting line
+            let _ = line;
+            self.squash_thread(j, now, true, dep);
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn other_indices(&self, tid: usize) -> Vec<usize> {
+        (0..self.threads.len()).filter(|&j| j != tid).collect()
+    }
+
+    fn other_tx_threads(&self, tid: usize) -> Vec<usize> {
+        self.other_indices(tid)
+            .into_iter()
+            .filter(|&j| self.threads[j].in_tx())
+            .collect()
+    }
+
+    /// Whether some other processor can *supply* `line`. A holder whose
+    /// copy is speculatively dirty nacks the request (the paper's §4.5:
+    /// the BDM checks its `δ(W)` bitmasks and refuses to leak speculative
+    /// data), so the requester falls back to memory for the committed
+    /// version. Clean and non-speculative dirty copies are supplied
+    /// normally.
+    fn neighbor_has(&self, tid: usize, line: LineAddr) -> bool {
+        let set = self.cfg.geom.set_of_line(line);
+        self.other_indices(tid).into_iter().any(|j| {
+            let t = &self.threads[j];
+            match t.cache.state_of(line) {
+                None => false,
+                Some(bulk_mem::LineState::Clean) => true,
+                Some(bulk_mem::LineState::Dirty) => {
+                    let nacks = if self.scheme.uses_signatures() {
+                        t.bdm.holds_speculative_dirty_set(set)
+                    } else {
+                        t.in_tx() && t.write_set.contains(&line)
+                    };
+                    !nacks
+                }
+            }
+        })
+    }
+
+    fn invalidate_in_others(&mut self, tid: usize, line: LineAddr) {
+        for j in self.other_indices(tid) {
+            self.threads[j].cache.invalidate(line);
+        }
+    }
+
+    fn invalidate_lines_exact(&mut self, j: usize, lines: &HashSet<LineAddr>) {
+        let t = &mut self.threads[j];
+        for &l in lines {
+            t.cache.invalidate(l);
+        }
+    }
+
+    fn exact_dep_size(&self, j: usize, exact_w: &HashSet<LineAddr>) -> u64 {
+        let o = &self.threads[j];
+        exact_w
+            .iter()
+            .filter(|l| o.read_set.contains(l) || o.write_set.contains(l))
+            .count() as u64
+    }
+
+    fn handle_dirty_victim(&mut self, tid: usize, victim: LineAddr) {
+        let speculative = self.threads[tid].in_tx() && self.threads[tid].write_set.contains(&victim);
+        if speculative {
+            // §6.2.2: speculative dirty evictions go to the overflow area.
+            self.threads[tid].overflow.spill(victim);
+            self.stats.overflow_spills += 1;
+            self.stats.bw.record(MsgClass::Ub, self.cfg.msg_sizes.line_msg);
+            if self.scheme.uses_signatures() {
+                let t = &mut self.threads[tid];
+                let v = t.version.expect("version in tx");
+                t.bdm.note_overflow(v);
+            }
+        } else {
+            self.stats.bw.record(MsgClass::Wb, self.cfg.msg_sizes.line_msg);
+        }
+    }
+
+    fn consult_overflow(&mut self, tid: usize, a: Addr, line: LineAddr) {
+        match self.scheme {
+            Scheme::Bulk | Scheme::BulkPartial => {
+                let must = {
+                    let t = &self.threads[tid];
+                    match t.version {
+                        Some(v) => t.bdm.must_check_overflow(v, a),
+                        None => false,
+                    }
+                };
+                if must {
+                    let _ = self.threads[tid].overflow.lookup(line);
+                    self.stats.bw.record(MsgClass::Ub, self.cfg.msg_sizes.addr_msg);
+                }
+            }
+            Scheme::Lazy
+                if !self.threads[tid].overflow.is_empty() => {
+                    let _ = self.threads[tid].overflow.lookup(line);
+                    self.stats.bw.record(MsgClass::Ub, self.cfg.msg_sizes.addr_msg);
+                }
+            _ => {}
+        }
+    }
+}
+
+/// Transaction nesting depth immediately before executing `ops[pc]`,
+/// counting from the outer `Begin` at `tx_start_pc`.
+fn depth_at(ops: &[TmOp], pc: usize, tx_start_pc: usize) -> usize {
+    let mut depth = 0usize;
+    for op in &ops[tx_start_pc..pc] {
+        match op {
+            TmOp::Begin => depth += 1,
+            TmOp::End => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulk_trace::patterns::{fig12a_livelock, fig12b_eager_only_squash};
+    use bulk_trace::{profiles, ThreadTrace};
+
+    fn cfg() -> SimConfig {
+        SimConfig::tm_default()
+    }
+
+    fn simple_workload(ops: Vec<Vec<TmOp>>) -> TmWorkload {
+        TmWorkload {
+            name: "test".into(),
+            threads: ops.into_iter().map(|ops| ThreadTrace { ops }).collect(),
+        }
+    }
+
+    #[test]
+    fn independent_transactions_commit_without_squash() {
+        let w = simple_workload(vec![
+            vec![TmOp::Begin, TmOp::Write(Addr::new(0x1000)), TmOp::End],
+            vec![TmOp::Begin, TmOp::Write(Addr::new(0x8000)), TmOp::End],
+        ]);
+        for s in Scheme::ALL {
+            let stats = run_tm(&w, s, &cfg());
+            assert_eq!(stats.commits, 2, "{s}");
+            assert_eq!(stats.squashes, 0, "{s}");
+        }
+    }
+
+    #[test]
+    fn conflicting_transactions_squash_in_lazy_and_bulk() {
+        // Both threads write the same line; one must restart.
+        let mk = || {
+            vec![
+                TmOp::Begin,
+                TmOp::Write(Addr::new(0x1000)),
+                TmOp::Compute(100),
+                TmOp::End,
+            ]
+        };
+        for s in [Scheme::Lazy, Scheme::Bulk, Scheme::BulkPartial] {
+            let stats = run_tm(&simple_workload(vec![mk(), mk()]), s, &cfg());
+            assert_eq!(stats.commits, 2, "{s}");
+            assert!(stats.squashes + stats.partial_rollbacks >= 1, "{s}");
+        }
+    }
+
+    #[test]
+    fn naive_eager_livelocks_on_fig12a() {
+        let w = fig12a_livelock(50, 400);
+        let mut m = TmMachine::new(&w, Scheme::EagerNaive, &cfg());
+        m.set_squash_cap(2_000);
+        let stats = m.run();
+        assert!(stats.livelocked, "naive eager should livelock: {stats:?}");
+    }
+
+    #[test]
+    fn fixed_eager_makes_progress_on_fig12a() {
+        let w = fig12a_livelock(50, 400);
+        let stats = run_tm(&w, Scheme::Eager, &cfg());
+        assert!(!stats.livelocked);
+        assert_eq!(stats.commits, 100);
+        assert!(stats.stalls > 0, "the fix stalls the shorter transaction");
+    }
+
+    #[test]
+    fn lazy_and_bulk_make_progress_on_fig12a() {
+        let w = fig12a_livelock(30, 400);
+        for s in [Scheme::Lazy, Scheme::Bulk] {
+            let stats = run_tm(&w, s, &cfg());
+            assert!(!stats.livelocked, "{s}");
+            assert_eq!(stats.commits, 60, "{s}");
+        }
+    }
+
+    #[test]
+    fn fig12b_squashes_in_eager_but_not_lazy() {
+        let w = fig12b_eager_only_squash(10);
+        let eager = run_tm(&w, Scheme::Eager, &cfg());
+        let lazy = run_tm(&w, Scheme::Lazy, &cfg());
+        // Eager pays (squash or stall) on nearly every iteration; Lazy only
+        // on the few iterations where phase drift makes the overlap real.
+        assert!(
+            eager.squashes + eager.stalls >= 5,
+            "eager must pay for the conflict: {eager:?}"
+        );
+        assert!(
+            lazy.squashes < eager.squashes + eager.stalls,
+            "lazy {lazy:?} vs eager {eager:?}"
+        );
+    }
+
+    #[test]
+    fn non_tx_write_squashes_speculative_reader() {
+        let w = simple_workload(vec![
+            vec![
+                TmOp::Begin,
+                TmOp::Read(Addr::new(0x1000)),
+                TmOp::Compute(5000),
+                TmOp::End,
+            ],
+            vec![TmOp::Compute(100), TmOp::Write(Addr::new(0x1000))],
+        ]);
+        for s in [Scheme::Lazy, Scheme::Bulk] {
+            let stats = run_tm(&w, s, &cfg());
+            assert_eq!(stats.commits, 1, "{s}");
+            assert_eq!(stats.squashes, 1, "{s}");
+            assert!(stats.individual_invalidations >= 1, "{s}");
+        }
+    }
+
+    #[test]
+    fn commit_bandwidth_bulk_below_lazy_on_real_profile() {
+        let p = profiles::tm_profile("mc").unwrap();
+        let w = p.generate(11);
+        let lazy = run_tm(&w, Scheme::Lazy, &cfg());
+        let bulk = run_tm(&w, Scheme::Bulk, &cfg());
+        assert!(lazy.bw.commit_bytes() > 0);
+        assert!(bulk.bw.commit_bytes() > 0);
+        assert!(
+            (bulk.bw.commit_bytes() as f64) < 0.7 * lazy.bw.commit_bytes() as f64,
+            "bulk {} vs lazy {}",
+            bulk.bw.commit_bytes(),
+            lazy.bw.commit_bytes()
+        );
+    }
+
+    #[test]
+    fn profile_run_produces_sane_characterization() {
+        let p = profiles::tm_profile("sjbb2k").unwrap();
+        let w = p.generate(5);
+        let stats = run_tm(&w, Scheme::Bulk, &cfg());
+        assert_eq!(stats.commits as usize, p.threads * p.txs_per_thread);
+        // Footprints near the Table 7 targets.
+        assert!((stats.avg_rd_set() - p.rd_lines).abs() < p.rd_lines * 0.5);
+        assert!((stats.avg_wr_set() - p.wr_lines).abs() < p.wr_lines * 0.5);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn bulk_overflow_accesses_below_lazy() {
+        let p = profiles::tm_profile("cb").unwrap();
+        let w = p.generate(3);
+        let lazy = run_tm(&w, Scheme::Lazy, &cfg());
+        let bulk = run_tm(&w, Scheme::Bulk, &cfg());
+        if lazy.overflow_accesses > 0 {
+            assert!(
+                bulk.overflow_accesses < lazy.overflow_accesses,
+                "bulk {} vs lazy {}",
+                bulk.overflow_accesses,
+                lazy.overflow_accesses
+            );
+        }
+    }
+
+    #[test]
+    fn nested_partial_rollback_happens_under_contention() {
+        // Thread 0 commits a write to X while thread 1 is in its inner
+        // section that reads X: Bulk-Partial rolls back the inner section
+        // only.
+        let w = simple_workload(vec![
+            vec![
+                TmOp::Compute(50),
+                TmOp::Begin,
+                TmOp::Write(Addr::new(0x1000)),
+                TmOp::End,
+            ],
+            vec![
+                TmOp::Begin,
+                TmOp::Read(Addr::new(0x9000)), // section 0
+                TmOp::Begin,
+                TmOp::Read(Addr::new(0x1000)), // section 1 reads X
+                TmOp::Compute(100_000),
+                TmOp::End,
+                TmOp::Read(Addr::new(0xa000)),
+                TmOp::End,
+            ],
+        ]);
+        let stats = run_tm(&w, Scheme::BulkPartial, &cfg());
+        assert_eq!(stats.commits, 2);
+        assert_eq!(stats.partial_rollbacks, 1, "{stats:?}");
+        assert_eq!(stats.squashes, 0);
+    }
+
+    #[test]
+    fn overflow_bit_gates_area_lookups() {
+        // A transaction whose writes exceed one set's associativity spills
+        // speculative dirty lines; subsequent misses on signature-member
+        // addresses consult the area, others do not.
+        let geom = cfg().geom;
+        let sets = geom.num_sets();
+        let mut ops = vec![TmOp::Begin];
+        // Six writes to lines of the same cache set (assoc = 4): two spill.
+        for i in 0..6u32 {
+            ops.push(TmOp::Write(Addr::new(i * sets * 64)));
+        }
+        // A read far away (missing) that is NOT in W: must not touch the
+        // area thanks to the membership filter.
+        ops.push(TmOp::Read(Addr::new(0x123440)));
+        ops.push(TmOp::End);
+        let w = simple_workload(vec![ops]);
+        let stats = run_tm(&w, Scheme::Bulk, &cfg());
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.overflow_spills, 2, "{stats:?}");
+        assert_eq!(
+            stats.overflow_accesses, 0,
+            "reads outside W never consult the overflow area"
+        );
+    }
+
+    #[test]
+    fn lazy_consults_overflow_on_every_miss_once_spilled() {
+        let geom = cfg().geom;
+        let sets = geom.num_sets();
+        let mut ops = vec![TmOp::Begin];
+        for i in 0..6u32 {
+            ops.push(TmOp::Write(Addr::new(i * sets * 64)));
+        }
+        ops.push(TmOp::Read(Addr::new(0x123440))); // miss -> area lookup
+        ops.push(TmOp::Read(Addr::new(0x133440))); // miss -> area lookup
+        ops.push(TmOp::End);
+        let w = simple_workload(vec![ops]);
+        let stats = run_tm(&w, Scheme::Lazy, &cfg());
+        assert!(stats.overflow_accesses >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn eager_stall_releases_on_blocker_commit() {
+        // Thread 1 writes A early and holds it; thread 0 (younger in tx
+        // progress) tries to write A, stalls, then completes after 1
+        // commits.
+        let w = simple_workload(vec![
+            vec![
+                TmOp::Compute(200),
+                TmOp::Begin,
+                TmOp::Write(Addr::new(0x7000)),
+                TmOp::End,
+            ],
+            vec![
+                TmOp::Begin,
+                TmOp::Write(Addr::new(0x7000)),
+                TmOp::Compute(2000),
+                TmOp::End,
+            ],
+        ]);
+        let stats = run_tm(&w, Scheme::Eager, &cfg());
+        assert_eq!(stats.commits, 2);
+        assert!(stats.stalls >= 1, "{stats:?}");
+        assert!(!stats.livelocked);
+    }
+
+    #[test]
+    fn commit_broadcasts_serialize_on_the_bus() {
+        // Two same-length transactions finish simultaneously; the second
+        // commit must wait for the first broadcast to drain.
+        let mk = || {
+            vec![
+                TmOp::Begin,
+                TmOp::Write(Addr::new(0x9000)),
+                TmOp::End,
+            ]
+        };
+        let mk2 = || {
+            vec![
+                TmOp::Begin,
+                TmOp::Write(Addr::new(0xA000)),
+                TmOp::End,
+            ]
+        };
+        let c = cfg();
+        let stats = run_tm(&simple_workload(vec![mk(), mk2()]), Scheme::Lazy, &c);
+        // Both misses cost mem_rt; both commits need arb + broadcast, and
+        // they cannot overlap: finish >= mem_rt + 2 * commit_arb.
+        assert!(stats.cycles >= c.mem_rt + 2 * c.commit_arb, "{stats:?}");
+    }
+
+    #[test]
+    fn speculative_dirty_lines_are_invisible_to_other_processors() {
+        // Thread 0 writes X speculatively and lingers; thread 1 reads X
+        // outside any transaction. The fill must come from memory (mem_rt),
+        // not the speculative neighbor copy (neighbor_rt).
+        let c = cfg();
+        let w = simple_workload(vec![
+            vec![
+                TmOp::Begin,
+                TmOp::Write(Addr::new(0xB000)),
+                TmOp::Compute(10_000),
+                TmOp::End,
+            ],
+            vec![TmOp::Compute(500), TmOp::Read(Addr::new(0xB000))],
+        ]);
+        let stats = run_tm(&w, Scheme::Bulk, &c);
+        assert_eq!(stats.commits, 1);
+        // Thread 1's clock: 500 compute + mem_rt (nacked by the owner).
+        // If the speculative copy had been supplied it would be 500 + 8.
+        // We can't read per-thread clocks here, so assert via traffic:
+        // the fill happened without a Coh message (no cache-to-cache).
+        assert_eq!(stats.bw.bytes(bulk_mem::MsgClass::Coh), 0, "{stats:?}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = profiles::tm_profile("lu").unwrap();
+        let w = p.generate(2);
+        let a = run_tm(&w, Scheme::Bulk, &cfg());
+        let b = run_tm(&w, Scheme::Bulk, &cfg());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.squashes, b.squashes);
+        assert_eq!(a.bw.total(), b.bw.total());
+    }
+
+    #[test]
+    fn serializability_invariant_no_residual_conflicts() {
+        // After any run, committed reads must never have overlapped a
+        // write committed during the transaction's lifetime — enforced by
+        // construction; here we spot-check that all schemes agree on commit
+        // counts for the same workload (no lost transactions).
+        let p = profiles::tm_profile("mc").unwrap();
+        let w = p.generate(4);
+        let expected = (p.threads * p.txs_per_thread) as u64;
+        for s in [Scheme::Eager, Scheme::Lazy, Scheme::Bulk, Scheme::BulkPartial] {
+            let stats = run_tm(&w, s, &cfg());
+            assert_eq!(stats.commits, expected, "{s}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Conflict-detection schemes compared in the paper's TM evaluation.
+
+use std::fmt;
+
+/// Which conflict-detection scheme the TM machine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Conventional eager scheme *without* the paper's forward-progress
+    /// fix: every conflicting access squashes the other thread. Exhibits
+    /// the Fig. 12(a) livelock on read-modify-write contention; provided
+    /// as the baseline that motivates the fix.
+    EagerNaive,
+    /// Conventional eager scheme with exact per-address disambiguation at
+    /// access time, plus the paper's footnote-2 fix: on a conflict the
+    /// longer-running transaction proceeds and the other stalls.
+    Eager,
+    /// Conventional lazy scheme: exact address sets, disambiguated when a
+    /// thread commits and broadcasts its full write-address enumeration.
+    Lazy,
+    /// The paper's scheme: signatures as the sole record, bulk
+    /// disambiguation and bulk invalidation at commit (flat nesting).
+    Bulk,
+    /// Bulk plus partial rollback of closed nested transactions (§6.2.1).
+    BulkPartial,
+}
+
+impl Scheme {
+    /// All schemes, in the order the paper's Fig. 11 plots them
+    /// (plus the naive-eager baseline first).
+    pub const ALL: [Scheme; 5] =
+        [Scheme::EagerNaive, Scheme::Eager, Scheme::Lazy, Scheme::Bulk, Scheme::BulkPartial];
+
+    /// Whether conflicts are detected at access time.
+    pub fn is_eager(self) -> bool {
+        matches!(self, Scheme::EagerNaive | Scheme::Eager)
+    }
+
+    /// Whether the scheme uses signatures (inexact disambiguation).
+    pub fn uses_signatures(self) -> bool {
+        matches!(self, Scheme::Bulk | Scheme::BulkPartial)
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scheme::EagerNaive => "EagerNaive",
+            Scheme::Eager => "Eager",
+            Scheme::Lazy => "Lazy",
+            Scheme::Bulk => "Bulk",
+            Scheme::BulkPartial => "Bulk-Partial",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Scheme::Eager.is_eager());
+        assert!(Scheme::EagerNaive.is_eager());
+        assert!(!Scheme::Lazy.is_eager());
+        assert!(Scheme::Bulk.uses_signatures());
+        assert!(Scheme::BulkPartial.uses_signatures());
+        assert!(!Scheme::Lazy.uses_signatures());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Scheme::Bulk.to_string(), "Bulk");
+        assert_eq!(Scheme::BulkPartial.to_string(), "Bulk-Partial");
+    }
+}

@@ -1,0 +1,264 @@
+//! A plain-text interchange format for workload traces, so experiments can
+//! be archived, diffed and replayed outside the generators.
+//!
+//! The format is line-oriented and self-describing:
+//!
+//! ```text
+//! TM <name>
+//! thread
+//! B              # begin transaction
+//! R <hex-addr>   # read
+//! W <hex-addr>   # write
+//! C <n>          # compute n instructions
+//! E              # end transaction
+//! thread
+//! ...
+//! ```
+//!
+//! and for TLS, `TLS <name>` with `task` section headers and an extra `S`
+//! (spawn) opcode. Parsing is strict: any malformed line is an error with
+//! its line number.
+
+use std::fmt::Write as _;
+
+use bulk_mem::Addr;
+
+use crate::{TaskTrace, ThreadTrace, TlsOp, TlsWorkload, TmOp, TmWorkload};
+
+/// Error produced when parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseTraceError {
+    ParseTraceError { line, message: message.into() }
+}
+
+/// Serializes a TM workload.
+pub fn tm_to_string(w: &TmWorkload) -> String {
+    let mut out = String::new();
+    writeln!(out, "TM {}", w.name).expect("infallible");
+    for t in &w.threads {
+        out.push_str("thread\n");
+        for op in &t.ops {
+            match op {
+                TmOp::Begin => out.push_str("B\n"),
+                TmOp::End => out.push_str("E\n"),
+                TmOp::Read(a) => {
+                    writeln!(out, "R {:x}", a.raw()).expect("infallible");
+                }
+                TmOp::Write(a) => {
+                    writeln!(out, "W {:x}", a.raw()).expect("infallible");
+                }
+                TmOp::Compute(n) => {
+                    writeln!(out, "C {n}").expect("infallible");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses a TM workload serialized by [`tm_to_string`].
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on any malformed or out-of-place line.
+pub fn tm_from_str(s: &str) -> Result<TmWorkload, ParseTraceError> {
+    let mut lines = s.lines().enumerate();
+    let (_, head) = lines.next().ok_or_else(|| err(1, "empty input"))?;
+    let name = head
+        .strip_prefix("TM ")
+        .ok_or_else(|| err(1, "expected header `TM <name>`"))?
+        .to_string();
+    let mut w = TmWorkload { name, threads: Vec::new() };
+    for (i, line) in lines {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "thread" {
+            w.threads.push(ThreadTrace::default());
+            continue;
+        }
+        let thread = w
+            .threads
+            .last_mut()
+            .ok_or_else(|| err(lineno, "op before first `thread`"))?;
+        thread.ops.push(parse_tm_op(line, lineno)?);
+    }
+    Ok(w)
+}
+
+fn parse_tm_op(line: &str, lineno: usize) -> Result<TmOp, ParseTraceError> {
+    let mut parts = line.split_whitespace();
+    let op = parts.next().ok_or_else(|| err(lineno, "blank op"))?;
+    let arg = parts.next();
+    if parts.next().is_some() {
+        return Err(err(lineno, "trailing tokens"));
+    }
+    match (op, arg) {
+        ("B", None) => Ok(TmOp::Begin),
+        ("E", None) => Ok(TmOp::End),
+        ("R", Some(a)) => Ok(TmOp::Read(parse_addr(a, lineno)?)),
+        ("W", Some(a)) => Ok(TmOp::Write(parse_addr(a, lineno)?)),
+        ("C", Some(n)) => Ok(TmOp::Compute(
+            n.parse().map_err(|_| err(lineno, format!("bad compute count `{n}`")))?,
+        )),
+        _ => Err(err(lineno, format!("unrecognized op `{line}`"))),
+    }
+}
+
+/// Serializes a TLS workload.
+pub fn tls_to_string(w: &TlsWorkload) -> String {
+    let mut out = String::new();
+    writeln!(out, "TLS {}", w.name).expect("infallible");
+    for t in &w.tasks {
+        out.push_str("task\n");
+        for op in &t.ops {
+            match op {
+                TlsOp::Spawn => out.push_str("S\n"),
+                TlsOp::Read(a) => {
+                    writeln!(out, "R {:x}", a.raw()).expect("infallible");
+                }
+                TlsOp::Write(a) => {
+                    writeln!(out, "W {:x}", a.raw()).expect("infallible");
+                }
+                TlsOp::Compute(n) => {
+                    writeln!(out, "C {n}").expect("infallible");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses a TLS workload serialized by [`tls_to_string`].
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on any malformed or out-of-place line.
+pub fn tls_from_str(s: &str) -> Result<TlsWorkload, ParseTraceError> {
+    let mut lines = s.lines().enumerate();
+    let (_, head) = lines.next().ok_or_else(|| err(1, "empty input"))?;
+    let name = head
+        .strip_prefix("TLS ")
+        .ok_or_else(|| err(1, "expected header `TLS <name>`"))?
+        .to_string();
+    let mut w = TlsWorkload { name, tasks: Vec::new() };
+    for (i, line) in lines {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "task" {
+            w.tasks.push(TaskTrace::default());
+            continue;
+        }
+        let task = w
+            .tasks
+            .last_mut()
+            .ok_or_else(|| err(lineno, "op before first `task`"))?;
+        let mut parts = line.split_whitespace();
+        let op = parts.next().ok_or_else(|| err(lineno, "blank op"))?;
+        let arg = parts.next();
+        if parts.next().is_some() {
+            return Err(err(lineno, "trailing tokens"));
+        }
+        let parsed = match (op, arg) {
+            ("S", None) => TlsOp::Spawn,
+            ("R", Some(a)) => TlsOp::Read(parse_addr(a, lineno)?),
+            ("W", Some(a)) => TlsOp::Write(parse_addr(a, lineno)?),
+            ("C", Some(n)) => TlsOp::Compute(
+                n.parse().map_err(|_| err(lineno, format!("bad compute count `{n}`")))?,
+            ),
+            _ => return Err(err(lineno, format!("unrecognized op `{line}`"))),
+        };
+        task.ops.push(parsed);
+    }
+    Ok(w)
+}
+
+fn parse_addr(tok: &str, lineno: usize) -> Result<Addr, ParseTraceError> {
+    u32::from_str_radix(tok, 16)
+        .map(Addr::new)
+        .map_err(|_| err(lineno, format!("bad hex address `{tok}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn tm_round_trip() {
+        let mut p = profiles::tm_profile("mc").unwrap();
+        p.txs_per_thread = 3;
+        let w = p.generate(1);
+        let text = tm_to_string(&w);
+        let back = tm_from_str(&text).unwrap();
+        assert_eq!(back.name, w.name);
+        assert_eq!(back.threads, w.threads);
+    }
+
+    #[test]
+    fn tls_round_trip() {
+        let mut p = profiles::tls_profile("gzip").unwrap();
+        p.tasks = 5;
+        let w = p.generate(1);
+        let text = tls_to_string(&w);
+        let back = tls_from_str(&text).unwrap();
+        assert_eq!(back.name, w.name);
+        assert_eq!(back.tasks, w.tasks);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let bad = "TM t\nthread\nR zz\n";
+        let e = tm_from_str(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("bad hex address"));
+    }
+
+    #[test]
+    fn parse_rejects_op_before_section() {
+        let e = tm_from_str("TM t\nB\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = tls_from_str("TLS t\nS\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn parse_rejects_bad_header_and_empty() {
+        assert!(tm_from_str("").is_err());
+        assert!(tm_from_str("TLS x\n").is_err());
+        assert!(tls_from_str("TM x\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_trailing_tokens() {
+        let e = tm_from_str("TM t\nthread\nR 10 20\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let w = tm_from_str("TM t\n\nthread\n\nB\nE\n").unwrap();
+        assert_eq!(w.threads.len(), 1);
+        assert_eq!(w.threads[0].ops, vec![TmOp::Begin, TmOp::End]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Workloads for the Bulk reproduction: trace operation types, synthetic
+//! workload generators calibrated to the paper's Tables 6 and 7, and the
+//! Fig. 12 pathological microbenchmarks.
+//!
+//! The paper evaluated TLS on compiler-tasked SPECint2000 and TM on traced
+//! Java programs; neither toolchain is reproducible here, so this crate
+//! substitutes deterministic synthetic generators whose footprints and
+//! sharing behaviour match what the paper reports per application (see
+//! DESIGN.md §2 for the substitution argument).
+//!
+//! ```
+//! use bulk_trace::profiles;
+//!
+//! let crafty = profiles::tls_profile("crafty").unwrap();
+//! let workload = crafty.generate(42);
+//! assert_eq!(workload.tasks.len(), crafty.tasks);
+//! ```
+
+mod gen;
+pub mod io;
+mod ops;
+pub mod patterns;
+pub mod profiles;
+pub mod stats;
+
+pub use gen::{
+    read_line, tm_region_line, written_line, TlsProfile, TmProfile, FRAME_UNIT, HOT_IDX, LIVEIN_UNIT,
+    PRIVATE_IDX, STREAM_IDX, VIO_UNIT, WS_UNIT,
+};
+pub use ops::{TaskTrace, ThreadTrace, TlsOp, TlsWorkload, TmOp, TmWorkload};

@@ -1,0 +1,183 @@
+//! Trace operation types consumed by the TM and TLS runtimes.
+
+use bulk_mem::Addr;
+
+/// One operation of a TM thread trace. Accesses between [`TmOp::Begin`]
+/// and its matching [`TmOp::End`] are transactional; `Begin` nests
+/// (closed nesting, paper §6.2.1). Accesses outside any transaction are
+/// non-speculative and send individual invalidations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmOp {
+    /// Begin a (possibly nested) transaction.
+    Begin,
+    /// End the innermost open transaction; ending the outermost commits.
+    End,
+    /// Load from a byte address.
+    Read(Addr),
+    /// Store to a byte address.
+    Write(Addr),
+    /// `n` non-memory instructions.
+    Compute(u32),
+}
+
+/// The full operation sequence of one TM thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadTrace {
+    /// Operations in program order.
+    pub ops: Vec<TmOp>,
+}
+
+impl ThreadTrace {
+    /// Validates nesting: every `End` has a matching `Begin`, all
+    /// transactions are closed by the end of the trace, and transactional
+    /// nesting never exceeds `max_depth`.
+    pub fn validate(&self, max_depth: usize) -> Result<(), String> {
+        let mut depth = 0usize;
+        for (i, op) in self.ops.iter().enumerate() {
+            match op {
+                TmOp::Begin => {
+                    depth += 1;
+                    if depth > max_depth {
+                        return Err(format!("nesting depth {depth} at op {i}"));
+                    }
+                }
+                TmOp::End => {
+                    depth = depth.checked_sub(1).ok_or(format!("unmatched End at op {i}"))?;
+                }
+                _ => {}
+            }
+        }
+        if depth != 0 {
+            return Err(format!("{depth} unclosed transactions"));
+        }
+        Ok(())
+    }
+
+    /// Number of transactional memory accesses (within any transaction).
+    pub fn tx_access_count(&self) -> usize {
+        let mut depth = 0usize;
+        let mut n = 0usize;
+        for op in &self.ops {
+            match op {
+                TmOp::Begin => depth += 1,
+                TmOp::End => depth -= 1,
+                TmOp::Read(_) | TmOp::Write(_) if depth > 0 => n += 1,
+                _ => {}
+            }
+        }
+        n
+    }
+}
+
+/// A TM workload: one trace per thread/processor.
+#[derive(Debug, Clone, Default)]
+pub struct TmWorkload {
+    /// Workload name (the paper's application name it stands in for).
+    pub name: String,
+    /// One trace per thread.
+    pub threads: Vec<ThreadTrace>,
+}
+
+/// One operation of a TLS task trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlsOp {
+    /// Load from a byte address.
+    Read(Addr),
+    /// Store to a byte address.
+    Write(Addr),
+    /// `n` non-memory instructions.
+    Compute(u32),
+    /// Spawn the successor task. At most one per task; tasks without an
+    /// explicit `Spawn` spawn their successor at completion.
+    Spawn,
+}
+
+/// The operations of one TLS task, in sequential program order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskTrace {
+    /// Operations in program order.
+    pub ops: Vec<TlsOp>,
+}
+
+impl TaskTrace {
+    /// Index of the `Spawn` op, if present.
+    pub fn spawn_index(&self) -> Option<usize> {
+        self.ops.iter().position(|op| matches!(op, TlsOp::Spawn))
+    }
+
+    /// Total instruction count (memory ops count as one instruction each).
+    pub fn instr_count(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TlsOp::Compute(n) => u64::from(*n),
+                TlsOp::Spawn => 1,
+                _ => 1,
+            })
+            .sum()
+    }
+}
+
+/// A TLS workload: the ordered task list of a sequential program.
+#[derive(Debug, Clone, Default)]
+pub struct TlsWorkload {
+    /// Workload name (the SPECint application it stands in for).
+    pub name: String,
+    /// Tasks in sequential order.
+    pub tasks: Vec<TaskTrace>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_flat_and_nested() {
+        let t = ThreadTrace {
+            ops: vec![
+                TmOp::Begin,
+                TmOp::Read(Addr::new(0)),
+                TmOp::Begin,
+                TmOp::Write(Addr::new(4)),
+                TmOp::End,
+                TmOp::End,
+            ],
+        };
+        assert!(t.validate(2).is_ok());
+        assert!(t.validate(1).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced() {
+        assert!(ThreadTrace { ops: vec![TmOp::End] }.validate(4).is_err());
+        assert!(ThreadTrace { ops: vec![TmOp::Begin] }.validate(4).is_err());
+    }
+
+    #[test]
+    fn tx_access_count_ignores_non_tx() {
+        let t = ThreadTrace {
+            ops: vec![
+                TmOp::Read(Addr::new(0)), // non-tx
+                TmOp::Begin,
+                TmOp::Write(Addr::new(4)),
+                TmOp::End,
+            ],
+        };
+        assert_eq!(t.tx_access_count(), 1);
+    }
+
+    #[test]
+    fn spawn_index_and_instr_count() {
+        let t = TaskTrace {
+            ops: vec![
+                TlsOp::Write(Addr::new(0)),
+                TlsOp::Compute(10),
+                TlsOp::Spawn,
+                TlsOp::Read(Addr::new(4)),
+            ],
+        };
+        assert_eq!(t.spawn_index(), Some(2));
+        assert_eq!(t.instr_count(), 13);
+        assert_eq!(TaskTrace::default().spawn_index(), None);
+    }
+}

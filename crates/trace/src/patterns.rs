@@ -1,0 +1,98 @@
+//! The pathological SPECjbb2000 code patterns of the paper's Fig. 12,
+//! as two-thread microbenchmark traces.
+
+use bulk_mem::Addr;
+
+use crate::{ThreadTrace, TmOp, TmWorkload};
+
+/// The contended word both patterns fight over (the first hot line).
+pub fn contended() -> Addr {
+    Addr::new(crate::tm_region_line(0, 0).raw() << 6)
+}
+
+/// Fig. 12(a): two threads repeatedly read **and** write the same location
+/// inside a transaction. Under naive Eager conflict handling each thread's
+/// store squashes the other's read, livelocking; the paper's fix lets the
+/// longer-running thread proceed while the other stalls. Lazy and Bulk are
+/// immune (conflicts resolve at commit).
+pub fn fig12a_livelock(iterations: usize, gap: u32) -> TmWorkload {
+    let thread = |phase: u32| {
+        let mut ops = Vec::new();
+        ops.push(TmOp::Compute(phase)); // slight initial skew
+        for _ in 0..iterations {
+            ops.push(TmOp::Begin);
+            ops.push(TmOp::Read(contended()));
+            ops.push(TmOp::Compute(gap));
+            ops.push(TmOp::Write(contended()));
+            ops.push(TmOp::Compute(gap));
+            ops.push(TmOp::End);
+            ops.push(TmOp::Compute(5));
+        }
+        ThreadTrace { ops }
+    };
+    TmWorkload { name: "fig12a".to_string(), threads: vec![thread(0), thread(3)] }
+}
+
+/// Fig. 12(b): thread 1 runs a short transaction that reads `A`; thread 2
+/// runs a longer transaction that writes `A` mid-flight. Eager squashes
+/// thread 1 at the store; Lazy commits thread 1 before thread 2's commit
+/// broadcast arrives, so no squash occurs.
+pub fn fig12b_eager_only_squash(iterations: usize) -> TmWorkload {
+    let mut t1 = Vec::new();
+    let mut t2 = Vec::new();
+    for _ in 0..iterations {
+        // Thread 1: short reader.
+        t1.push(TmOp::Begin);
+        t1.push(TmOp::Read(contended()));
+        t1.push(TmOp::Compute(40));
+        t1.push(TmOp::End);
+        t1.push(TmOp::Compute(200));
+        // Thread 2: long writer; the store lands while thread 1 is reading.
+        t2.push(TmOp::Begin);
+        t2.push(TmOp::Compute(20));
+        t2.push(TmOp::Write(contended()));
+        t2.push(TmOp::Compute(300));
+        t2.push(TmOp::End);
+    }
+    TmWorkload {
+        name: "fig12b".to_string(),
+        threads: vec![ThreadTrace { ops: t1 }, ThreadTrace { ops: t2 }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn livelock_pattern_shape() {
+        let w = fig12a_livelock(10, 50);
+        assert_eq!(w.threads.len(), 2);
+        for t in &w.threads {
+            t.validate(1).unwrap();
+            let reads = t.ops.iter().filter(|o| matches!(o, TmOp::Read(_))).count();
+            let writes = t.ops.iter().filter(|o| matches!(o, TmOp::Write(_))).count();
+            assert_eq!(reads, 10);
+            assert_eq!(writes, 10);
+        }
+    }
+
+    #[test]
+    fn fig12b_reader_is_shorter_than_writer() {
+        let w = fig12b_eager_only_squash(5);
+        let instrs = |t: &ThreadTrace| -> u64 {
+            t.ops
+                .iter()
+                .map(|o| match o {
+                    TmOp::Compute(n) => u64::from(*n),
+                    _ => 1,
+                })
+                .sum()
+        };
+        // Per iteration the reader tx itself is much shorter.
+        assert!(instrs(&w.threads[0]) < instrs(&w.threads[1]));
+        for t in &w.threads {
+            t.validate(1).unwrap();
+        }
+    }
+}

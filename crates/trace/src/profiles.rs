@@ -1,0 +1,277 @@
+//! Per-application workload profiles.
+//!
+//! One [`TlsProfile`] per SPECint2000 application of the paper's Table 6
+//! and one [`TmProfile`] per Java application of Table 7. Footprints
+//! (read/write/dependence set sizes) are taken directly from the paper;
+//! behavioural knobs (contention, live-in consumption, violation rates,
+//! nesting, the SPECjbb2000 RMW pattern) are tuned so the simulated runs
+//! land in the qualitative ranges the paper reports.
+
+use crate::{TlsProfile, TmProfile};
+
+/// The nine SPECint2000 stand-ins used in the TLS experiments
+/// (the paper runs all of SPECint2000 except eon, gcc and perlbmk).
+pub fn tls_profiles() -> Vec<TlsProfile> {
+    let base = TlsProfile {
+        name: "",
+        tasks: 400,
+        avg_task_instrs: 0,
+        rd_words: 0.0,
+        wr_words: 0.0,
+        live_ins: 1,
+        live_in_prob: 0.3,
+        violation_prob: 0.05,
+        word_share_prob: 0.2,
+        hot_words: 2048,
+        hot_read_frac: 0.45,
+        stream_frac: 0.15,
+        scatter_write_prob: 0.02,
+        imbalance: 0.15,
+    };
+    vec![
+        TlsProfile {
+            name: "bzip2",
+            avg_task_instrs: 300,
+            rd_words: 30.2,
+            wr_words: 4.9,
+            live_ins: 1,
+            live_in_prob: 0.15,
+            violation_prob: 0.08,
+            ..base.clone()
+        },
+        TlsProfile {
+            name: "crafty",
+            avg_task_instrs: 1100,
+            rd_words: 109.0,
+            wr_words: 23.2,
+            live_ins: 3,
+            live_in_prob: 0.12,
+            violation_prob: 0.06,
+            word_share_prob: 0.5,
+            ..base.clone()
+        },
+        TlsProfile {
+            name: "gap",
+            avg_task_instrs: 450,
+            rd_words: 42.4,
+            wr_words: 13.4,
+            live_ins: 7,
+            live_in_prob: 0.18,
+            violation_prob: 0.02,
+            ..base.clone()
+        },
+        TlsProfile {
+            name: "gzip",
+            avg_task_instrs: 160,
+            rd_words: 14.3,
+            wr_words: 4.8,
+            live_ins: 2,
+            live_in_prob: 0.16,
+            violation_prob: 0.10,
+            ..base.clone()
+        },
+        TlsProfile {
+            name: "mcf",
+            avg_task_instrs: 140,
+            rd_words: 12.3,
+            wr_words: 0.7,
+            live_ins: 1,
+            live_in_prob: 0.06,
+            violation_prob: 0.04,
+            word_share_prob: 0.05,
+            ..base.clone()
+        },
+        TlsProfile {
+            name: "parser",
+            avg_task_instrs: 320,
+            rd_words: 29.6,
+            wr_words: 7.1,
+            live_ins: 2,
+            live_in_prob: 0.15,
+            violation_prob: 0.07,
+            ..base.clone()
+        },
+        TlsProfile {
+            name: "twolf",
+            avg_task_instrs: 420,
+            rd_words: 41.1,
+            wr_words: 6.4,
+            live_ins: 1,
+            live_in_prob: 0.10,
+            violation_prob: 0.09,
+            ..base.clone()
+        },
+        TlsProfile {
+            name: "vortex",
+            avg_task_instrs: 380,
+            rd_words: 34.7,
+            wr_words: 23.5,
+            live_ins: 4,
+            live_in_prob: 0.12,
+            violation_prob: 0.03,
+            word_share_prob: 0.6,
+            ..base.clone()
+        },
+        TlsProfile {
+            name: "vpr",
+            avg_task_instrs: 430,
+            rd_words: 43.1,
+            wr_words: 8.7,
+            live_ins: 1,
+            live_in_prob: 0.10,
+            violation_prob: 0.05,
+            ..base
+        },
+    ]
+}
+
+/// The seven Java-workload stand-ins used in the TM experiments (Table 4):
+/// six Java Grande benchmarks plus SPECjbb2000.
+pub fn tm_profiles() -> Vec<TmProfile> {
+    let base = TmProfile {
+        name: "",
+        threads: 8,
+        txs_per_thread: 60,
+        rd_lines: 0.0,
+        wr_lines: 0.0,
+        hot_lines: 512,
+        hot_read_frac: 0.15,
+        heap_read_frac: 0.15,
+        hot_write_frac: 0.012,
+        nest_prob: 0.12,
+        rmw_prob: 0.0,
+        non_tx_accesses: 6,
+        non_tx_hot_write: 0.02,
+        compute_per_access: 10,
+        large_tx_prob: 0.06,
+        private_lines: 512,
+    };
+    vec![
+        TmProfile {
+            name: "cb",
+            rd_lines: 73.6,
+            wr_lines: 26.9,
+            hot_write_frac: 0.016,
+            ..base.clone()
+        },
+        TmProfile {
+            name: "jgrt",
+            rd_lines: 67.1,
+            wr_lines: 22.1,
+            hot_write_frac: 0.018,
+            ..base.clone()
+        },
+        TmProfile {
+            name: "lu",
+            rd_lines: 81.7,
+            wr_lines: 27.3,
+            hot_write_frac: 0.011,
+            ..base.clone()
+        },
+        TmProfile {
+            name: "mc",
+            rd_lines: 51.6,
+            wr_lines: 17.6,
+            hot_write_frac: 0.010,
+            ..base.clone()
+        },
+        TmProfile {
+            name: "moldyn",
+            rd_lines: 70.2,
+            wr_lines: 25.1,
+            hot_write_frac: 0.011,
+            ..base.clone()
+        },
+        TmProfile {
+            name: "series",
+            rd_lines: 86.9,
+            wr_lines: 25.9,
+            hot_write_frac: 0.010,
+            ..base.clone()
+        },
+        TmProfile {
+            name: "sjbb2k",
+            rd_lines: 41.6,
+            wr_lines: 11.2,
+            hot_write_frac: 0.010,
+            rmw_prob: 0.25,
+            non_tx_accesses: 10,
+            ..base
+        },
+    ]
+}
+
+/// Looks up a TLS profile by application name.
+pub fn tls_profile(name: &str) -> Option<TlsProfile> {
+    tls_profiles().into_iter().find(|p| p.name == name)
+}
+
+/// Looks up a TM profile by application name.
+pub fn tm_profile(name: &str) -> Option<TmProfile> {
+    tm_profiles().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_tls_apps_match_table6_footprints() {
+        let ps = tls_profiles();
+        assert_eq!(ps.len(), 9);
+        let expected = [
+            ("bzip2", 30.2, 4.9),
+            ("crafty", 109.0, 23.2),
+            ("gap", 42.4, 13.4),
+            ("gzip", 14.3, 4.8),
+            ("mcf", 12.3, 0.7),
+            ("parser", 29.6, 7.1),
+            ("twolf", 41.1, 6.4),
+            ("vortex", 34.7, 23.5),
+            ("vpr", 43.1, 8.7),
+        ];
+        for (name, rd, wr) in expected {
+            let p = tls_profile(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(p.rd_words, rd);
+            assert_eq!(p.wr_words, wr);
+        }
+    }
+
+    #[test]
+    fn seven_tm_apps_match_table7_footprints() {
+        let ps = tm_profiles();
+        assert_eq!(ps.len(), 7);
+        let expected = [
+            ("cb", 73.6, 26.9),
+            ("jgrt", 67.1, 22.1),
+            ("lu", 81.7, 27.3),
+            ("mc", 51.6, 17.6),
+            ("moldyn", 70.2, 25.1),
+            ("series", 86.9, 25.9),
+            ("sjbb2k", 41.6, 11.2),
+        ];
+        for (name, rd, wr) in expected {
+            let p = tm_profile(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(p.rd_lines, rd);
+            assert_eq!(p.wr_lines, wr);
+            assert_eq!(p.threads, 8);
+        }
+    }
+
+    #[test]
+    fn only_sjbb_has_the_rmw_pattern() {
+        for p in tm_profiles() {
+            if p.name == "sjbb2k" {
+                assert!(p.rmw_prob > 0.0);
+            } else {
+                assert_eq!(p.rmw_prob, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_miss_gracefully() {
+        assert!(tls_profile("eon").is_none());
+        assert!(tm_profile("nope").is_none());
+    }
+}

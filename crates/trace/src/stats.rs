@@ -1,0 +1,216 @@
+//! Static workload statistics: footprints and sharing measured directly on
+//! a trace, independent of any simulator. Used to validate that the
+//! generators hit the paper's Table 6/7 targets and useful for sizing
+//! signatures before a run.
+
+use std::collections::HashSet;
+
+use bulk_mem::{LineAddr, WordAddr};
+
+use crate::{TlsOp, TlsWorkload, TmOp, TmWorkload};
+
+/// Footprint statistics of a TM workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TmWorkloadStats {
+    /// Number of (outer) transactions.
+    pub transactions: usize,
+    /// Mean read-set size in lines per transaction.
+    pub avg_rd_lines: f64,
+    /// Mean write-set size in lines per transaction.
+    pub avg_wr_lines: f64,
+    /// Mean transactional accesses per transaction.
+    pub avg_accesses: f64,
+    /// Fraction of transactions containing a nested transaction.
+    pub nested_frac: f64,
+    /// Accesses outside any transaction.
+    pub non_tx_accesses: usize,
+    /// Distinct lines written by 2+ threads (transactionally).
+    pub shared_written_lines: usize,
+}
+
+/// Computes [`TmWorkloadStats`] for a workload.
+pub fn tm_workload_stats(w: &TmWorkload) -> TmWorkloadStats {
+    let mut transactions = 0usize;
+    let mut rd_total = 0usize;
+    let mut wr_total = 0usize;
+    let mut acc_total = 0usize;
+    let mut nested = 0usize;
+    let mut non_tx = 0usize;
+    let mut writers: std::collections::HashMap<LineAddr, HashSet<usize>> = Default::default();
+
+    for (tid, t) in w.threads.iter().enumerate() {
+        let mut depth = 0usize;
+        let mut rd: HashSet<LineAddr> = HashSet::new();
+        let mut wr: HashSet<LineAddr> = HashSet::new();
+        let mut was_nested = false;
+        for op in &t.ops {
+            match op {
+                TmOp::Begin => {
+                    depth += 1;
+                    if depth == 2 {
+                        was_nested = true;
+                    }
+                }
+                TmOp::End => {
+                    depth -= 1;
+                    if depth == 0 {
+                        transactions += 1;
+                        rd_total += rd.len();
+                        wr_total += wr.len();
+                        acc_total += rd.len() + wr.len();
+                        nested += usize::from(was_nested);
+                        rd.clear();
+                        wr.clear();
+                        was_nested = false;
+                    }
+                }
+                TmOp::Read(a) if depth > 0 => {
+                    rd.insert(a.line(64));
+                }
+                TmOp::Write(a) if depth > 0 => {
+                    let l = a.line(64);
+                    wr.insert(l);
+                    writers.entry(l).or_default().insert(tid);
+                }
+                TmOp::Read(_) | TmOp::Write(_) => non_tx += 1,
+                TmOp::Compute(_) => {}
+            }
+        }
+    }
+    let n = transactions.max(1) as f64;
+    TmWorkloadStats {
+        transactions,
+        avg_rd_lines: rd_total as f64 / n,
+        avg_wr_lines: wr_total as f64 / n,
+        avg_accesses: acc_total as f64 / n,
+        nested_frac: nested as f64 / n,
+        non_tx_accesses: non_tx,
+        shared_written_lines: writers.values().filter(|s| s.len() >= 2).count(),
+    }
+}
+
+/// Footprint statistics of a TLS workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TlsWorkloadStats {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Mean read-set size in words per task.
+    pub avg_rd_words: f64,
+    /// Mean write-set size in words per task.
+    pub avg_wr_words: f64,
+    /// Mean instructions per task.
+    pub avg_instrs: f64,
+    /// Fraction of tasks whose reads include a word some *earlier* task
+    /// writes (upward exposed sharing — squash candidates).
+    pub cross_task_read_frac: f64,
+}
+
+/// Computes [`TlsWorkloadStats`] for a workload.
+pub fn tls_workload_stats(w: &TlsWorkload) -> TlsWorkloadStats {
+    let mut rd_total = 0usize;
+    let mut wr_total = 0usize;
+    let mut instr_total = 0u64;
+    let mut cross = 0usize;
+    let mut written_before: HashSet<WordAddr> = HashSet::new();
+
+    for t in &w.tasks {
+        let mut rd: HashSet<WordAddr> = HashSet::new();
+        let mut wr: HashSet<WordAddr> = HashSet::new();
+        for op in &t.ops {
+            match op {
+                TlsOp::Read(a) => {
+                    rd.insert(a.word());
+                }
+                TlsOp::Write(a) => {
+                    wr.insert(a.word());
+                }
+                _ => {}
+            }
+        }
+        instr_total += t.instr_count();
+        rd_total += rd.len();
+        wr_total += wr.len();
+        if rd.iter().any(|w| written_before.contains(w)) {
+            cross += 1;
+        }
+        written_before.extend(wr);
+    }
+    let n = w.tasks.len().max(1) as f64;
+    TlsWorkloadStats {
+        tasks: w.tasks.len(),
+        avg_rd_words: rd_total as f64 / n,
+        avg_wr_words: wr_total as f64 / n,
+        avg_instrs: instr_total as f64 / n,
+        cross_task_read_frac: cross as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn tm_stats_track_table7_targets() {
+        for p in profiles::tm_profiles() {
+            let mut p = p;
+            p.txs_per_thread = 20;
+            let w = p.generate(11);
+            let s = tm_workload_stats(&w);
+            assert_eq!(s.transactions, p.threads * p.txs_per_thread, "{}", p.name);
+            assert!(
+                (s.avg_rd_lines - p.rd_lines).abs() < p.rd_lines * 0.35,
+                "{}: rd {} vs {}",
+                p.name,
+                s.avg_rd_lines,
+                p.rd_lines
+            );
+            assert!(
+                (s.avg_wr_lines - p.wr_lines).abs() < p.wr_lines * 0.35,
+                "{}: wr {} vs {}",
+                p.name,
+                s.avg_wr_lines,
+                p.wr_lines
+            );
+            if p.nest_prob > 0.0 {
+                assert!(s.nested_frac > 0.0, "{}", p.name);
+            }
+            assert!(s.non_tx_accesses > 0, "{}", p.name);
+            assert!(s.shared_written_lines > 0, "{}: contention exists", p.name);
+        }
+    }
+
+    #[test]
+    fn tls_stats_track_table6_targets() {
+        for p in profiles::tls_profiles() {
+            let mut p = p;
+            p.tasks = 150;
+            let w = p.generate(11);
+            let s = tls_workload_stats(&w);
+            assert_eq!(s.tasks, 150);
+            // Generators overshoot raw reads ~1.4x to compensate for set
+            // dedup; the deduplicated footprint should be near the target.
+            assert!(
+                (s.avg_rd_words - p.rd_words).abs() < p.rd_words * 0.45,
+                "{}: rd {} vs {}",
+                p.name,
+                s.avg_rd_words,
+                p.rd_words
+            );
+            assert!(s.avg_instrs > 0.0);
+            assert!(
+                s.cross_task_read_frac > 0.0,
+                "{}: tasks must share (live-ins / violations)",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn empty_workloads_are_safe() {
+        let s = tm_workload_stats(&TmWorkload::default());
+        assert_eq!(s.transactions, 0);
+        let s = tls_workload_stats(&TlsWorkload::default());
+        assert_eq!(s.tasks, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Exploring the signature design space (the paper's §7.5 in miniature):
+//! size vs accuracy vs commit-message cost, and why the bit permutation is
+//! a first-class design parameter.
+//!
+//! Run with `cargo run --release --example signature_tuning`.
+
+use bulk_repro::mem::Addr;
+use bulk_repro::sig::{
+    table8_spec, BitPermutation, Granularity, Signature, SignatureConfig,
+};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Measures the false-positive rate of disambiguating two disjoint address
+/// sets under `config`, over `trials` samples.
+fn false_positive_rate(config: &SignatureConfig, trials: usize, seed: u64) -> f64 {
+    let shared = config.clone().into_shared();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut fps = 0usize;
+    for _ in 0..trials {
+        let mut w = Signature::with_shared(shared.clone());
+        let mut r = Signature::with_shared(shared.clone());
+        // Writer touches one 32-line block, reader a different one —
+        // spatially clustered sets, as real footprints are.
+        let wb = rng.random_range(0..2048u32);
+        let rb = (wb + 1 + rng.random_range(0..2047u32)) % 2048;
+        // A clustered private block each...
+        for k in 0..20u32 {
+            w.insert_addr(Addr::new((wb * 64 + k) * 64));
+        }
+        for k in 0..38u32 {
+            r.insert_addr(Addr::new((rb * 64 + k) * 64));
+        }
+        // ...plus scattered shared-heap lines (disjoint by parity).
+        for _ in 0..2 {
+            let l = rng.random_range(0..65536u32) * 2;
+            w.insert_addr(Addr::new((1 << 23) + l * 64));
+        }
+        for _ in 0..30 {
+            let l = rng.random_range(0..65536u32) * 2 + 1;
+            r.insert_addr(Addr::new((1 << 23) + l * 64));
+        }
+        fps += usize::from(w.intersects(&r));
+    }
+    fps as f64 / trials as f64
+}
+
+fn main() {
+    println!("Signature design space: size vs accuracy vs wire cost\n");
+    println!("{:<6} {:>9} {:>10} {:>12} {:>12}", "config", "bits", "fp% (id)", "fp% (perm)", "commit bits");
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    for id in ["S1", "S4", "S9", "S14", "S19", "S23"] {
+        let spec = table8_spec(id).expect("catalog id");
+        let identity =
+            SignatureConfig::from_spec(spec, BitPermutation::identity(), Granularity::Line, 64);
+        // Try a handful of random permutations and keep the best.
+        let mut best = f64::INFINITY;
+        for _ in 0..6 {
+            let perm = BitPermutation::random(21, 0, &mut rng);
+            let cfg = SignatureConfig::from_spec(spec, perm, Granularity::Line, 64);
+            best = best.min(false_positive_rate(&cfg, 600, 42));
+        }
+        let fp_id = false_positive_rate(&identity, 600, 42);
+        // Wire cost of a typical 22-line write set.
+        let mut w = Signature::new(identity.clone());
+        for k in 0..22u32 {
+            w.insert_addr(Addr::new(0x4_0000 + k * 64));
+        }
+        println!(
+            "{:<6} {:>9} {:>10.1} {:>12.1} {:>12}",
+            id,
+            spec.full_size_bits(),
+            100.0 * fp_id,
+            100.0 * best,
+            w.compressed_size_bits(),
+        );
+    }
+
+    println!();
+    println!("Observations (matching the paper's §7.5):");
+    println!(" * accuracy improves quickly with size, then saturates;");
+    println!(" * a good permutation often beats a larger signature;");
+    println!(" * RLE keeps the commit message almost independent of the");
+    println!("   configured register size — it tracks the set size instead.");
+}

@@ -1,0 +1,76 @@
+//! A transactional-memory scenario: concurrent bank-account transfers.
+//!
+//! Eight tellers each run a stream of transfer transactions. Every
+//! transfer reads and writes two accounts out of a shared table, so some
+//! transactions conflict. The example hand-builds the [`TmWorkload`]
+//! (no synthetic profile involved) and compares how the paper's schemes
+//! handle the contention.
+//!
+//! Run with `cargo run --release --example tm_bank`.
+
+use bulk_repro::mem::Addr;
+use bulk_repro::sim::SimConfig;
+use bulk_repro::tm::{run_tm, Scheme};
+use bulk_repro::trace::{tm_region_line, ThreadTrace, TmOp, TmWorkload};
+
+/// Byte address of an account's balance (one per cache line, in the shared
+/// hot region so the addresses exercise the signatures realistically).
+fn account(i: u32) -> Addr {
+    Addr::new(tm_region_line(0, i % 512).raw() << 6)
+}
+
+fn build_workload(tellers: u32, transfers: usize, accounts: u32) -> TmWorkload {
+    let mut threads = Vec::new();
+    for t in 0..tellers {
+        let mut ops = Vec::new();
+        // A simple deterministic PRNG per teller so the example needs no
+        // external randomness.
+        let mut state = 0x9e37_79b9u32.wrapping_mul(t + 1);
+        let mut next = |m: u32| {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state % m
+        };
+        for _ in 0..transfers {
+            let from = next(accounts);
+            let to = (from + 1 + next(accounts - 1)) % accounts;
+            ops.push(TmOp::Begin);
+            ops.push(TmOp::Read(account(from)));
+            ops.push(TmOp::Read(account(to)));
+            ops.push(TmOp::Compute(30)); // validate, compute fees
+            ops.push(TmOp::Write(account(from)));
+            ops.push(TmOp::Write(account(to)));
+            ops.push(TmOp::End);
+            ops.push(TmOp::Compute(60)); // non-transactional bookkeeping
+        }
+        threads.push(ThreadTrace { ops });
+    }
+    TmWorkload { name: "bank".to_string(), threads }
+}
+
+fn main() {
+    let cfg = SimConfig::tm_default();
+    println!("Bank transfers: 8 tellers x 200 transfers over N shared accounts\n");
+    for accounts in [16u32, 64, 256] {
+        println!("--- {accounts} accounts (contention {}) ---",
+            if accounts <= 16 { "high" } else if accounts <= 64 { "medium" } else { "low" });
+        let wl = build_workload(8, 200, accounts);
+        for scheme in [Scheme::Eager, Scheme::Lazy, Scheme::Bulk] {
+            let stats = run_tm(&wl, scheme, &cfg);
+            println!(
+                "  {scheme:<12} commits={:4}  squashes={:4} (false {:2})  stalls={:3}  cycles={:8}  commit-bw={}B",
+                stats.commits,
+                stats.squashes,
+                stats.false_squashes,
+                stats.stalls,
+                stats.cycles,
+                stats.bw.commit_bytes(),
+            );
+        }
+        println!();
+    }
+    println!("Higher contention means more squashes everywhere; Bulk tracks Lazy");
+    println!("closely while broadcasting compressed signatures instead of");
+    println!("address lists (compare the commit-bw column).");
+}

@@ -1,0 +1,174 @@
+//! End-to-end integration tests spanning the whole workspace: full TM and
+//! TLS application runs, checked against the paper's qualitative claims.
+
+use bulk_repro::sim::SimConfig;
+use bulk_repro::tls::{run_tls, run_tls_sequential, TlsScheme};
+use bulk_repro::tm::{run_tm, Scheme, TmMachine};
+use bulk_repro::trace::{patterns, profiles};
+
+#[test]
+fn tm_bulk_commits_everything_every_app() {
+    let cfg = SimConfig::tm_default();
+    for p in profiles::tm_profiles() {
+        let mut p = p;
+        p.txs_per_thread = 15;
+        let wl = p.generate(1);
+        let stats = run_tm(&wl, Scheme::Bulk, &cfg);
+        assert_eq!(
+            stats.commits as usize,
+            p.threads * p.txs_per_thread,
+            "{}: every transaction must eventually commit",
+            p.name
+        );
+        assert!(!stats.livelocked, "{}", p.name);
+    }
+}
+
+#[test]
+fn tm_schemes_agree_on_committed_work() {
+    let cfg = SimConfig::tm_default();
+    let mut p = profiles::tm_profile("mc").unwrap();
+    p.txs_per_thread = 20;
+    let wl = p.generate(3);
+    let expected = (p.threads * p.txs_per_thread) as u64;
+    for s in [Scheme::Eager, Scheme::Lazy, Scheme::Bulk, Scheme::BulkPartial] {
+        let stats = run_tm(&wl, s, &cfg);
+        assert_eq!(stats.commits, expected, "{s}");
+    }
+}
+
+#[test]
+fn tm_bulk_commit_bandwidth_beats_lazy() {
+    let cfg = SimConfig::tm_default();
+    let mut p = profiles::tm_profile("lu").unwrap();
+    p.txs_per_thread = 20;
+    let wl = p.generate(5);
+    let lazy = run_tm(&wl, Scheme::Lazy, &cfg);
+    let bulk = run_tm(&wl, Scheme::Bulk, &cfg);
+    // The paper reports an 83% average reduction; assert a healthy margin.
+    assert!(
+        (bulk.bw.commit_bytes() as f64) < 0.5 * lazy.bw.commit_bytes() as f64,
+        "bulk {} vs lazy {}",
+        bulk.bw.commit_bytes(),
+        lazy.bw.commit_bytes()
+    );
+    // Same number of commit broadcasts.
+    assert_eq!(bulk.bw.commit_count(), lazy.bw.commit_count());
+}
+
+#[test]
+fn tm_signature_inexactness_only_adds_squashes() {
+    let cfg = SimConfig::tm_default();
+    let mut p = profiles::tm_profile("moldyn").unwrap();
+    p.txs_per_thread = 20;
+    let wl = p.generate(9);
+    let lazy = run_tm(&wl, Scheme::Lazy, &cfg);
+    let bulk = run_tm(&wl, Scheme::Bulk, &cfg);
+    assert_eq!(lazy.false_squashes, 0, "exact scheme has no false positives");
+    // Bulk's additional squashes over Lazy are bounded by its false ones
+    // plus cascade noise; mainly: false squashes exist only under Bulk.
+    assert!(bulk.false_squashes <= bulk.squashes);
+}
+
+#[test]
+fn fig12a_livelock_and_fix() {
+    let cfg = SimConfig::tm_default();
+    let w = patterns::fig12a_livelock(40, 400);
+    let mut naive = TmMachine::new(&w, Scheme::EagerNaive, &cfg);
+    naive.set_squash_cap(2_000);
+    assert!(naive.run().livelocked);
+    let fixed = run_tm(&w, Scheme::Eager, &cfg);
+    assert!(!fixed.livelocked);
+    assert_eq!(fixed.commits, 80);
+}
+
+#[test]
+fn tls_all_schemes_commit_all_tasks_and_bulk_tracks_lazy() {
+    let cfg = SimConfig::tls_default();
+    let mut p = profiles::tls_profile("parser").unwrap();
+    p.tasks = 120;
+    let wl = p.generate(2);
+    let seq = run_tls_sequential(&wl, &cfg);
+    let mut cycles = Vec::new();
+    for s in TlsScheme::ALL {
+        let stats = run_tls(&wl, s, &cfg);
+        assert_eq!(stats.commits as usize, p.tasks, "{s}");
+        assert!(stats.cycles < seq, "{s} must beat sequential here");
+        cycles.push((s, stats.cycles));
+    }
+    // Bulk within 25% of Lazy on this workload.
+    let lazy = cycles.iter().find(|(s, _)| *s == TlsScheme::Lazy).unwrap().1;
+    let bulk = cycles.iter().find(|(s, _)| *s == TlsScheme::Bulk).unwrap().1;
+    assert!((bulk as f64) < lazy as f64 * 1.25, "bulk {bulk} vs lazy {lazy}");
+}
+
+#[test]
+fn tls_partial_overlap_saves_live_in_squashes() {
+    let cfg = SimConfig::tls_default();
+    let mut p = profiles::tls_profile("gap").unwrap(); // many live-ins
+    p.tasks = 120;
+    p.live_in_prob = 1.0; // every task consumes its parent's live-ins
+    p.violation_prob = 0.0; // no true violations
+    let wl = p.generate(4);
+    let with = run_tls(&wl, TlsScheme::Bulk, &cfg);
+    let without = run_tls(&wl, TlsScheme::BulkNoOverlap, &cfg);
+    assert!(
+        without.squashes > with.squashes + 50,
+        "overlap {} vs no-overlap {}",
+        with.squashes,
+        without.squashes
+    );
+    assert!(without.cycles > with.cycles);
+}
+
+#[test]
+fn tls_word_level_merges_happen_in_sharing_workloads() {
+    let cfg = SimConfig::tls_default();
+    let mut p = profiles::tls_profile("vortex").unwrap(); // word_share 0.6
+    p.tasks = 200;
+    let wl = p.generate(6);
+    let stats = run_tls(&wl, TlsScheme::Bulk, &cfg);
+    assert!(
+        stats.line_merges > 0,
+        "adjacent tasks write different words of shared lines: {stats:?}"
+    );
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let tm_cfg = SimConfig::tm_default();
+    let tls_cfg = SimConfig::tls_default();
+    let mut tp = profiles::tm_profile("cb").unwrap();
+    tp.txs_per_thread = 10;
+    let tw = tp.generate(8);
+    let a = run_tm(&tw, Scheme::BulkPartial, &tm_cfg);
+    let b = run_tm(&tw, Scheme::BulkPartial, &tm_cfg);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.bw.total(), b.bw.total());
+
+    let mut lp = profiles::tls_profile("twolf").unwrap();
+    lp.tasks = 80;
+    let lw = lp.generate(8);
+    let c = run_tls(&lw, TlsScheme::BulkNoOverlap, &tls_cfg);
+    let d = run_tls(&lw, TlsScheme::BulkNoOverlap, &tls_cfg);
+    assert_eq!(c.cycles, d.cycles);
+    assert_eq!(c.squashes, d.squashes);
+}
+
+#[test]
+fn overflow_filtering_keeps_bulk_accesses_low() {
+    let cfg = SimConfig::tm_default();
+    let mut p = profiles::tm_profile("cb").unwrap();
+    p.txs_per_thread = 25;
+    p.large_tx_prob = 0.2; // force plenty of cache overflow
+    let wl = p.generate(12);
+    let lazy = run_tm(&wl, Scheme::Lazy, &cfg);
+    let bulk = run_tm(&wl, Scheme::Bulk, &cfg);
+    assert!(lazy.overflow_accesses > 0, "workload must overflow");
+    assert!(
+        (bulk.overflow_accesses as f64) < 0.5 * lazy.overflow_accesses as f64,
+        "bulk {} vs lazy {}",
+        bulk.overflow_accesses,
+        lazy.overflow_accesses
+    );
+}

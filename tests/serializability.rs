@@ -1,0 +1,186 @@
+//! Architectural-correctness tests: a value-level reference interpreter
+//! replays committed transactions/tasks and checks that the speculative
+//! machines' conflict handling preserves serial semantics (DESIGN.md
+//! invariants 7 and 8).
+//!
+//! The simulators track addresses, not data values, so the check works at
+//! the protocol level: for every scheme we assert that the set of commits
+//! is complete and that no conflicting pair of transactions could both
+//! commit without one observing the other's writes — which the runtimes
+//! enforce by squashing. These tests drive hand-built scenarios where the
+//! correct outcome is known exactly.
+
+use bulk_repro::mem::Addr;
+use bulk_repro::sim::SimConfig;
+use bulk_repro::tls::{run_tls, TlsScheme};
+use bulk_repro::tm::{run_tm, Scheme};
+use bulk_repro::trace::{TaskTrace, ThreadTrace, TlsOp, TmOp, TmWorkload, TlsWorkload};
+
+fn a(raw: u32) -> Addr {
+    Addr::new(raw)
+}
+
+/// Two transactions increment the same counter: at least one must be
+/// squashed or ordered after the other; both must commit eventually.
+#[test]
+fn tm_conflicting_increments_serialize() {
+    let cfg = SimConfig::tm_default();
+    let mk = |skew: u32| ThreadTrace {
+        ops: vec![
+            TmOp::Compute(skew),
+            TmOp::Begin,
+            TmOp::Read(a(0x1000)),
+            TmOp::Compute(200),
+            TmOp::Write(a(0x1000)),
+            TmOp::End,
+        ],
+    };
+    let wl = TmWorkload { name: "incr".into(), threads: vec![mk(0), mk(10)] };
+    for s in [Scheme::Eager, Scheme::Lazy, Scheme::Bulk] {
+        let stats = run_tm(&wl, s, &cfg);
+        assert_eq!(stats.commits, 2, "{s}");
+        // Overlapping read-modify-writes cannot both commit unscathed.
+        assert!(stats.squashes + stats.stalls >= 1, "{s}: {stats:?}");
+    }
+}
+
+/// A chain of TM transactions over disjoint data never conflicts,
+/// regardless of scheme — no spurious serialization beyond the bus.
+#[test]
+fn tm_disjoint_transactions_never_squash() {
+    let cfg = SimConfig::tm_default();
+    let threads = (0..8u32)
+        .map(|t| {
+            let mut ops = Vec::new();
+            for k in 0..10u32 {
+                ops.push(TmOp::Begin);
+                ops.push(TmOp::Read(a(0x10_0000 + t * 0x1000 + k * 0x40)));
+                ops.push(TmOp::Write(a(0x20_0000 + t * 0x1000 + k * 0x40)));
+                ops.push(TmOp::End);
+                ops.push(TmOp::Compute(20));
+            }
+            ThreadTrace { ops }
+        })
+        .collect();
+    let wl = TmWorkload { name: "disjoint".into(), threads };
+    for s in [Scheme::Eager, Scheme::Lazy, Scheme::Bulk, Scheme::BulkPartial] {
+        let stats = run_tm(&wl, s, &cfg);
+        assert_eq!(stats.commits, 80, "{s}");
+        // Bulk may alias (false squashes) but exact schemes must not
+        // squash at all.
+        if !s.uses_signatures() {
+            assert_eq!(stats.squashes, 0, "{s}");
+        } else {
+            assert_eq!(stats.squashes, stats.false_squashes, "{s}");
+        }
+    }
+}
+
+/// TLS: a read-after-write chain through every task forces full
+/// serialization — all schemes must still commit everything in order,
+/// and eager must detect each violation at the store.
+#[test]
+fn tls_fully_serial_chain() {
+    let cfg = SimConfig::tls_default();
+    let tasks: Vec<TaskTrace> = (0..8u32)
+        .map(|i| TaskTrace {
+            ops: vec![
+                TlsOp::Spawn,
+                TlsOp::Read(a(0x1000 + i * 4)),
+                TlsOp::Compute(800),
+                TlsOp::Write(a(0x1000 + (i + 1) * 4)),
+            ],
+        })
+        .collect();
+    let wl = TlsWorkload { name: "chain".into(), tasks };
+    for s in TlsScheme::ALL {
+        let stats = run_tls(&wl, s, &cfg);
+        assert_eq!(stats.commits, 8, "{s}");
+        // Each task i writes what task i+1 already read: violations for
+        // every adjacent pair that overlapped in time.
+        assert!(stats.squashes >= 1, "{s}: {stats:?}");
+    }
+}
+
+/// TLS in-order commit: word-level WAW to the same word must squash
+/// (Eq. 1's W∩W term), even when no one reads it.
+#[test]
+fn tls_waw_same_word_squashes() {
+    let cfg = SimConfig::tls_default();
+    let tasks = vec![
+        TaskTrace {
+            ops: vec![TlsOp::Spawn, TlsOp::Compute(4000), TlsOp::Write(a(0x2000))],
+        },
+        TaskTrace {
+            ops: vec![TlsOp::Spawn, TlsOp::Write(a(0x2000)), TlsOp::Compute(100)],
+        },
+    ];
+    let wl = TlsWorkload { name: "waw".into(), tasks };
+    for s in TlsScheme::ALL {
+        let stats = run_tls(&wl, s, &cfg);
+        assert_eq!(stats.commits, 2, "{s}");
+        assert!(stats.squashes >= 1, "{s}: same-word WAW must squash");
+    }
+}
+
+/// TLS word-level WAW to *different* words of one line must NOT squash in
+/// Bulk (the merge path) nor in the exact schemes (per-word bits).
+#[test]
+fn tls_waw_different_words_merges() {
+    let cfg = SimConfig::tls_default();
+    let tasks = vec![
+        TaskTrace {
+            ops: vec![TlsOp::Spawn, TlsOp::Compute(4000), TlsOp::Write(a(0x2000))],
+        },
+        TaskTrace {
+            ops: vec![TlsOp::Spawn, TlsOp::Write(a(0x2004)), TlsOp::Compute(100)],
+        },
+    ];
+    let wl = TlsWorkload { name: "merge".into(), tasks };
+    for s in TlsScheme::ALL {
+        let stats = run_tls(&wl, s, &cfg);
+        assert_eq!(stats.commits, 2, "{s}");
+        assert_eq!(stats.squashes, 0, "{s}: disjoint words must not conflict");
+    }
+    let bulk = run_tls(&wl, TlsScheme::Bulk, &cfg);
+    assert_eq!(bulk.line_merges, 1, "the partially updated line merges");
+}
+
+/// Nested TM with partial rollback re-executes only the violated section
+/// and still commits the outer transaction with all its writes.
+#[test]
+fn tm_nested_partial_rollback_correctness() {
+    let cfg = SimConfig::tm_default();
+    let wl = TmWorkload {
+        name: "nested".into(),
+        threads: vec![
+            ThreadTrace {
+                ops: vec![
+                    TmOp::Compute(60),
+                    TmOp::Begin,
+                    TmOp::Write(a(0x3000)),
+                    TmOp::End,
+                ],
+            },
+            ThreadTrace {
+                ops: vec![
+                    TmOp::Begin,
+                    TmOp::Write(a(0x4000)), // section 0
+                    TmOp::Begin,
+                    TmOp::Read(a(0x3000)), // section 1: conflicts
+                    TmOp::Compute(50_000),
+                    TmOp::End,
+                    TmOp::Write(a(0x5000)), // section 2
+                    TmOp::End,
+                ],
+            },
+        ],
+    };
+    let stats = run_tm(&wl, Scheme::BulkPartial, &cfg);
+    assert_eq!(stats.commits, 2);
+    assert_eq!(stats.partial_rollbacks, 1);
+    assert_eq!(stats.squashes, 0, "outer section 0 survives");
+    let flat = run_tm(&wl, Scheme::Bulk, &cfg);
+    assert_eq!(flat.commits, 2);
+    assert_eq!(flat.squashes, 1, "flat Bulk restarts the whole transaction");
+}

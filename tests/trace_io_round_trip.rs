@@ -1,0 +1,38 @@
+//! Cross-crate check: a workload serialized through the text trace format
+//! drives the simulators to bit-identical results.
+
+use bulk_repro::sim::SimConfig;
+use bulk_repro::tls::{run_tls, TlsScheme};
+use bulk_repro::tm::{run_tm, Scheme};
+use bulk_repro::trace::{io, profiles};
+
+#[test]
+fn tm_results_identical_through_serialization() {
+    let mut p = profiles::tm_profile("sjbb2k").unwrap();
+    p.txs_per_thread = 8;
+    let original = p.generate(21);
+    let replayed = io::tm_from_str(&io::tm_to_string(&original)).expect("round trip");
+    let cfg = SimConfig::tm_default();
+    for s in [Scheme::Eager, Scheme::Lazy, Scheme::Bulk] {
+        let a = run_tm(&original, s, &cfg);
+        let b = run_tm(&replayed, s, &cfg);
+        assert_eq!(a.cycles, b.cycles, "{s}");
+        assert_eq!(a.squashes, b.squashes, "{s}");
+        assert_eq!(a.bw.total(), b.bw.total(), "{s}");
+    }
+}
+
+#[test]
+fn tls_results_identical_through_serialization() {
+    let mut p = profiles::tls_profile("twolf").unwrap();
+    p.tasks = 60;
+    let original = p.generate(22);
+    let replayed = io::tls_from_str(&io::tls_to_string(&original)).expect("round trip");
+    let cfg = SimConfig::tls_default();
+    for s in [TlsScheme::Lazy, TlsScheme::Bulk] {
+        let a = run_tls(&original, s, &cfg);
+        let b = run_tls(&replayed, s, &cfg);
+        assert_eq!(a.cycles, b.cycles, "{s}");
+        assert_eq!(a.squashes, b.squashes, "{s}");
+    }
+}
