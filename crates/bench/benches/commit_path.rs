@@ -1,11 +1,13 @@
 //! The commit and squash paths: Bulk's clear-a-register commit and
 //! signature-expansion bulk invalidation, versus a conventional scheme's
 //! address enumeration and tag walk.
+//!
+//! Results land in `BENCH_commit_path.json` (see `bulk_bench::timer`).
 
+use bulk_bench::BenchSuite;
 use bulk_core::{flows, Bdm};
 use bulk_mem::{Addr, Cache, CacheGeometry};
 use bulk_sig::{Signature, SignatureConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn write_set(n: u32) -> Vec<Addr> {
@@ -14,8 +16,7 @@ fn write_set(n: u32) -> Vec<Addr> {
         .collect()
 }
 
-fn bench_commit_message(c: &mut Criterion) {
-    let mut g = c.benchmark_group("commit_message");
+fn bench_commit_message(suite: &mut BenchSuite) {
     for n in [22u32, 100] {
         let ws = write_set(n);
         // Bulk: compress the write signature.
@@ -23,79 +24,70 @@ fn bench_commit_message(c: &mut Criterion) {
         for a in &ws {
             sig.insert_addr(*a);
         }
-        g.bench_function(BenchmarkId::new("bulk_compress_sig", n), |b| {
-            b.iter(|| black_box(sig.compress()))
+        suite.bench("commit_message", format!("bulk_compress_sig/{n}"), || {
+            black_box(sig.compress())
         });
         // Conventional: serialize the address list.
-        g.bench_function(BenchmarkId::new("lazy_enumerate_addrs", n), |b| {
-            b.iter(|| {
-                let mut buf = Vec::with_capacity(ws.len() * 4);
-                for a in &ws {
-                    buf.extend_from_slice(&a.raw().to_le_bytes());
-                }
-                black_box(buf)
-            })
+        suite.bench("commit_message", format!("lazy_enumerate_addrs/{n}"), || {
+            let mut buf = Vec::with_capacity(ws.len() * 4);
+            for a in &ws {
+                buf.extend_from_slice(&a.raw().to_le_bytes());
+            }
+            black_box(buf)
         });
     }
-    g.finish();
 }
 
-fn bench_squash_invalidation(c: &mut Criterion) {
+fn bench_squash_invalidation(suite: &mut BenchSuite) {
     let geom = CacheGeometry::tm_l1();
-    let mut g = c.benchmark_group("squash_invalidation");
     for n in [8u32, 64] {
-        g.bench_function(BenchmarkId::new("bulk_expansion", n), |b| {
-            b.iter_batched(
-                || {
-                    let mut bdm = Bdm::new(SignatureConfig::s14_tm(), geom, 1);
-                    let v = bdm.alloc_version().expect("slot");
-                    let mut cache = Cache::new(geom);
-                    for a in write_set(n) {
-                        bdm.record_store(v, a);
-                        cache.fill_dirty(a.line(64));
-                    }
-                    (bdm, v, cache)
-                },
-                |(mut bdm, v, mut cache)| {
-                    black_box(flows::squash(&mut bdm, v, &mut cache, false))
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
-        g.bench_function(BenchmarkId::new("conventional_tag_walk", n), |b| {
-            b.iter_batched(
-                || {
-                    let mut cache = Cache::new(geom);
-                    let ws: Vec<_> = write_set(n).iter().map(|a| a.line(64)).collect();
-                    for &l in &ws {
-                        cache.fill_dirty(l);
-                    }
-                    (cache, ws)
-                },
-                |(mut cache, ws)| {
-                    // Walk every cache set and tag, as a scheme with
-                    // per-line speculative bits must.
-                    let mut dropped = 0;
-                    for set in 0..geom.num_sets() {
-                        let lines: Vec<_> =
-                            cache.lines_in_set(set).iter().map(|l| l.addr()).collect();
-                        for l in lines {
-                            if ws.contains(&l) {
-                                cache.invalidate(l);
-                                dropped += 1;
-                            }
+        suite.bench_batched(
+            "squash_invalidation",
+            format!("bulk_expansion/{n}"),
+            || {
+                let mut bdm = Bdm::new(SignatureConfig::s14_tm(), geom, 1);
+                let v = bdm.alloc_version().expect("slot");
+                let mut cache = Cache::new(geom);
+                for a in write_set(n) {
+                    bdm.record_store(v, a);
+                    cache.fill_dirty(a.line(64));
+                }
+                (bdm, v, cache)
+            },
+            |(mut bdm, v, mut cache)| black_box(flows::squash(&mut bdm, v, &mut cache, false)),
+        );
+        suite.bench_batched(
+            "squash_invalidation",
+            format!("conventional_tag_walk/{n}"),
+            || {
+                let mut cache = Cache::new(geom);
+                let ws: Vec<_> = write_set(n).iter().map(|a| a.line(64)).collect();
+                for &l in &ws {
+                    cache.fill_dirty(l);
+                }
+                (cache, ws)
+            },
+            |(mut cache, ws)| {
+                // Walk every cache set and tag, as a scheme with
+                // per-line speculative bits must.
+                let mut dropped = 0;
+                for set in 0..geom.num_sets() {
+                    let lines: Vec<_> =
+                        cache.lines_in_set(set).iter().map(|l| l.addr()).collect();
+                    for l in lines {
+                        if ws.contains(&l) {
+                            cache.invalidate(l);
+                            dropped += 1;
                         }
                     }
-                    black_box(dropped)
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+                }
+                black_box(dropped)
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_expansion(c: &mut Criterion) {
+fn bench_expansion(suite: &mut BenchSuite) {
     let geom = CacheGeometry::tm_l1();
     let mut cache = Cache::new(geom);
     for i in 0..400u32 {
@@ -105,10 +97,15 @@ fn bench_expansion(c: &mut Criterion) {
     for a in write_set(22) {
         sig.insert_addr(a);
     }
-    c.bench_function("signature_expansion_400lines", |b| {
-        b.iter(|| black_box(sig.expand(&cache)))
+    suite.bench("expansion", "signature_expansion_400lines", || {
+        black_box(sig.expand(&cache))
     });
 }
 
-criterion_group!(benches, bench_commit_message, bench_squash_invalidation, bench_expansion);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::from_args("commit_path");
+    bench_commit_message(&mut suite);
+    bench_squash_invalidation(&mut suite);
+    bench_expansion(&mut suite);
+    suite.finish();
+}

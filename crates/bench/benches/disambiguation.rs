@@ -2,10 +2,12 @@
 //! exact per-address disambiguation (probing every committed address
 //! against the receiver's sets) — the paper's "single-operation full
 //! address disambiguation" simplification, quantified.
+//!
+//! Results land in `BENCH_disambiguation.json` (see `bulk_bench::timer`).
 
+use bulk_bench::BenchSuite;
 use bulk_mem::{Addr, LineAddr};
 use bulk_sig::{Signature, SignatureConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashSet;
 use std::hint::black_box;
 
@@ -15,8 +17,8 @@ fn addresses(n: u32, salt: u32) -> Vec<Addr> {
         .collect()
 }
 
-fn bench_disambiguation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("disambiguation");
+fn main() {
+    let mut suite = BenchSuite::from_args("disambiguation");
     for (wc_n, r_n) in [(22u32, 90u32), (100, 400)] {
         let label = format!("{wc_n}w_{r_n}r");
         let wc = addresses(wc_n, 0x1111);
@@ -32,23 +34,13 @@ fn bench_disambiguation(c: &mut Criterion) {
         for a in &rset {
             r_sig.insert_addr(*a);
         }
-        g.bench_function(BenchmarkId::new("bulk", &label), |b| {
-            b.iter(|| black_box(w_sig.intersects(black_box(&r_sig))))
-        });
+        suite.bench("bulk", &label, || black_box(w_sig.intersects(black_box(&r_sig))));
 
         // Conventional: hash-set membership per committed address.
         let exact: HashSet<LineAddr> = rset.iter().map(|a| a.line(64)).collect();
-        g.bench_function(BenchmarkId::new("exact_per_address", &label), |b| {
-            b.iter(|| {
-                black_box(
-                    wc.iter()
-                        .any(|a| exact.contains(&black_box(*a).line(64))),
-                )
-            })
+        suite.bench("exact_per_address", &label, || {
+            black_box(wc.iter().any(|a| exact.contains(&black_box(*a).line(64))))
         });
     }
-    g.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_disambiguation);
-criterion_main!(benches);

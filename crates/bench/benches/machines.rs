@@ -2,43 +2,39 @@
 //! per scheme. These benches track the simulator itself (how fast the
 //! reproduction runs), complementing the experiment binaries that measure
 //! the simulated machines.
+//!
+//! Results land in `BENCH_machines.json` (see `bulk_bench::timer`).
 
+use bulk_bench::BenchSuite;
 use bulk_sim::SimConfig;
 use bulk_tls::{run_tls, TlsScheme};
 use bulk_tm::{run_tm, Scheme};
 use bulk_trace::profiles;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_tm(c: &mut Criterion) {
+fn bench_tm(suite: &mut BenchSuite) {
     let cfg = SimConfig::tm_default();
     let mut p = profiles::tm_profile("mc").expect("profile");
     p.txs_per_thread = 10;
     let wl = p.generate(42);
-    let mut g = c.benchmark_group("tm_machine");
-    g.sample_size(10);
     for s in [Scheme::Eager, Scheme::Lazy, Scheme::Bulk, Scheme::BulkPartial] {
-        g.bench_function(BenchmarkId::from_parameter(s), |b| {
-            b.iter(|| black_box(run_tm(&wl, s, &cfg)))
-        });
+        suite.bench("tm_machine", s, || black_box(run_tm(&wl, s, &cfg)));
     }
-    g.finish();
 }
 
-fn bench_tls(c: &mut Criterion) {
+fn bench_tls(suite: &mut BenchSuite) {
     let cfg = SimConfig::tls_default();
     let mut p = profiles::tls_profile("gzip").expect("profile");
     p.tasks = 80;
     let wl = p.generate(42);
-    let mut g = c.benchmark_group("tls_machine");
-    g.sample_size(10);
     for s in TlsScheme::ALL {
-        g.bench_function(BenchmarkId::from_parameter(s), |b| {
-            b.iter(|| black_box(run_tls(&wl, s, &cfg)))
-        });
+        suite.bench("tls_machine", s, || black_box(run_tls(&wl, s, &cfg)));
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_tm, bench_tls);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::from_args("machines");
+    bench_tm(&mut suite);
+    bench_tls(&mut suite);
+    suite.finish();
+}

@@ -1,10 +1,12 @@
 //! Microbenchmarks of the primitive bulk operations (paper Table 1):
 //! insert, membership, intersection, union, δ decode and RLE compression,
 //! across representative Table 8 configurations.
+//!
+//! Results land in `BENCH_sig_ops.json` (see `bulk_bench::timer`).
 
+use bulk_bench::BenchSuite;
 use bulk_mem::{Addr, CacheGeometry};
 use bulk_sig::{table8_spec, BitPermutation, Granularity, Signature, SignatureConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn config(id: &str) -> SignatureConfig {
@@ -24,90 +26,70 @@ fn filled(cfg: &SignatureConfig, n: u32) -> Signature {
     s
 }
 
-fn bench_insert(c: &mut Criterion) {
-    let mut g = c.benchmark_group("insert");
+fn bench_insert(suite: &mut BenchSuite) {
     for id in ["S1", "S14", "S23"] {
         let cfg = config(id);
-        g.bench_with_input(BenchmarkId::from_parameter(id), &cfg, |b, cfg| {
-            let mut s = Signature::new(cfg.clone());
-            let mut i = 0u32;
-            b.iter(|| {
-                i = i.wrapping_add(0x40);
-                s.insert_addr(black_box(Addr::new(i)));
-            });
+        let mut s = Signature::new(cfg.clone());
+        let mut i = 0u32;
+        suite.bench("insert", id, || {
+            i = i.wrapping_add(0x40);
+            s.insert_addr(black_box(Addr::new(i)));
         });
     }
-    g.finish();
 }
 
-fn bench_membership(c: &mut Criterion) {
-    let mut g = c.benchmark_group("membership");
+fn bench_membership(suite: &mut BenchSuite) {
     for id in ["S1", "S14", "S23"] {
-        let cfg = config(id);
-        let s = filled(&cfg, 22);
-        g.bench_with_input(BenchmarkId::from_parameter(id), &s, |b, s| {
-            let mut i = 0u32;
-            b.iter(|| {
-                i = i.wrapping_add(0x40);
-                black_box(s.contains_addr(black_box(Addr::new(i))))
-            });
+        let s = filled(&config(id), 22);
+        let mut i = 0u32;
+        suite.bench("membership", id, || {
+            i = i.wrapping_add(0x40);
+            black_box(s.contains_addr(black_box(Addr::new(i))))
         });
     }
-    g.finish();
 }
 
-fn bench_intersect_and_union(c: &mut Criterion) {
-    let mut g = c.benchmark_group("set_ops");
+fn bench_intersect_and_union(suite: &mut BenchSuite) {
     for id in ["S1", "S14", "S23"] {
         let cfg = config(id);
         let a = filled(&cfg, 22);
         let bsig = filled(&cfg, 68);
-        g.bench_function(BenchmarkId::new("intersects", id), |bench| {
-            bench.iter(|| black_box(a.intersects(black_box(&bsig))))
+        suite.bench("set_ops", format!("intersects/{id}"), || {
+            black_box(a.intersects(black_box(&bsig)))
         });
-        g.bench_function(BenchmarkId::new("union", id), |bench| {
-            bench.iter(|| black_box(a.union(black_box(&bsig))))
+        suite.bench("set_ops", format!("union/{id}"), || {
+            black_box(a.union(black_box(&bsig)))
         });
     }
-    g.finish();
 }
 
-fn bench_decode(c: &mut Criterion) {
+fn bench_decode(suite: &mut BenchSuite) {
     let geom = CacheGeometry::tm_l1();
-    let mut g = c.benchmark_group("decode");
     for n in [4u32, 22, 68] {
-        let cfg = config("S14");
-        let s = filled(&cfg, n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
-            b.iter(|| black_box(s.decode_sets(&geom)))
-        });
+        let s = filled(&config("S14"), n);
+        suite.bench("decode", n, || black_box(s.decode_sets(&geom)));
     }
-    g.finish();
 }
 
-fn bench_rle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rle");
+fn bench_rle(suite: &mut BenchSuite) {
     let cfg = config("S14");
     for n in [4u32, 22, 200] {
         let s = filled(&cfg, n);
-        g.bench_function(BenchmarkId::new("compress", n), |b| {
-            b.iter(|| black_box(s.compress()))
-        });
+        suite.bench("rle", format!("compress/{n}"), || black_box(s.compress()));
         let code = s.compress();
         let shared = s.config().clone();
-        g.bench_function(BenchmarkId::new("decompress", n), |b| {
-            b.iter(|| black_box(Signature::decompress(shared.clone(), &code).expect("valid")))
+        suite.bench("rle", format!("decompress/{n}"), || {
+            black_box(Signature::decompress(shared.clone(), &code).expect("valid"))
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_insert,
-    bench_membership,
-    bench_intersect_and_union,
-    bench_decode,
-    bench_rle
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::from_args("sig_ops");
+    bench_insert(&mut suite);
+    bench_membership(&mut suite);
+    bench_intersect_and_union(&mut suite);
+    bench_decode(&mut suite);
+    bench_rle(&mut suite);
+    suite.finish();
+}

@@ -9,9 +9,8 @@
 
 use bulk_mem::LineAddr;
 use bulk_sig::{BitPermutation, Granularity, Signature, SignatureConfig, SignatureSpec};
+use bulk_rng::{Rng, SeedableRng, SmallRng};
 use bulk_trace::tm_region_line;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
 use std::collections::HashSet;
 
 /// Accuracy measurements for one signature configuration.

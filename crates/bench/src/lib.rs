@@ -18,10 +18,12 @@
 pub mod fpsweep;
 pub mod runners;
 pub mod table;
+pub mod timer;
 
 pub use fpsweep::{sweep_config, FpSample};
 pub use runners::{run_all_tls, run_all_tm, run_tls_app, run_tm_app, TlsAppResult, TmAppResult};
 pub use table::{fmt_f, geomean, print_table};
+pub use timer::{BenchResult, BenchSuite};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,343 @@
+//! A small seeded property-test harness (the in-repo stand-in for
+//! `proptest`).
+//!
+//! A property is a function from a case generator [`Gen`] to
+//! `Result<(), String>`. [`run`] executes it over a fixed budget of
+//! deterministically derived seeds; every failure — returned `Err` *or*
+//! panic inside the property — reports the case seed, and setting
+//! `BULK_PROP_SEED=<seed>` replays exactly that case:
+//!
+//! ```text
+//! BULK_PROP_SEED=0x3fa1b2c4d5e6f708 cargo test -p bulk-sig superset
+//! ```
+//!
+//! ```
+//! use bulk_rng::check::{run, Gen};
+//! run("addition_commutes", 64, |g| {
+//!     let (a, b) = (g.u64(), g.u64());
+//!     bulk_rng::prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//!     Ok(())
+//! });
+//! ```
+
+use crate::{splitmix64, Rng, SeedableRng, SmallRng, Standard, UniformInt};
+use std::ops::Range;
+
+/// Per-case input generator handed to each property execution.
+pub struct Gen {
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl Gen {
+    /// A generator for one explicit case seed (how replays are built).
+    pub fn from_seed(seed: u64) -> Self {
+        Gen { rng: SmallRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed of this case — what `BULK_PROP_SEED` replays.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Access to the raw generator for ad-hoc draws.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// A uniform sample of `T` (see [`Rng::random`]).
+    pub fn random<T: Standard>(&mut self) -> T {
+        self.rng.random()
+    }
+
+    /// A uniform draw from a half-open integer range.
+    pub fn in_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        self.rng.random_range(range)
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.random()
+    }
+
+    /// A uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.random()
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.rng.random()
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come
+    /// from `item`.
+    pub fn vec_of<T>(&mut self, len: Range<usize>, mut item: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = if len.start + 1 == len.end { len.start } else { self.in_range(len) };
+        (0..n).map(|_| item(self)).collect()
+    }
+
+    /// A `Vec<u32>` of uniform draws from `val`.
+    pub fn vec_u32(&mut self, len: Range<usize>, val: Range<u32>) -> Vec<u32> {
+        self.vec_of(len, |g| g.in_range(val.clone()))
+    }
+
+    /// A set of *distinct* `u32` draws from `val`; at most `len.end - 1`
+    /// elements, at least `min(len.start, |val|)`.
+    pub fn set_u32(
+        &mut self,
+        len: Range<usize>,
+        val: Range<u32>,
+    ) -> std::collections::HashSet<u32> {
+        let want = self.in_range(len);
+        let mut out = std::collections::HashSet::with_capacity(want);
+        // The domain may be smaller than the request; bound the attempts.
+        for _ in 0..want.saturating_mul(20).max(16) {
+            if out.len() >= want {
+                break;
+            }
+            out.insert(self.in_range(val.clone()));
+        }
+        out
+    }
+}
+
+/// Outcome summary of a [`run`] (returned for harness self-tests; normal
+/// property tests just rely on the panic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Number of cases executed.
+    pub cases: u32,
+}
+
+/// Prints the replay line even when the property *panics* rather than
+/// returning `Err`.
+struct ReplayOnPanic<'a> {
+    name: &'a str,
+    seed: u64,
+    armed: bool,
+}
+
+impl Drop for ReplayOnPanic<'_> {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "property `{}` panicked at case seed {:#018x}; \
+                 replay with BULK_PROP_SEED={:#x}",
+                self.name, self.seed, self.seed
+            );
+        }
+    }
+}
+
+/// Runs `prop` over `cases` deterministically derived seeds.
+///
+/// Seeds are derived from the property name, so adding a property to a
+/// file never changes the cases of its neighbours. If the environment
+/// variable `BULK_PROP_SEED` is set (decimal or `0x`-hex), exactly that
+/// one case is run instead — the replay path for a reported failure.
+///
+/// # Panics
+///
+/// Panics with the case seed and the property's message on the first
+/// failing case.
+pub fn run(
+    name: &str,
+    cases: u32,
+    mut prop: impl FnMut(&mut Gen) -> Result<(), String>,
+) -> RunReport {
+    if let Some(seed) = replay_seed_from_env() {
+        eprintln!("property `{name}`: replaying single case BULK_PROP_SEED={seed:#x}");
+        run_case(name, seed, &mut prop);
+        return RunReport { cases: 1 };
+    }
+    let mut stream = fnv1a(name.as_bytes()) ^ 0xb01d_FACE_u64;
+    for _ in 0..cases {
+        let seed = splitmix64(&mut stream);
+        run_case(name, seed, &mut prop);
+    }
+    RunReport { cases }
+}
+
+fn run_case(name: &str, seed: u64, prop: &mut impl FnMut(&mut Gen) -> Result<(), String>) {
+    let mut guard = ReplayOnPanic { name, seed, armed: true };
+    let mut gen = Gen::from_seed(seed);
+    let result = prop(&mut gen);
+    guard.armed = false;
+    if let Err(msg) = result {
+        panic!(
+            "property `{name}` failed (case seed {seed:#018x}): {msg}\n\
+             replay with: BULK_PROP_SEED={seed:#x}"
+        );
+    }
+}
+
+fn replay_seed_from_env() -> Option<u64> {
+    let raw = std::env::var("BULK_PROP_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    Some(parsed.unwrap_or_else(|_| panic!("BULK_PROP_SEED is not a u64: {raw:?}")))
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Asserts a condition inside a property, returning `Err` (with optional
+/// formatted context) instead of panicking, so the harness can attach the
+/// case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property; shows both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}\n {}",
+                stringify!($left), stringify!($right), l, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut n = 0u32;
+        let report = run("always_passes", 37, |g| {
+            n += 1;
+            let _ = g.u64();
+            Ok(())
+        });
+        assert_eq!(report.cases, 37);
+        assert_eq!(n, 37);
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let mut seeds = Vec::new();
+            run("stable_seeds", 8, |g| {
+                seeds.push(g.seed());
+                Ok(())
+            });
+            seeds
+        };
+        let a = collect();
+        let b = collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().collect::<std::collections::HashSet<_>>().len() == 8);
+    }
+
+    #[test]
+    fn failure_reports_replayable_seed() {
+        let err = std::panic::catch_unwind(|| {
+            run("fails_on_big", 64, |g| {
+                let v = g.in_range(0u32..1000);
+                crate::prop_assert!(v < 990, "v = {v}");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail within 64 cases");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("BULK_PROP_SEED="), "no replay line: {msg}");
+        // Extract the seed and replay it: the same case must fail again.
+        let seed_hex = msg
+            .split("BULK_PROP_SEED=")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap();
+        let seed =
+            u64::from_str_radix(seed_hex.trim_start_matches("0x"), 16).expect("hex seed");
+        let mut g = Gen::from_seed(seed);
+        let v = g.in_range(0u32..1000);
+        assert!(v >= 990, "replayed case no longer fails: v = {v}");
+    }
+
+    #[test]
+    fn vec_and_set_generators_respect_bounds() {
+        run("gen_bounds", 32, |g| {
+            let v = g.vec_u32(0..120, 0..0x0400_0000);
+            crate::prop_assert!(v.len() < 120);
+            crate::prop_assert!(v.iter().all(|&x| x < 0x0400_0000));
+            let s = g.set_u32(1..60, 0..100_000);
+            crate::prop_assert!(!s.is_empty() && s.len() < 60);
+            crate::prop_assert!(s.iter().all(|&x| x < 100_000));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn different_property_names_draw_different_cases() {
+        let seeds_of = |name: &str| {
+            let mut seeds = Vec::new();
+            run(name, 4, |g| {
+                seeds.push(g.seed());
+                Ok(())
+            });
+            seeds
+        };
+        assert_ne!(seeds_of("alpha"), seeds_of("beta"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Deterministic pseudo-randomness for the whole workspace.
+//!
+//! The paper's evaluation (Tables 6–8, Figs. 10–15) depends on synthetic
+//! workloads being *bit-reproducible across runs and machines*: every
+//! experiment binary aggregates over fixed seeds, and EXPERIMENTS.md
+//! compares numbers produced on different hosts. An external RNG crate
+//! would make the build non-hermetic and tie reproducibility to someone
+//! else's version bumps, so the generator lives here instead: splitmix64
+//! for seeding and stream derivation, xoshiro256\*\* as the core
+//! generator — both published, tiny, and with known-answer test vectors
+//! (see the golden tests at the bottom of this file).
+//!
+//! The API mirrors the small surface the workspace actually uses:
+//!
+//! * [`SmallRng`] — the concrete generator,
+//! * [`SeedableRng::seed_from_u64`] — seeding,
+//! * [`Rng::random`] / [`Rng::random_range`] — uniform sampling,
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates shuffles,
+//! * [`check`] — a seeded property-test harness with replayable failures.
+
+pub mod check;
+
+use std::ops::Range;
+
+/// One step of the splitmix64 generator: advances `state` and returns the
+/// next output. Used for seed expansion and derived streams; its outputs
+/// match the published reference implementation (Vigna, 2015).
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Types that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling over a generator's output stream.
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample of `T` over its natural domain (`f64` in
+    /// `[0, 1)`, integers over their full range, `bool` fair).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform sample from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty.
+    #[inline]
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+/// Types [`Rng::random`] can produce.
+pub trait Standard: Sized {
+    /// Draws one sample from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the standard
+    /// `(x >> 11) * 2^-53` construction).
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types [`Rng::random_range`] can produce.
+pub trait UniformInt: Sized {
+    /// Draws a uniform sample from the half-open `range`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Unbiased uniform in `[0, n)` by Lemire's multiply-shift method with
+/// rejection of the biased low slice.
+#[inline]
+fn below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(n);
+    if (m as u64) < n {
+        // Threshold = 2^64 mod n; reject outputs below it.
+        let t = n.wrapping_neg() % n;
+        while (m as u64) < t {
+            m = u128::from(rng.next_u64()) * u128::from(n);
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in random_range");
+                let span = (range.end - range.start) as u64;
+                range.start + below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u32, u64, usize);
+
+/// The workspace's deterministic generator: xoshiro256\*\* (Blackman &
+/// Vigna, 2018), seeded through splitmix64 as its authors recommend.
+/// Not cryptographic — statistical quality only, which is all simulation
+/// needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Builds a generator directly from full 256-bit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all-zero (the one forbidden xoshiro state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro256** state must be non-zero");
+        SmallRng { s }
+    }
+
+    /// A derived, statistically independent generator: the `i`-th child
+    /// stream of this seed. Used to give each thread/task its own stream
+    /// without the streams overlapping prefixes.
+    pub fn child(&self, i: u64) -> Self {
+        let mut st = self.s[0] ^ self.s[2] ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut st);
+        }
+        SmallRng::from_state(s)
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut st = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut st);
+        }
+        // splitmix64 outputs are never all zero for any seed, but keep the
+        // guard in one place.
+        SmallRng::from_state(s)
+    }
+}
+
+impl Rng for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Sequence-level helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Random reordering of slices.
+    pub trait SliceRandom {
+        /// Uniform Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    /// Known-answer test: the published splitmix64 reference vector for
+    /// seed 0 (Vigna's `splitmix64.c` test output).
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        let mut st = 0u64;
+        assert_eq!(splitmix64(&mut st), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(&mut st), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(splitmix64(&mut st), 0x06c4_5d18_8009_454f);
+        assert_eq!(splitmix64(&mut st), 0xf88b_b8a8_724c_81ec);
+    }
+
+    /// Known-answer test: xoshiro256** from state [1, 2, 3, 4] (the
+    /// reference implementation's first outputs).
+    #[test]
+    fn xoshiro_matches_reference_vector() {
+        let mut rng = SmallRng::from_state([1, 2, 3, 4]);
+        assert_eq!(rng.next_u64(), 11520);
+        assert_eq!(rng.next_u64(), 0);
+        assert_eq!(rng.next_u64(), 1509978240);
+        assert_eq!(rng.next_u64(), 1215971899390074240);
+    }
+
+    /// Golden sequence for the workspace's canonical seeding path. Any
+    /// change to these values silently invalidates every recorded
+    /// experiment, so they are pinned here.
+    #[test]
+    fn seed_from_u64_golden_sequence() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let got: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        // Captured at introduction and pinned; validated indirectly by the
+        // two reference-vector tests above.
+        let golden: [u64; 8] = [
+            0x1578_0b2e_0c2e_c716,
+            0x6104_d986_6d11_3a7e,
+            0xae17_5332_39e4_99a1,
+            0xecb8_ad47_03b3_60a1,
+            0xfde6_dc7f_e2ec_5e64,
+            0xc50d_a531_0179_5238,
+            0xb821_5485_5a65_ddb2,
+            0xd99a_2743_ebe6_0087,
+        ];
+        assert_eq!(got, golden);
+    }
+
+    #[test]
+    fn f64_samples_are_in_unit_interval_and_centered() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let avg = sum / n as f64;
+        assert!((avg - 0.5).abs() < 0.01, "avg {avg}");
+    }
+
+    #[test]
+    fn random_range_is_in_bounds_and_hits_everything() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.random_range(5u32..15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all values hit: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn random_range_rejects_empty() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        rng.random_range(5u32..5);
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_stream() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        let mut c = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn child_streams_are_deterministic_and_distinct() {
+        let base = SmallRng::seed_from_u64(9);
+        let mut c0 = base.child(0);
+        let mut c0b = base.child(0);
+        let mut c1 = base.child(1);
+        let v0: Vec<u64> = (0..16).map(|_| c0.next_u64()).collect();
+        let v0b: Vec<u64> = (0..16).map(|_| c0b.next_u64()).collect();
+        let v1: Vec<u64> = (0..16).map(|_| c1.next_u64()).collect();
+        assert_eq!(v0, v0b);
+        assert_ne!(v0, v1);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seeded() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        a.shuffle(&mut SmallRng::seed_from_u64(11));
+        b.shuffle(&mut SmallRng::seed_from_u64(11));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(a, (0..50).collect::<Vec<u32>>(), "50 elements left unshuffled");
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let trues = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "{trues}");
+    }
+}

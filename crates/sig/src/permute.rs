@@ -7,8 +7,8 @@
 //! used for the TM and TLS experiments; both are provided as constructors,
 //! along with uniformly random permutations for the Fig. 15 sweep.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use bulk_rng::seq::SliceRandom;
+use bulk_rng::Rng;
 
 /// A permutation of the low `width` bits of an address.
 ///
@@ -97,7 +97,7 @@ impl BitPermutation {
     /// # Panics
     ///
     /// Panics if `fixed_low > width` or `width > 32`.
-    pub fn random<R: Rng + ?Sized>(width: u8, fixed_low: u8, rng: &mut R) -> Self {
+    pub fn random<R: Rng>(width: u8, fixed_low: u8, rng: &mut R) -> Self {
         assert!(fixed_low <= width && width <= 32);
         let mut tail: Vec<u8> = (fixed_low..width).collect();
         tail.shuffle(rng);
@@ -160,8 +160,7 @@ impl Default for BitPermutation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use bulk_rng::{SeedableRng, SmallRng};
 
     #[test]
     fn identity_is_noop() {

@@ -10,8 +10,7 @@
 //! pattern of Fig. 12. Generation is fully deterministic given a seed.
 
 use bulk_mem::Addr;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use bulk_rng::{Rng, SeedableRng, SmallRng};
 
 use crate::{TaskTrace, ThreadTrace, TlsOp, TlsWorkload, TmOp, TmWorkload};
 

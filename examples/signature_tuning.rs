@@ -5,11 +5,10 @@
 //! Run with `cargo run --release --example signature_tuning`.
 
 use bulk_repro::mem::Addr;
+use bulk_repro::rng::{Rng, SeedableRng, SmallRng};
 use bulk_repro::sig::{
     table8_spec, BitPermutation, Granularity, Signature, SignatureConfig,
 };
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
 
 /// Measures the false-positive rate of disambiguating two disjoint address
 /// sets under `config`, over `trials` samples.

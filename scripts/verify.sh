@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetically.
+#
+# --offline + --locked make any reintroduced external (crates.io)
+# dependency, or any unlocked version drift, a hard build error instead
+# of a network fetch. -D warnings keeps the tree warning-clean, so new
+# warnings are regressions rather than noise.
+#
+# Usage: scripts/verify.sh [extra cargo-test args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
+echo "== cargo build --release --offline --locked --workspace --all-targets"
+cargo build --release --offline --locked --workspace --all-targets
+
+echo "== cargo test -q --offline --locked --workspace"
+cargo test -q --offline --locked --workspace "$@"
+
+echo "verify: OK (hermetic build, no registry dependencies)"

@@ -11,6 +11,7 @@
 //! This facade crate re-exports the public API of the workspace:
 //!
 //! * [`mem`] — memory-system substrate (addresses, caches, bandwidth),
+//! * [`rng`] — deterministic in-repo PRNG + property-test harness,
 //! * [`sig`] — signatures and primitive bulk operations (§3),
 //! * [`bulk`] — the Bulk Disambiguation Module (§4–§6),
 //! * [`sim`] — discrete-event timing simulator (Table 5 machines),
@@ -34,6 +35,7 @@
 
 pub use bulk_core as bulk;
 pub use bulk_mem as mem;
+pub use bulk_rng as rng;
 pub use bulk_sig as sig;
 pub use bulk_sim as sim;
 pub use bulk_tls as tls;
