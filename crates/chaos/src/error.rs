@@ -1,0 +1,115 @@
+//! Typed errors for machine construction and execution.
+
+use bulk_trace::TraceError;
+use std::fmt;
+
+/// A typed failure from `TmMachine`/`TlsMachine` construction or
+/// execution — the replacement for the `expect()`/`panic!` sites on
+/// trace- and message-shaped paths. The CLI surfaces these with a
+/// nonzero exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The workload has no threads/tasks to run.
+    EmptyWorkload {
+        /// Which machine rejected it (`"tm"` or `"tls"`).
+        machine: &'static str,
+    },
+    /// A thread/task trace failed structural validation.
+    Trace {
+        /// The offending thread (TM) or task (TLS) index.
+        thread: usize,
+        /// What was wrong with its trace.
+        source: TraceError,
+    },
+    /// A speculative operation found no allocated BDM version where the
+    /// protocol requires one.
+    MissingVersion {
+        /// The thread/task executing the operation.
+        thread: usize,
+        /// Its program counter at the failure.
+        pc: usize,
+        /// Which protocol step was underway.
+        context: &'static str,
+    },
+    /// A commit broadcast arrived whose payload shape does not match the
+    /// scheme (e.g. a Bulk receiver got an address-list message).
+    MalformedCommit {
+        /// The receiving scheme.
+        scheme: &'static str,
+        /// The payload shape that arrived.
+        payload: &'static str,
+    },
+    /// Every live thread is stalled on another transaction: a conflict
+    /// cycle the eager protocol cannot break.
+    ConflictDeadlock {
+        /// Simulated cycle at detection.
+        cycle: u64,
+    },
+    /// The machine stopped making forward progress (TLS progress budget
+    /// exhausted, or nothing runnable with work outstanding).
+    NoProgress {
+        /// Steps executed before giving up.
+        steps: u64,
+        /// What the machine was waiting for.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::EmptyWorkload { machine } => {
+                write!(f, "{machine} workload has no threads/tasks")
+            }
+            MachineError::Trace { thread, source } => {
+                write!(f, "invalid trace for thread {thread}: {source}")
+            }
+            MachineError::MissingVersion { thread, pc, context } => {
+                write!(f, "thread {thread} has no BDM version at pc {pc} during {context}")
+            }
+            MachineError::MalformedCommit { scheme, payload } => {
+                write!(f, "{scheme} receiver got a {payload} commit payload")
+            }
+            MachineError::ConflictDeadlock { cycle } => {
+                write!(f, "conflict deadlock: every live thread stalled at cycle {cycle}")
+            }
+            MachineError::NoProgress { steps, context } => {
+                write!(f, "no forward progress after {steps} steps ({context})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineError::Trace { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<(usize, TraceError)> for MachineError {
+    fn from((thread, source): (usize, TraceError)) -> Self {
+        MachineError::Trace { thread, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_detail() {
+        let e = MachineError::Trace {
+            thread: 3,
+            source: TraceError::UnclosedTransactions { open: 2 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("thread 3") && s.contains("2 unclosed"), "{s}");
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = MachineError::MissingVersion { thread: 1, pc: 42, context: "commit" };
+        assert!(e.to_string().contains("pc 42"));
+    }
+}

@@ -37,6 +37,10 @@ pub struct TmArgs {
     pub sig: String,
     /// Write the generated trace to this path.
     pub dump_trace: Option<String>,
+    /// Inject deterministic faults (implies `--audit`).
+    pub chaos: bool,
+    /// Check runtime invariants after every commit and squash.
+    pub audit: bool,
 }
 
 /// Options of `bulk tls`.
@@ -52,6 +56,10 @@ pub struct TlsArgs {
     pub tasks: Option<usize>,
     /// Write the generated trace to this path.
     pub dump_trace: Option<String>,
+    /// Inject deterministic faults (implies `--audit`).
+    pub chaos: bool,
+    /// Check runtime invariants after every commit and squash.
+    pub audit: bool,
 }
 
 /// Options of `bulk replay`.
@@ -72,11 +80,22 @@ USAGE:
   bulk list
   bulk tm  --app <name> [--scheme <eager-naive|eager|lazy|bulk|bulk-partial>]
            [--seed <n>] [--txs <n>] [--sig <S1..S23>] [--dump-trace <file>]
+           [--chaos] [--audit]
   bulk tls --app <name> [--scheme <eager|lazy|bulk|bulk-no-overlap>]
            [--seed <n>] [--tasks <n>] [--dump-trace <file>]
+           [--chaos] [--audit]
   bulk replay --file <trace> --scheme <name>
   bulk sweep-sig --app <name> [--seed <n>]
   bulk help
+
+CHAOS:
+  --chaos injects deterministic faults (commit denials, delayed/duplicated
+  broadcasts, in-flight signature corruption, forced context switches and
+  evictions) and audits every invariant; --audit checks invariants on a
+  fault-free run. The fault seed defaults to the workload seed and can be
+  overridden with the BULK_CHAOS_SEED environment variable; every chaos
+  run prints the seed needed to replay it. Any invariant violation or
+  undetected corruption makes the exit code nonzero.
 ";
 
 /// Parses a TM scheme name.
@@ -110,6 +129,9 @@ struct Flags {
     pairs: Vec<(String, String)>,
 }
 
+/// Flags that stand alone, without a value.
+const BOOLEAN_FLAGS: &[&str] = &["chaos", "audit"];
+
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
         let mut pairs = Vec::new();
@@ -118,6 +140,10 @@ impl Flags {
             let name = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected a --flag, found `{flag}`"))?;
+            if BOOLEAN_FLAGS.contains(&name) {
+                pairs.push((name.to_string(), String::new()));
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -129,6 +155,10 @@ impl Flags {
     fn take(&mut self, name: &str) -> Option<String> {
         let i = self.pairs.iter().position(|(n, _)| n == name)?;
         Some(self.pairs.remove(i).1)
+    }
+
+    fn take_bool(&mut self, name: &str) -> bool {
+        self.take(name).is_some()
     }
 
     fn finish(self) -> Result<(), String> {
@@ -166,8 +196,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             };
             let sig = f.take("sig").unwrap_or_else(|| "S14".into());
             let dump_trace = f.take("dump-trace");
+            let chaos = f.take_bool("chaos");
+            let audit = f.take_bool("audit") || chaos;
             f.finish()?;
-            Ok(Command::Tm(TmArgs { app, scheme, seed, txs, sig, dump_trace }))
+            Ok(Command::Tm(TmArgs { app, scheme, seed, txs, sig, dump_trace, chaos, audit }))
         }
         "tls" => {
             let mut f = Flags::parse(rest)?;
@@ -182,8 +214,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 None => None,
             };
             let dump_trace = f.take("dump-trace");
+            let chaos = f.take_bool("chaos");
+            let audit = f.take_bool("audit") || chaos;
             f.finish()?;
-            Ok(Command::Tls(TlsArgs { app, scheme, seed, tasks, dump_trace }))
+            Ok(Command::Tls(TlsArgs { app, scheme, seed, tasks, dump_trace, chaos, audit }))
         }
         "replay" => {
             let mut f = Flags::parse(rest)?;
@@ -230,8 +264,37 @@ mod tests {
                 txs: None,
                 sig: "S14".into(),
                 dump_trace: None,
+                chaos: false,
+                audit: false,
             })
         );
+    }
+
+    #[test]
+    fn parses_chaos_and_audit_flags() {
+        match parse(&args("tm --app mc --chaos")).unwrap() {
+            Command::Tm(a) => {
+                assert!(a.chaos);
+                assert!(a.audit, "--chaos implies --audit");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&args("tls --app gzip --audit --seed 9")).unwrap() {
+            Command::Tls(a) => {
+                assert!(!a.chaos);
+                assert!(a.audit);
+                assert_eq!(a.seed, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Boolean flags consume no value: the next token is still a flag.
+        match parse(&args("tls --app gzip --chaos --tasks 5")).unwrap() {
+            Command::Tls(a) => {
+                assert!(a.chaos);
+                assert_eq!(a.tasks, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

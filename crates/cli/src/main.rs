@@ -10,8 +10,10 @@ mod report;
 use std::process::ExitCode;
 
 use args::{parse, Command, ReplayArgs, TlsArgs, TmArgs, USAGE};
+use bulk_chaos::FaultPlan;
 use bulk_sig::{table8, table8_spec, BitPermutation, Granularity, SignatureConfig};
 use bulk_sim::SimConfig;
+use bulk_tls::TlsMachine;
 use bulk_tm::TmMachine;
 use bulk_trace::{io, profiles};
 
@@ -78,6 +80,33 @@ fn signature(id: &str) -> Result<SignatureConfig, String> {
     Ok(cfg)
 }
 
+/// The fault seed for a chaos run: `BULK_CHAOS_SEED` if set (replaying a
+/// reported failure), the workload seed otherwise.
+fn chaos_seed(default: u64) -> Result<u64, String> {
+    match std::env::var("BULK_CHAOS_SEED") {
+        Ok(v) => v.parse().map_err(|_| format!("BULK_CHAOS_SEED: bad number `{v}`")),
+        Err(_) => Ok(default),
+    }
+}
+
+/// Fails the run (nonzero exit) if the auditor observed violations.
+fn check_violations(
+    violations: &[bulk_chaos::InvariantViolation],
+    chaos: Option<u64>,
+) -> Result<(), String> {
+    if violations.is_empty() {
+        return Ok(());
+    }
+    for v in violations {
+        eprintln!("{v}");
+    }
+    let replay = match chaos {
+        Some(seed) => format!("; replay with BULK_CHAOS_SEED={seed}"),
+        None => String::new(),
+    };
+    Err(format!("{} invariant violation(s){replay}", violations.len()))
+}
+
 fn run_tm(a: TmArgs) -> Result<(), String> {
     let mut p = profiles::tm_profile(&a.app)
         .ok_or_else(|| format!("unknown TM app `{}` (try `bulk list`)", a.app))?;
@@ -91,9 +120,25 @@ fn run_tm(a: TmArgs) -> Result<(), String> {
     }
     let sig = signature(&a.sig)?;
     let cfg = SimConfig::tm_default();
-    let stats = TmMachine::with_signature(&wl, a.scheme, &cfg, sig).run();
+    let mut m =
+        TmMachine::try_with_signature(&wl, a.scheme, &cfg, sig).map_err(|e| e.to_string())?;
+    let seed = configure_tm(&mut m, &a)?;
+    let stats = m.try_run().map_err(|e| e.to_string())?;
     report::print_tm(&a.app, a.scheme, &stats);
-    Ok(())
+    check_violations(&stats.violations, seed)
+}
+
+fn configure_tm(m: &mut TmMachine, a: &TmArgs) -> Result<Option<u64>, String> {
+    if a.audit {
+        m.enable_audit();
+    }
+    if !a.chaos {
+        return Ok(None);
+    }
+    let seed = chaos_seed(a.seed)?;
+    println!("chaos: fault seed {seed} (replay with BULK_CHAOS_SEED={seed})");
+    m.set_chaos(FaultPlan::seeded(seed));
+    Ok(Some(seed))
 }
 
 fn run_tls(a: TlsArgs) -> Result<(), String> {
@@ -109,9 +154,24 @@ fn run_tls(a: TlsArgs) -> Result<(), String> {
     }
     let cfg = SimConfig::tls_default();
     let seq = bulk_tls::run_tls_sequential(&wl, &cfg);
-    let stats = bulk_tls::run_tls(&wl, a.scheme, &cfg);
+    let mut m = TlsMachine::try_new(&wl, a.scheme, &cfg).map_err(|e| e.to_string())?;
+    let seed = configure_tls(&mut m, &a)?;
+    let stats = m.try_run().map_err(|e| e.to_string())?;
     report::print_tls(&a.app, a.scheme, seq, &stats);
-    Ok(())
+    check_violations(&stats.violations, seed)
+}
+
+fn configure_tls(m: &mut TlsMachine, a: &TlsArgs) -> Result<Option<u64>, String> {
+    if a.audit {
+        m.enable_audit();
+    }
+    if !a.chaos {
+        return Ok(None);
+    }
+    let seed = chaos_seed(a.seed)?;
+    println!("chaos: fault seed {seed} (replay with BULK_CHAOS_SEED={seed})");
+    m.set_chaos(FaultPlan::seeded(seed));
+    Ok(Some(seed))
 }
 
 fn replay(a: ReplayArgs) -> Result<(), String> {
@@ -119,7 +179,9 @@ fn replay(a: ReplayArgs) -> Result<(), String> {
     if text.starts_with("TM ") {
         let wl = io::tm_from_str(&text).map_err(|e| e.to_string())?;
         let scheme = args::parse_tm_scheme(&a.scheme)?;
-        let stats = bulk_tm::run_tm(&wl, scheme, &SimConfig::tm_default());
+        let m = TmMachine::try_new(&wl, scheme, &SimConfig::tm_default())
+            .map_err(|e| e.to_string())?;
+        let stats = m.try_run().map_err(|e| e.to_string())?;
         report::print_tm(&wl.name.clone(), scheme, &stats);
         Ok(())
     } else if text.starts_with("TLS ") {
@@ -127,7 +189,8 @@ fn replay(a: ReplayArgs) -> Result<(), String> {
         let scheme = args::parse_tls_scheme(&a.scheme)?;
         let cfg = SimConfig::tls_default();
         let seq = bulk_tls::run_tls_sequential(&wl, &cfg);
-        let stats = bulk_tls::run_tls(&wl, scheme, &cfg);
+        let m = TlsMachine::try_new(&wl, scheme, &cfg).map_err(|e| e.to_string())?;
+        let stats = m.try_run().map_err(|e| e.to_string())?;
         report::print_tls(&wl.name.clone(), scheme, seq, &stats);
         Ok(())
     } else {

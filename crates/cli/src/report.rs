@@ -1,5 +1,6 @@
 //! Human-readable run reports for the CLI.
 
+use bulk_chaos::FaultStats;
 use bulk_mem::MsgClass;
 use bulk_tls::{TlsScheme, TlsStats};
 use bulk_tm::{Scheme, TmStats};
@@ -38,6 +39,14 @@ pub fn print_tm(app: &str, scheme: Scheme, s: &TmStats) {
     );
     println!("  cycles             {}", s.cycles);
     print_bw("  ", &s.bw);
+    print_resilience(
+        &s.chaos,
+        s.commit_retries,
+        s.escalations,
+        s.serialized_commits,
+        s.audit_checks,
+        s.violations.len(),
+    );
 }
 
 /// Prints a TLS run summary.
@@ -68,6 +77,48 @@ pub fn print_tls(app: &str, scheme: TlsScheme, seq_cycles: u64, s: &TlsStats) {
         seq_cycles as f64 / s.cycles as f64
     );
     print_bw("  ", &s.bw);
+    print_resilience(
+        &s.chaos,
+        s.commit_retries,
+        s.escalations,
+        s.serialized_commits,
+        s.audit_checks,
+        s.violations.len(),
+    );
+}
+
+/// Chaos/audit section, printed only when fault injection or auditing ran.
+fn print_resilience(
+    chaos: &FaultStats,
+    retries: u64,
+    escalations: u64,
+    serialized: u64,
+    audit_checks: u64,
+    violations: usize,
+) {
+    if chaos.total_injected() > 0 {
+        println!(
+            "  chaos faults       {} ({} denials, {} delays, {} dups, \
+             {} corruptions [{} caught], {} ctx switches, {} evictions)",
+            chaos.total_injected(),
+            chaos.denials,
+            chaos.broadcast_delays,
+            chaos.duplicated_broadcasts,
+            chaos.corruptions_injected,
+            chaos.corruptions_detected,
+            chaos.forced_context_switches,
+            chaos.forced_evictions
+        );
+    }
+    if retries + escalations + serialized > 0 {
+        println!(
+            "  degradation        {retries} commit retries, {escalations} escalations, \
+             {serialized} serialized commits"
+        );
+    }
+    if audit_checks > 0 {
+        println!("  audit              {audit_checks} checks, {violations} violations");
+    }
 }
 
 fn print_bw(indent: &str, bw: &bulk_mem::BandwidthStats) {

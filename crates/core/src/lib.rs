@@ -42,10 +42,12 @@
 
 mod bdm;
 pub mod flows;
+mod msg;
 mod nesting;
 pub mod set_restriction;
 
 pub use bdm::{Bdm, CommitSignatures, Disambiguation, SpilledVersion, VersionId};
+pub use msg::{CommitMsg, DeliveredSignatures};
 pub use flows::{
     apply_remote_commit, invalidate_clean_matching, squash, CommitApplication,
     SquashInvalidation,

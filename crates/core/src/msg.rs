@@ -1,0 +1,151 @@
+//! Typed commit-broadcast bus messages.
+//!
+//! A committing processor's broadcast is either the conventional address
+//! list (eager/lazy baselines, modeled through the exact oracle sets) or a
+//! Bulk write signature — carried *structurally* by [`CommitMsg`], sealed
+//! with a CRC so in-flight corruption is detected at delivery. The
+//! receive-side machines match on the variant instead of unwrapping an
+//! `Option<Signature>`.
+
+use bulk_sig::{SealedSignature, Signature};
+use std::fmt;
+
+/// What a commit broadcast carries on the bus.
+#[derive(Debug, Clone)]
+pub enum CommitMsg {
+    /// Conventional protocol: the committed write addresses are enumerated
+    /// individually (receivers consult the exact oracle sets).
+    AddressList,
+    /// Bulk protocol: the write signature `W_C`, plus the shadow
+    /// signature union for Partial Overlap (paper §6.3) when in use.
+    Signatures {
+        /// The committed write signature, integrity-sealed.
+        w: SealedSignature,
+        /// `OR(W_sh)` of the preempted versions, if the scheme keeps
+        /// shadow signatures.
+        w_sh: Option<SealedSignature>,
+    },
+}
+
+/// The payload a receiver acts on after opening a
+/// [`CommitMsg::Signatures`] frame, with the delivery fault flags folded
+/// over both seals.
+#[derive(Debug, Clone)]
+pub struct DeliveredSignatures {
+    /// The committed write signature.
+    pub w: Signature,
+    /// The shadow-signature union, when the scheme carries one.
+    pub w_sh: Option<Signature>,
+    /// At least one seal failed its CRC and was repaired by retransmission.
+    pub corruption_detected: bool,
+    /// At least one seal was corrupted yet passed its CRC (an invariant
+    /// violation if it ever happens — CRCs detect all single-bit faults).
+    pub silent_corruption: bool,
+}
+
+impl CommitMsg {
+    /// A Bulk broadcast of `w` with no shadow component.
+    pub fn signatures(w: Signature) -> Self {
+        CommitMsg::Signatures { w: SealedSignature::seal(w), w_sh: None }
+    }
+
+    /// A Bulk broadcast of `w` together with a shadow union `w_sh`.
+    pub fn signatures_with_shadow(w: Signature, w_sh: Signature) -> Self {
+        CommitMsg::Signatures {
+            w: SealedSignature::seal(w),
+            w_sh: Some(SealedSignature::seal(w_sh)),
+        }
+    }
+
+    /// Whether this message carries signatures (and can thus be corrupted
+    /// by the chaos harness).
+    pub fn carries_signatures(&self) -> bool {
+        matches!(self, CommitMsg::Signatures { .. })
+    }
+
+    /// Flips one in-flight bit of the write-signature payload. Returns
+    /// `false` (no fault possible) for [`CommitMsg::AddressList`].
+    pub fn corrupt_bit(&mut self, bit: u64) -> bool {
+        match self {
+            CommitMsg::AddressList => false,
+            CommitMsg::Signatures { w, .. } => {
+                w.corrupt_bit(bit);
+                true
+            }
+        }
+    }
+
+    /// Opens the frame at the receiver side of the bus. `None` for an
+    /// address-list broadcast (nothing sealed to open).
+    pub fn deliver(self) -> Option<DeliveredSignatures> {
+        match self {
+            CommitMsg::AddressList => None,
+            CommitMsg::Signatures { w, w_sh } => {
+                let w = w.open();
+                let (w_sh, sh_detected, sh_silent) = match w_sh.map(SealedSignature::open) {
+                    Some(d) => (Some(d.signature), d.corruption_detected, d.silent_corruption),
+                    None => (None, false, false),
+                };
+                Some(DeliveredSignatures {
+                    corruption_detected: w.corruption_detected || sh_detected,
+                    silent_corruption: w.silent_corruption || sh_silent,
+                    w: w.signature,
+                    w_sh,
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for CommitMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitMsg::AddressList => write!(f, "address-list"),
+            CommitMsg::Signatures { w_sh: None, .. } => write!(f, "signature"),
+            CommitMsg::Signatures { w_sh: Some(_), .. } => write!(f, "signature+shadow"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulk_mem::Addr;
+    use bulk_sig::SignatureConfig;
+
+    fn sig(addrs: &[u32]) -> Signature {
+        let mut s = Signature::with_shared(SignatureConfig::s14_tm().into_shared());
+        for &a in addrs {
+            s.insert_addr(Addr::new(a));
+        }
+        s
+    }
+
+    #[test]
+    fn address_list_delivers_nothing() {
+        assert!(CommitMsg::AddressList.deliver().is_none());
+        assert!(!CommitMsg::AddressList.clone().corrupt_bit(3));
+    }
+
+    #[test]
+    fn signature_round_trip() {
+        let w = sig(&[0x1000, 0x2000]);
+        let d = CommitMsg::signatures(w.clone()).deliver().unwrap();
+        assert_eq!(d.w, w);
+        assert!(d.w_sh.is_none());
+        assert!(!d.corruption_detected && !d.silent_corruption);
+    }
+
+    #[test]
+    fn corrupted_signature_is_detected_and_repaired() {
+        let w = sig(&[0x1000, 0x2000]);
+        let w_sh = sig(&[0x4000]);
+        let mut msg = CommitMsg::signatures_with_shadow(w.clone(), w_sh.clone());
+        assert!(msg.corrupt_bit(123));
+        let d = msg.deliver().unwrap();
+        assert!(d.corruption_detected);
+        assert!(!d.silent_corruption);
+        assert_eq!(d.w, w);
+        assert_eq!(d.w_sh.unwrap(), w_sh);
+    }
+}

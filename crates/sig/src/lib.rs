@@ -42,6 +42,7 @@ mod decode;
 mod expansion;
 mod permute;
 mod rle;
+mod sealed;
 mod signature;
 mod word_bitmask;
 
@@ -50,5 +51,6 @@ pub use decode::SetBitmask;
 pub use expansion::ExpandedLine;
 pub use permute::{BitPermutation, InvalidPermutationError};
 pub use rle::CompressedSignature;
+pub use sealed::{crc64, Delivery, SealedSignature};
 pub use signature::Signature;
 pub use word_bitmask::{merge_line, WordBitmask};

@@ -15,7 +15,8 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use bulk_core::{check_speculative_store, flows, Bdm, StoreCheck, VersionId};
+use bulk_chaos::{Auditor, FaultPlan, InvariantKind, MachineError};
+use bulk_core::{check_speculative_store, flows, Bdm, CommitMsg, StoreCheck, VersionId};
 use bulk_mem::{Addr, Cache, LineAddr, MsgClass, WordAddr};
 use bulk_sig::{Signature, SignatureConfig};
 use bulk_sim::{Bus, CoreTimer, SimConfig};
@@ -25,6 +26,9 @@ use crate::{TlsScheme, TlsStats};
 
 /// BDM version slots per processor (running + awaiting-commit).
 const VERSIONS_PER_PROC: usize = 2;
+
+/// Restarts of one task before it escalates to head-serialized execution.
+const DEFAULT_ESCALATION_THRESHOLD: u32 = 16;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
@@ -52,6 +56,10 @@ struct Task {
     spawn_inval_sig: Option<Signature>,
     spawn_inval_lines: Vec<LineAddr>,
     restarts: u32,
+    /// Graceful degradation: after enough restarts the task only (re)starts
+    /// once it is the oldest uncommitted task — at the head it is
+    /// effectively non-speculative and can no longer be squashed.
+    escalated: bool,
 }
 
 impl Task {
@@ -83,6 +91,14 @@ pub struct TlsMachine {
     last_commit_finish: u64,
     bus: Bus,
     stats: TlsStats,
+    /// Restarts before a task escalates to head-serialized execution
+    /// (`None` disables the fallback).
+    escalation: Option<u32>,
+    /// Optional deterministic fault injector.
+    chaos: Option<FaultPlan>,
+    /// Whether the invariant auditor is armed.
+    audit: bool,
+    auditor: Auditor,
 }
 
 /// Runs `workload` under `scheme` and returns the collected statistics.
@@ -118,24 +134,49 @@ impl TlsMachine {
     ///
     /// # Panics
     ///
-    /// Panics if the workload has no tasks.
+    /// Panics if the workload has no tasks or a task trace is malformed;
+    /// use [`TlsMachine::try_new`] for a typed error instead.
     pub fn new(workload: &TlsWorkload, scheme: TlsScheme, cfg: &SimConfig) -> Self {
-        TlsMachine::with_signature(workload, scheme, cfg, SignatureConfig::s14_tls())
+        TlsMachine::try_new(workload, scheme, cfg)
+            .unwrap_or_else(|e| panic!("invalid TLS workload: {e}"))
+    }
+
+    /// Fallible construction: returns a typed [`MachineError`] when the
+    /// workload is empty or a task trace fails validation.
+    pub fn try_new(
+        workload: &TlsWorkload,
+        scheme: TlsScheme,
+        cfg: &SimConfig,
+    ) -> Result<Self, MachineError> {
+        TlsMachine::try_with_signature(workload, scheme, cfg, SignatureConfig::s14_tls())
     }
 
     /// Builds a machine with an explicit signature configuration.
     ///
     /// # Panics
     ///
-    /// Panics if the workload has no tasks or the signature is not
-    /// word-granularity.
+    /// Panics if the workload has no tasks, a task trace is malformed, or
+    /// the signature is not word-granularity.
     pub fn with_signature(
         workload: &TlsWorkload,
         scheme: TlsScheme,
         cfg: &SimConfig,
         sig: SignatureConfig,
     ) -> Self {
-        assert!(!workload.tasks.is_empty(), "workload has no tasks");
+        TlsMachine::try_with_signature(workload, scheme, cfg, sig)
+            .unwrap_or_else(|e| panic!("invalid TLS workload: {e}"))
+    }
+
+    /// Fallible construction with an explicit signature configuration.
+    pub fn try_with_signature(
+        workload: &TlsWorkload,
+        scheme: TlsScheme,
+        cfg: &SimConfig,
+        sig: SignatureConfig,
+    ) -> Result<Self, MachineError> {
+        if workload.tasks.is_empty() {
+            return Err(MachineError::EmptyWorkload { machine: "tls" });
+        }
         assert_eq!(
             sig.granularity(),
             bulk_sig::Granularity::Word,
@@ -150,10 +191,10 @@ impl TlsMachine {
                 running: None,
             })
             .collect();
-        let tasks = workload
-            .tasks
-            .iter()
-            .map(|t| Task {
+        let mut tasks = Vec::with_capacity(workload.tasks.len());
+        for (i, t) in workload.tasks.iter().enumerate() {
+            t.validate().map_err(|source| MachineError::Trace { thread: i, source })?;
+            tasks.push(Task {
                 ops: t.ops.clone(),
                 pc: 0,
                 status: Status::NotStarted,
@@ -167,8 +208,9 @@ impl TlsMachine {
                 spawn_inval_sig: None,
                 spawn_inval_lines: Vec::new(),
                 restarts: 0,
-            })
-            .collect();
+                escalated: false,
+            });
+        }
         let mut m = TlsMachine {
             cfg: cfg.clone(),
             scheme,
@@ -179,34 +221,79 @@ impl TlsMachine {
             last_commit_finish: 0,
             bus: Bus::new(),
             stats: TlsStats::default(),
+            escalation: Some(DEFAULT_ESCALATION_THRESHOLD),
+            chaos: None,
+            audit: false,
+            auditor: Auditor::off(),
         };
         m.tasks[0].ready_at = Some(0);
-        m
+        Ok(m)
+    }
+
+    /// Overrides the per-task escalation threshold (`None` disables the
+    /// head-serialized fallback entirely).
+    pub fn set_escalation_threshold(&mut self, threshold: Option<u32>) {
+        self.escalation = threshold;
+    }
+
+    /// Arms the chaos fault injector for this run. The run then becomes a
+    /// pure function of (workload, scheme, config, `plan.seed()`).
+    pub fn set_chaos(&mut self, plan: FaultPlan) {
+        self.chaos = Some(plan);
+        if self.audit {
+            self.rebuild_auditor();
+        }
+    }
+
+    /// Enables the runtime invariant auditor; violations are collected in
+    /// [`TlsStats::violations`] instead of panicking.
+    pub fn enable_audit(&mut self) {
+        self.audit = true;
+        self.rebuild_auditor();
+    }
+
+    fn rebuild_auditor(&mut self) {
+        let seed = self.chaos.as_ref().map(|p| p.seed());
+        self.auditor = Auditor::new(self.scheme.to_string(), self.procs.len(), seed);
     }
 
     /// Runs the machine to completion and returns the statistics.
     ///
     /// # Panics
     ///
-    /// Panics if the simulation stops making progress (a scheduling bug).
-    pub fn run(mut self) -> TlsStats {
+    /// Panics on a typed machine error (see [`TlsMachine::try_run`]).
+    pub fn run(self) -> TlsStats {
+        self.try_run().unwrap_or_else(|e| panic!("TLS run failed: {e}"))
+    }
+
+    /// Runs the machine to completion, surfacing machine-level failures
+    /// (lost progress, malformed commit payloads) as typed errors rather
+    /// than panics.
+    pub fn try_run(mut self) -> Result<TlsStats, MachineError> {
         let op_total: usize = self.tasks.iter().map(|t| t.ops.len() + 1).sum();
         let budget = (op_total as u64 + 1000) * 200;
         let mut steps = 0u64;
         while self.oldest_uncommitted < self.tasks.len() {
             steps += 1;
-            assert!(steps < budget, "TLS simulation failed to make progress");
-            self.try_commits();
+            if steps >= budget {
+                return Err(MachineError::NoProgress {
+                    steps,
+                    context: "TLS scheduling budget exhausted",
+                });
+            }
+            self.try_commits()?;
             if self.oldest_uncommitted >= self.tasks.len() {
                 break;
             }
             self.assign_tasks();
             let Some(p) = self.pick_proc() else {
                 // Nothing runnable: the oldest task must be committable.
-                assert!(
-                    self.tasks[self.oldest_uncommitted].status == Status::WaitingCommit,
-                    "no runnable processor and nothing to commit"
-                );
+                if self.tasks[self.oldest_uncommitted].status != Status::WaitingCommit {
+                    return Err(MachineError::NoProgress {
+                        steps,
+                        context: "no runnable processor and nothing to commit",
+                    });
+                }
                 continue;
             };
             self.step(p);
@@ -218,7 +305,12 @@ impl TlsMachine {
             .max()
             .unwrap_or(0)
             .max(self.last_commit_finish);
-        self.stats
+        if let Some(plan) = &mut self.chaos {
+            self.stats.chaos = plan.take_stats();
+        }
+        self.stats.audit_checks = self.auditor.checks();
+        self.stats.violations = self.auditor.take_violations();
+        Ok(self.stats)
     }
 
     fn pick_proc(&self) -> Option<usize> {
@@ -250,7 +342,13 @@ impl TlsMachine {
                 .tasks
                 .iter()
                 .enumerate()
-                .filter(|(_, t)| t.status == Status::Ready && t.proc == Some(p))
+                .filter(|(i, t)| {
+                    t.status == Status::Ready
+                        && t.proc == Some(p)
+                        // An escalated task waits for the head: once it is
+                        // the oldest uncommitted task nothing can squash it.
+                        && (!t.escalated || *i == self.oldest_uncommitted)
+                })
                 .map(|(i, _)| i)
                 .min();
             if let Some(i) = ready {
@@ -319,8 +417,10 @@ impl TlsMachine {
 
     fn step(&mut self, p: usize) {
         let i = self.procs[p].running.expect("running task");
+        self.chaos_perturb(p);
         if self.tasks[i].pc >= self.tasks[i].ops.len() {
             self.finish_task(p, i);
+            self.auditor.observe_clock(p, self.procs[p].timer.now());
             return;
         }
         let op = self.tasks[i].ops[self.tasks[i].pc];
@@ -341,6 +441,33 @@ impl TlsMachine {
         }
         if self.procs[p].running == Some(i) && self.tasks[i].pc >= self.tasks[i].ops.len() {
             self.finish_task(p, i);
+        }
+        self.auditor.observe_clock(p, self.procs[p].timer.now());
+    }
+
+    /// Chaos hook, consulted once per scheduled operation: forced context
+    /// switches charge preemption time; forced evictions drop a clean
+    /// resident line (stale-copy pressure — a speculative dirty line never
+    /// silently leaves the cache).
+    fn chaos_perturb(&mut self, p: usize) {
+        let Some(plan) = &mut self.chaos else { return };
+        if plan.force_context_switch() {
+            let cycles = plan.config().ctx_switch_cycles;
+            self.procs[p].timer.advance(cycles);
+        }
+        let Some(plan) = &mut self.chaos else { return };
+        if plan.force_eviction() {
+            let clean: Vec<LineAddr> = self.procs[p]
+                .cache
+                .iter()
+                .filter(|l| !l.is_dirty())
+                .map(|l| l.addr())
+                .collect();
+            if !clean.is_empty() {
+                let plan = self.chaos.as_mut().expect("plan present");
+                let victim = clean[plan.pick(clean.len())];
+                self.procs[p].cache.invalidate(victim);
+            }
         }
     }
 
@@ -471,7 +598,7 @@ impl TlsMachine {
     // Commit
     // ------------------------------------------------------------------
 
-    fn try_commits(&mut self) {
+    fn try_commits(&mut self) -> Result<(), MachineError> {
         while self.oldest_uncommitted < self.tasks.len()
             && self.tasks[self.oldest_uncommitted].status == Status::WaitingCommit
         {
@@ -487,12 +614,13 @@ impl TlsMachine {
             if laggard {
                 break;
             }
-            self.commit_task(i);
+            self.commit_task(i)?;
             self.oldest_uncommitted += 1;
         }
+        Ok(())
     }
 
-    fn commit_task(&mut self, i: usize) {
+    fn commit_task(&mut self, i: usize) -> Result<(), MachineError> {
         let p = self.tasks[i].proc.expect("committed task had a processor");
         let exact_w_words = self.tasks[i].w_words.clone();
         let exact_prespawn = self.tasks[i].w_prespawn.clone();
@@ -502,31 +630,93 @@ impl TlsMachine {
             .collect();
 
         // Broadcast.
-        let (payload, w_sig, w_sh_sig) = match self.scheme {
-            TlsScheme::Eager => (0u64, None, None),
+        let (payload, mut msg) = match self.scheme {
+            TlsScheme::Eager => (0u64, CommitMsg::AddressList),
             TlsScheme::Lazy => {
-                (exact_w_words.len() as u64 * self.cfg.msg_sizes.addr_msg, None, None)
+                (exact_w_words.len() as u64 * self.cfg.msg_sizes.addr_msg, CommitMsg::AddressList)
             }
             TlsScheme::Bulk | TlsScheme::BulkNoOverlap => {
-                let v = self.tasks[i].version.expect("in flight");
+                let v = self.tasks[i].version.ok_or(MachineError::MissingVersion {
+                    thread: i,
+                    pc: self.tasks[i].pc,
+                    context: "tls commit",
+                })?;
                 let sigs = self.procs[p].bdm.commit(v);
                 let mut payload = sigs.w.compressed_size_bits().div_ceil(8);
                 if let Some(sh) = &sigs.w_sh {
                     payload += sh.compressed_size_bits().div_ceil(8);
                 }
-                (payload, Some(sigs.w), sigs.w_sh)
+                let msg = match sigs.w_sh {
+                    Some(sh) => CommitMsg::signatures_with_shadow(sigs.w, sh),
+                    None => CommitMsg::signatures(sigs.w),
+                };
+                (payload, msg)
             }
         };
-        let request = self.tasks[i].finish_time.max(self.last_commit_finish);
+        // The commit point: the slot was cleared (clear-a-register commit,
+        // §5.1), so the task is no longer speculative — mark it committed
+        // *before* any cascade squash can audit it in a half-torn state.
+        self.tasks[i].status = Status::Committed;
+
+        // Chaos: arbitration denials with bounded backoff delay the commit
+        // request; in-flight corruption, broadcast delay and duplication
+        // perturb the delivery.
+        let mut request = self.tasks[i].finish_time.max(self.last_commit_finish);
+        let mut attempt = 0u32;
+        loop {
+            let Some(plan) = self.chaos.as_mut() else { break };
+            let Some(backoff) = plan.deny_commit(attempt) else { break };
+            self.stats.commit_retries += 1;
+            request += backoff;
+            attempt += 1;
+        }
+        let (delay, duplicate) = match self.chaos.as_mut() {
+            Some(plan) => {
+                plan.maybe_corrupt(&mut msg);
+                (plan.broadcast_delay(), plan.duplicate_broadcast())
+            }
+            None => (0, false),
+        };
+
         let duration = self.cfg.commit_arb
-            + if self.scheme.is_eager() { 0 } else { self.cfg.broadcast_cycles(payload) };
+            + if self.scheme.is_eager() { 0 } else { self.cfg.broadcast_cycles(payload) }
+            + delay;
         let start = self.bus.acquire(request, duration);
-        let finish = start + duration;
-        self.last_commit_finish = finish;
+        let mut finish = start + duration;
         if !self.scheme.is_eager() {
             self.stats.bw.record_commit(payload, &self.cfg.msg_sizes);
         }
+
+        // Delivery: receivers CRC-check signature payloads; a detected
+        // corruption is nacked and retransmitted from the pristine copy.
+        let delivered = msg.deliver();
+        if let Some(d) = &delivered {
+            if d.corruption_detected {
+                let retransmit = self
+                    .chaos
+                    .as_ref()
+                    .map_or(0, |pl| pl.config().retransmit_cycles);
+                let restart = self.bus.acquire(finish, retransmit);
+                finish = restart + retransmit;
+                self.stats.bw.record_commit(payload, &self.cfg.msg_sizes);
+            }
+            if let Some(plan) = self.chaos.as_mut() {
+                plan.note_delivery(d.corruption_detected, d.silent_corruption);
+            }
+            if d.silent_corruption {
+                self.auditor.record(
+                    InvariantKind::UndetectedCorruption,
+                    p,
+                    finish,
+                    "corrupted commit signature passed its CRC".to_string(),
+                );
+            }
+        }
+        self.last_commit_finish = finish;
         self.stats.commits += 1;
+        if self.tasks[i].escalated {
+            self.stats.serialized_commits += 1;
+        }
         self.stats.rd_set_words += self.tasks[i].r_words.len() as u64;
         self.stats.wr_set_words += self.tasks[i].w_words.len() as u64;
 
@@ -556,13 +746,41 @@ impl TlsMachine {
                 TlsScheme::Eager => false,
                 TlsScheme::Lazy => exact_conflict,
                 TlsScheme::Bulk | TlsScheme::BulkNoOverlap => {
-                    let sig = match (&w_sh_sig, use_overlap) {
+                    let Some(d) = delivered.as_ref() else {
+                        return Err(MachineError::MalformedCommit {
+                            scheme: "TLS-Bulk",
+                            payload: "address-list",
+                        });
+                    };
+                    let sig = match (&d.w_sh, use_overlap) {
                         (Some(sh), true) => sh,
-                        _ => w_sig.as_ref().expect("bulk commit has signature"),
+                        _ => &d.w,
                     };
                     let q = self.tasks[j].proc.expect("in-flight task has proc");
-                    let v = self.tasks[j].version.expect("in-flight task has version");
-                    self.procs[q].bdm.disambiguate(v, sig).squash()
+                    let v = self.tasks[j].version.ok_or(MachineError::MissingVersion {
+                        thread: j,
+                        pc: self.tasks[j].pc,
+                        context: "tls commit disambiguation",
+                    })?;
+                    let squash = self.procs[q].bdm.disambiguate(v, sig).squash();
+                    // A signature may alias but must never miss a real
+                    // conflict (false negative).
+                    if exact_conflict && !squash {
+                        if self.auditor.enabled() {
+                            self.auditor.record(
+                                InvariantKind::SignatureContainment,
+                                q,
+                                finish,
+                                format!(
+                                    "commit of task {i} conflicts with task {j}'s \
+                                     exact sets but the signature missed it"
+                                ),
+                            );
+                        } else {
+                            debug_assert!(false, "signature false negative");
+                        }
+                    }
+                    squash
                 }
             };
             if violated {
@@ -579,35 +797,45 @@ impl TlsMachine {
             }
         }
 
-        // Apply commit invalidations to every other processor's cache.
+        // Apply commit invalidations to every other processor's cache. A
+        // chaos-duplicated broadcast applies them a second time; the
+        // second pass must be idempotent (already-invalidated lines are
+        // simply absent).
+        let rounds = if duplicate { 2 } else { 1 };
         let skip_proc_of_squashed = squash_from.map(|(j, _, _)| j);
-        for q in 0..self.procs.len() {
-            if q == p {
-                continue;
-            }
-            // Squashed tasks' caches get cleaned by the squash itself; the
-            // commit invalidation still applies to lines of *other* tasks
-            // on that processor, so we apply it everywhere.
-            let _ = skip_proc_of_squashed;
-            match self.scheme {
-                TlsScheme::Eager | TlsScheme::Lazy => {
-                    self.exact_apply_commit(q, &exact_lines, &exact_w_words);
+        for round in 0..rounds {
+            for q in 0..self.procs.len() {
+                if q == p {
+                    continue;
                 }
-                TlsScheme::Bulk | TlsScheme::BulkNoOverlap => {
-                    let w = w_sig.as_ref().expect("bulk commit has signature");
-                    let proc = &mut self.procs[q];
-                    let app = flows::apply_remote_commit(&proc.bdm, w, &mut proc.cache);
-                    let false_inv = app
-                        .invalidated
-                        .iter()
-                        .filter(|l| !exact_lines.contains(l))
-                        .count() as u64;
-                    self.stats.false_invalidations += false_inv;
-                    self.stats.line_merges += app.merged.len() as u64;
-                    // Merged lines are refetched from the network (Fig. 6).
-                    self.stats
-                        .bw
-                        .record(MsgClass::Fill, app.merged.len() as u64 * self.cfg.msg_sizes.line_msg);
+                // Squashed tasks' caches get cleaned by the squash itself;
+                // the commit invalidation still applies to lines of *other*
+                // tasks on that processor, so we apply it everywhere.
+                let _ = skip_proc_of_squashed;
+                match self.scheme {
+                    TlsScheme::Eager | TlsScheme::Lazy => {
+                        self.exact_apply_commit(q, &exact_lines, &exact_w_words);
+                    }
+                    TlsScheme::Bulk | TlsScheme::BulkNoOverlap => {
+                        let w = &delivered.as_ref().expect("bulk commit delivers signatures").w;
+                        let proc = &mut self.procs[q];
+                        let app = flows::apply_remote_commit(&proc.bdm, w, &mut proc.cache);
+                        if round > 0 {
+                            continue; // duplicate delivery: no new stats
+                        }
+                        let false_inv = app
+                            .invalidated
+                            .iter()
+                            .filter(|l| !exact_lines.contains(l))
+                            .count() as u64;
+                        self.stats.false_invalidations += false_inv;
+                        self.stats.line_merges += app.merged.len() as u64;
+                        // Merged lines are refetched from the network (Fig. 6).
+                        self.stats.bw.record(
+                            MsgClass::Fill,
+                            app.merged.len() as u64 * self.cfg.msg_sizes.line_msg,
+                        );
+                    }
                 }
             }
         }
@@ -622,7 +850,75 @@ impl TlsMachine {
                 self.procs[p].bdm.free_version(v);
             }
         }
-        self.tasks[i].status = Status::Committed;
+
+        self.auditor.observe_commit(p, finish);
+        if self.auditor.enabled() {
+            // Serializability: any surviving in-flight task whose exact
+            // sets overlap the committed (non-overlap-covered) writes
+            // should have been squashed — except under Eager, where the
+            // violation was already resolved at store time.
+            if self.scheme != TlsScheme::Eager {
+                for j in i + 1..self.tasks.len() {
+                    let t = &self.tasks[j];
+                    if !t.in_flight() {
+                        continue;
+                    }
+                    let use_overlap = j == i + 1 && self.scheme.partial_overlap();
+                    if let Some(w) = exact_w_words
+                        .iter()
+                        .filter(|w| !(use_overlap && exact_prespawn.contains(*w)))
+                        .find(|w| t.reads_or_writes(**w))
+                    {
+                        let q = t.proc.unwrap_or(0);
+                        let detail = format!(
+                            "task {j} survived the commit of task {i} despite an \
+                             exact-set overlap at word {w:?}"
+                        );
+                        self.auditor.record(InvariantKind::Serializability, q, finish, detail);
+                    }
+                }
+            }
+            self.audit_state(finish);
+        }
+        Ok(())
+    }
+
+    /// Feeds the auditor the whole machine state: the Set Restriction for
+    /// every processor's cache/BDM pair, and signature-vs-oracle
+    /// containment for every in-flight task.
+    fn audit_state(&mut self, cycle: u64) {
+        if !self.auditor.enabled() {
+            return;
+        }
+        for q in 0..self.procs.len() {
+            let proc = &self.procs[q];
+            self.auditor.audit_set_restriction(q, cycle, &proc.bdm, &proc.cache);
+        }
+        if !self.scheme.uses_signatures() {
+            return;
+        }
+        for k in 0..self.tasks.len() {
+            let t = &self.tasks[k];
+            if !t.in_flight() {
+                continue;
+            }
+            let (Some(q), Some(v)) = (t.proc, t.version) else { continue };
+            let bdm = &self.procs[q].bdm;
+            let r = bdm.read_signature(v);
+            let w = bdm.write_signature(v);
+            let missing = t
+                .r_words
+                .iter()
+                .find(|word| !r.contains_word(**word))
+                .map(|word| format!("task {k}: read word {word:?} not in the R signature"))
+                .or_else(|| {
+                    t.w_words
+                        .iter()
+                        .find(|word| !w.contains_word(**word))
+                        .map(|word| format!("task {k}: written word {word:?} not in the W signature"))
+                });
+            self.auditor.audit_containment(q, cycle, missing);
+        }
     }
 
     /// Exact-scheme commit application: invalidate committed lines in
@@ -715,8 +1011,18 @@ impl TlsMachine {
         t.pc = 0;
         t.status = Status::Ready;
         t.restarts += 1;
+        // Graceful degradation: enough restarts and the task defers its
+        // next start until it runs at the head, where it cannot be
+        // squashed again.
+        if let Some(threshold) = self.escalation {
+            if !t.escalated && t.restarts >= threshold {
+                t.escalated = true;
+                self.stats.escalations += 1;
+            }
+        }
         self.procs[p].timer.wait_until(at);
         self.procs[p].timer.advance(self.cfg.squash_overhead);
+        self.audit_state(at);
     }
 
     /// The shared signature configuration of this machine.
@@ -974,5 +1280,60 @@ mod tests {
         let p = profiles::tls_profile("mcf").unwrap();
         let wl = p.generate(5);
         assert_eq!(run_tls_sequential(&wl, &cfg()), run_tls_sequential(&wl, &cfg()));
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let empty = TlsWorkload { name: "none".into(), tasks: vec![] };
+        let err = TlsMachine::try_new(&empty, TlsScheme::Bulk, &cfg()).err().expect("must fail");
+        assert_eq!(err, MachineError::EmptyWorkload { machine: "tls" });
+
+        let bad = workload(vec![vec![TlsOp::Spawn, TlsOp::Spawn, w(0x9000)]]);
+        let err = TlsMachine::try_new(&bad, TlsScheme::Bulk, &cfg()).err().expect("must fail");
+        assert!(matches!(err, MachineError::Trace { thread: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn escalated_task_finishes_at_the_head() {
+        // Task 1 re-reads what slow task 0 writes late: under Lazy it
+        // restarts on every one of task 0's staggered commits. With an
+        // aggressive threshold it escalates, waits for the head, and then
+        // commits serialized.
+        let tasks = vec![
+            vec![TlsOp::Spawn, TlsOp::Compute(5000), w(0x9000)],
+            vec![TlsOp::Spawn, r(0x9000), TlsOp::Compute(100)],
+        ];
+        let mut m = TlsMachine::new(&workload(tasks), TlsScheme::Lazy, &cfg());
+        m.set_escalation_threshold(Some(1));
+        let stats = m.try_run().expect("run completes");
+        assert_eq!(stats.commits, 2);
+        assert_eq!(stats.escalations, 1, "{stats:?}");
+        assert_eq!(stats.serialized_commits, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn chaos_run_is_deterministic_and_clean_under_audit() {
+        let p = profiles::tls_profile("vpr").unwrap();
+        let wl = p.generate(4);
+        let run = |seed: u64| {
+            let mut m = TlsMachine::new(&wl, TlsScheme::Bulk, &cfg());
+            m.set_chaos(bulk_chaos::FaultPlan::seeded(seed));
+            m.enable_audit();
+            m.try_run().expect("chaos run completes")
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.chaos, b.chaos);
+        assert!(
+            a.violations.is_empty(),
+            "chaos must cost time, never correctness: {:?}",
+            a.violations
+        );
+        assert!(a.audit_checks > 0);
+        assert_eq!(a.chaos.corruptions_injected, a.chaos.corruptions_detected, "{:?}", a.chaos);
+        assert_eq!(a.chaos.silent_corruptions, 0);
+        assert!(a.chaos.total_injected() > 0, "{:?}", a.chaos);
+        assert_eq!(a.commits as usize, p.tasks);
     }
 }

@@ -1,6 +1,7 @@
 //! Statistics collected by a TLS run — everything Table 6 and Fig. 10
 //! report.
 
+use bulk_chaos::{FaultStats, InvariantViolation};
 use bulk_mem::BandwidthStats;
 
 /// Aggregate statistics of one TLS simulation.
@@ -37,6 +38,18 @@ pub struct TlsStats {
     pub cycles: u64,
     /// Machine-wide interconnect traffic.
     pub bw: BandwidthStats,
+    /// Commit-arbitration denials retried with backoff (chaos runs).
+    pub commit_retries: u64,
+    /// Tasks escalated to head-serialized (non-speculative) execution.
+    pub escalations: u64,
+    /// Commits completed by escalated tasks running at the head.
+    pub serialized_commits: u64,
+    /// Individual invariant checks performed by the auditor.
+    pub audit_checks: u64,
+    /// Injected-fault accounting for chaos runs.
+    pub chaos: FaultStats,
+    /// Invariant violations the auditor observed (empty on a healthy run).
+    pub violations: Vec<InvariantViolation>,
 }
 
 impl TlsStats {
@@ -57,6 +70,12 @@ impl TlsStats {
         self.spawn_invalidations += other.spawn_invalidations;
         self.cycles += other.cycles;
         self.bw += other.bw;
+        self.commit_retries += other.commit_retries;
+        self.escalations += other.escalations;
+        self.serialized_commits += other.serialized_commits;
+        self.audit_checks += other.audit_checks;
+        self.chaos.merge(&other.chaos);
+        self.violations.extend(other.violations.iter().cloned());
     }
 
     /// Mean committed read-set size in words.

@@ -11,7 +11,11 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use bulk_core::{check_speculative_store, flows, Bdm, SectionStack, StoreCheck, VersionId};
+use bulk_chaos::{Auditor, FaultPlan, InvariantKind, MachineError};
+use bulk_core::{
+    check_speculative_store, flows, Bdm, CommitMsg, DeliveredSignatures, SectionStack,
+    StoreCheck, VersionId,
+};
 use bulk_mem::{Addr, Cache, LineAddr, MsgClass, OverflowArea};
 use bulk_sig::{Signature, SignatureConfig};
 use bulk_sim::{Bus, CoreTimer, SimConfig};
@@ -22,6 +26,10 @@ use crate::{Scheme, TmStats};
 /// Safety cap on total squashes, used to detect the Fig. 12(a) livelock in
 /// the naive Eager scheme.
 const DEFAULT_SQUASH_CAP: u64 = 100_000;
+
+/// Squashes of one transaction before it escalates to the serialized
+/// non-speculative fallback (graceful degradation instead of livelock).
+const DEFAULT_ESCALATION_THRESHOLD: u64 = 16;
 
 struct Thread {
     ops: Vec<TmOp>,
@@ -47,12 +55,27 @@ struct Thread {
     overflow: OverflowArea,
     // --- eager stall (forward-progress fix) ---
     stalled_on: Option<(usize, u64)>,
+    // --- escalation (graceful degradation) ---
+    /// Squashes of the currently-attempted transaction (reset on commit).
+    tx_squashes: u64,
+    /// The thread crossed the escalation threshold; its next `Begin`
+    /// enters serialized non-speculative execution.
+    escalated: bool,
+    /// Currently executing its transaction serialized and non-speculative
+    /// (holds the machine's serial token).
+    serialized: bool,
     done: bool,
 }
 
 impl Thread {
     fn in_tx(&self) -> bool {
         self.depth > 0
+    }
+
+    /// In a transaction *speculatively* — i.e. squashable. A serialized
+    /// (escalated) transaction is non-speculative and never squashed.
+    fn speculative(&self) -> bool {
+        self.in_tx() && !self.serialized
     }
 
     fn tx_progress(&self) -> u64 {
@@ -74,6 +97,17 @@ pub struct TmMachine {
     bus: Bus,
     stats: TmStats,
     squash_cap: u64,
+    /// Per-transaction squash count at which a thread escalates to the
+    /// serialized fallback; `None` disables escalation (the naive-eager
+    /// baseline keeps its Fig. 12(a) livelock demonstration).
+    escalation: Option<u64>,
+    /// The thread currently executing its transaction serialized, if any.
+    /// While held, only the holder is scheduled: the serial region is a
+    /// global exclusion, which is what makes the fallback trivially safe.
+    serial_token: Option<usize>,
+    chaos: Option<FaultPlan>,
+    audit: bool,
+    auditor: Auditor,
 }
 
 /// Runs `workload` under `scheme` on the given machine configuration and
@@ -98,9 +132,21 @@ impl TmMachine {
     ///
     /// # Panics
     ///
-    /// Panics if the workload is empty or a trace has unbalanced nesting.
+    /// Panics if the workload is empty or a trace has unbalanced nesting;
+    /// use [`TmMachine::try_new`] for a typed error instead.
     pub fn new(workload: &TmWorkload, scheme: Scheme, cfg: &SimConfig) -> Self {
-        TmMachine::with_signature(workload, scheme, cfg, SignatureConfig::s14_tm())
+        TmMachine::try_new(workload, scheme, cfg)
+            .unwrap_or_else(|e| panic!("invalid TM workload: {e}"))
+    }
+
+    /// Fallible construction: returns a typed [`MachineError`] when the
+    /// workload is empty or a thread trace fails validation.
+    pub fn try_new(
+        workload: &TmWorkload,
+        scheme: Scheme,
+        cfg: &SimConfig,
+    ) -> Result<Self, MachineError> {
+        TmMachine::try_with_signature(workload, scheme, cfg, SignatureConfig::s14_tm())
     }
 
     /// Builds a machine with an explicit signature configuration (used by
@@ -108,14 +154,28 @@ impl TmMachine {
     ///
     /// # Panics
     ///
-    /// Panics if the workload is empty or a trace has unbalanced nesting.
+    /// Panics if the workload is empty or a trace has unbalanced nesting;
+    /// use [`TmMachine::try_with_signature`] for a typed error instead.
     pub fn with_signature(
         workload: &TmWorkload,
         scheme: Scheme,
         cfg: &SimConfig,
         sig: SignatureConfig,
     ) -> Self {
-        assert!(!workload.threads.is_empty(), "workload has no threads");
+        TmMachine::try_with_signature(workload, scheme, cfg, sig)
+            .unwrap_or_else(|e| panic!("invalid TM workload: {e}"))
+    }
+
+    /// Fallible construction with an explicit signature configuration.
+    pub fn try_with_signature(
+        workload: &TmWorkload,
+        scheme: Scheme,
+        cfg: &SimConfig,
+        sig: SignatureConfig,
+    ) -> Result<Self, MachineError> {
+        if workload.threads.is_empty() {
+            return Err(MachineError::EmptyWorkload { machine: "tm" });
+        }
         assert_eq!(
             sig.granularity(),
             bulk_sig::Granularity::Line,
@@ -123,34 +183,34 @@ impl TmMachine {
              word-level merging is exercised by the TLS machine"
         );
         let sig_config = sig.into_shared();
-        let threads = workload
-            .threads
-            .iter()
-            .map(|t| {
-                t.validate(8).expect("trace nesting is balanced");
-                Thread {
-                    ops: t.ops.clone(),
-                    pc: 0,
-                    timer: CoreTimer::new(),
-                    cache: Cache::new(cfg.geom),
-                    depth: 0,
-                    tx_start_pc: 0,
-                    tx_start_cycle: 0,
-                    tx_serial: 0,
-                    read_set: HashSet::new(),
-                    write_set: HashSet::new(),
-                    bdm: Bdm::new((*sig_config).clone(), cfg.geom, 2),
-                    version: None,
-                    sections: SectionStack::new(sig_config.clone()),
-                    section_starts: Vec::new(),
-                    exact_sections: Vec::new(),
-                    overflow: OverflowArea::new(),
-                    stalled_on: None,
-                    done: t.ops.is_empty(),
-                }
-            })
-            .collect();
-        TmMachine {
+        let mut threads = Vec::with_capacity(workload.threads.len());
+        for (i, t) in workload.threads.iter().enumerate() {
+            t.validate(8).map_err(|source| MachineError::Trace { thread: i, source })?;
+            threads.push(Thread {
+                ops: t.ops.clone(),
+                pc: 0,
+                timer: CoreTimer::new(),
+                cache: Cache::new(cfg.geom),
+                depth: 0,
+                tx_start_pc: 0,
+                tx_start_cycle: 0,
+                tx_serial: 0,
+                read_set: HashSet::new(),
+                write_set: HashSet::new(),
+                bdm: Bdm::new((*sig_config).clone(), cfg.geom, 2),
+                version: None,
+                sections: SectionStack::new(sig_config.clone()),
+                section_starts: Vec::new(),
+                exact_sections: Vec::new(),
+                overflow: OverflowArea::new(),
+                stalled_on: None,
+                tx_squashes: 0,
+                escalated: false,
+                serialized: false,
+                done: t.ops.is_empty(),
+            });
+        }
+        Ok(TmMachine {
             cfg: cfg.clone(),
             scheme,
             sig_config,
@@ -158,7 +218,18 @@ impl TmMachine {
             bus: Bus::new(),
             stats: TmStats::default(),
             squash_cap: DEFAULT_SQUASH_CAP,
-        }
+            // The naive-eager baseline exists to demonstrate the Fig. 12(a)
+            // livelock; escalation would paper over exactly that.
+            escalation: if scheme == Scheme::EagerNaive {
+                None
+            } else {
+                Some(DEFAULT_ESCALATION_THRESHOLD)
+            },
+            serial_token: None,
+            chaos: None,
+            audit: false,
+            auditor: Auditor::off(),
+        })
     }
 
     /// Overrides the livelock safety cap (total squashes before the run is
@@ -167,25 +238,74 @@ impl TmMachine {
         self.squash_cap = cap;
     }
 
+    /// Overrides the per-transaction escalation threshold (`None` disables
+    /// the serialized fallback entirely).
+    pub fn set_escalation_threshold(&mut self, threshold: Option<u64>) {
+        self.escalation = threshold;
+    }
+
+    /// Arms the chaos fault injector for this run. The run then becomes a
+    /// pure function of (workload, scheme, config, `plan.seed()`).
+    pub fn set_chaos(&mut self, plan: FaultPlan) {
+        self.chaos = Some(plan);
+        if self.audit {
+            self.rebuild_auditor();
+        }
+    }
+
+    /// Enables the runtime invariant auditor; violations are collected in
+    /// [`TmStats::violations`] instead of panicking.
+    pub fn enable_audit(&mut self) {
+        self.audit = true;
+        self.rebuild_auditor();
+    }
+
+    fn rebuild_auditor(&mut self) {
+        let seed = self.chaos.as_ref().map(|p| p.seed());
+        self.auditor = Auditor::new(self.scheme.to_string(), self.threads.len(), seed);
+    }
+
     /// Runs the machine to completion and returns the statistics.
-    pub fn run(mut self) -> TmStats {
+    ///
+    /// # Panics
+    ///
+    /// Panics on a typed machine error (see [`TmMachine::try_run`]).
+    pub fn run(self) -> TmStats {
+        self.try_run().unwrap_or_else(|e| panic!("TM run failed: {e}"))
+    }
+
+    /// Runs the machine to completion, surfacing machine-level failures
+    /// (conflict deadlock, missing versions, malformed commit payloads) as
+    /// typed errors rather than panics.
+    pub fn try_run(mut self) -> Result<TmStats, MachineError> {
         loop {
             if self.stats.squashes >= self.squash_cap {
                 self.stats.livelocked = true;
                 break;
             }
-            let Some(tid) = self.pick_runnable() else {
+            let Some(tid) = self.pick_runnable()? else {
                 break;
             };
-            self.step(tid);
+            self.step(tid)?;
         }
         self.stats.cycles = self.threads.iter().map(|t| t.timer.now()).max().unwrap_or(0);
         self.stats.overflow_accesses =
             self.threads.iter().map(|t| t.overflow.accesses()).sum();
-        self.stats
+        if let Some(plan) = &mut self.chaos {
+            self.stats.chaos = plan.take_stats();
+        }
+        self.stats.audit_checks = self.auditor.checks();
+        self.stats.violations = self.auditor.take_violations();
+        Ok(self.stats)
     }
 
-    fn pick_runnable(&self) -> Option<usize> {
+    fn pick_runnable(&self) -> Result<Option<usize>, MachineError> {
+        // A serialized (escalated) transaction runs under global exclusion:
+        // while the token is held, only the holder is scheduled.
+        if let Some(k) = self.serial_token {
+            debug_assert!(!self.threads[k].done, "serial token held by a finished thread");
+            return Ok(Some(k));
+        }
         let mut best: Option<(u64, usize)> = None;
         let mut any_not_done = false;
         for (i, t) in self.threads.iter().enumerate() {
@@ -205,20 +325,23 @@ impl TmMachine {
             }
         }
         let picked = best.map(|(_, i)| i);
-        assert!(
-            picked.is_some() || !any_not_done,
-            "all live threads are stalled: conflict-resolution deadlock"
-        );
-        picked
+        if picked.is_none() && any_not_done {
+            let cycle = self.threads.iter().map(|t| t.timer.now()).max().unwrap_or(0);
+            return Err(MachineError::ConflictDeadlock { cycle });
+        }
+        Ok(picked)
     }
 
-    fn step(&mut self, tid: usize) {
+    fn step(&mut self, tid: usize) -> Result<(), MachineError> {
         // A resuming thread re-checks its op with stall cleared.
         if let Some((blocker, _)) = self.threads[tid].stalled_on {
             let release = self.threads[blocker].timer.now();
             let t = &mut self.threads[tid];
             t.stalled_on = None;
             t.timer.wait_until(release);
+        }
+        if self.chaos.is_some() {
+            self.chaos_perturb(tid);
         }
         let op = self.threads[tid].ops[self.threads[tid].pc];
         match op {
@@ -227,14 +350,63 @@ impl TmMachine {
                 self.threads[tid].pc += 1;
             }
             TmOp::Begin => self.op_begin(tid),
-            TmOp::End => self.op_end(tid),
-            TmOp::Read(a) => self.op_read(tid, a),
-            TmOp::Write(a) => self.op_write(tid, a),
+            TmOp::End => self.op_end(tid)?,
+            TmOp::Read(a) => self.op_read(tid, a)?,
+            TmOp::Write(a) => self.op_write(tid, a)?,
         }
+        self.auditor.observe_clock(tid, self.threads[tid].timer.now());
         if self.threads[tid].pc >= self.threads[tid].ops.len() {
             self.threads[tid].done = true;
             debug_assert!(!self.threads[tid].in_tx(), "trace ended inside a transaction");
         }
+        Ok(())
+    }
+
+    /// Chaos hook, consulted once per scheduled operation: forced context
+    /// switches (spill + reload of the running version's signatures,
+    /// §6.2.2) and forced cache evictions (overflow pressure).
+    fn chaos_perturb(&mut self, tid: usize) {
+        let Some(plan) = &mut self.chaos else { return };
+        if plan.force_context_switch() {
+            let cycles = plan.config().ctx_switch_cycles;
+            let t = &mut self.threads[tid];
+            t.timer.advance(cycles);
+            if let Some(v) = t.version.take() {
+                // The OS preempts mid-transaction: signatures spill to
+                // memory and reload when the thread is rescheduled.
+                let spilled = t.bdm.spill_version(v);
+                let v2 = t
+                    .bdm
+                    .reload_version(spilled)
+                    .unwrap_or_else(|_| unreachable!("slot was just freed"));
+                t.bdm.set_running(Some(v2));
+                t.version = Some(v2);
+            }
+        }
+        let Some(plan) = &mut self.chaos else { return };
+        if plan.force_eviction() {
+            let t = &self.threads[tid];
+            let resident: Vec<(LineAddr, bool)> =
+                t.cache.iter().map(|l| (l.addr(), l.is_dirty())).collect();
+            if !resident.is_empty() {
+                let plan = self.chaos.as_mut().expect("plan present");
+                let (victim, dirty) = resident[plan.pick(resident.len())];
+                self.threads[tid].cache.invalidate(victim);
+                if dirty {
+                    self.handle_dirty_victim(tid, victim);
+                }
+            }
+        }
+    }
+
+    /// The running version of `tid`, or a typed error naming the protocol
+    /// step that required it.
+    fn version_of(&self, tid: usize, context: &'static str) -> Result<VersionId, MachineError> {
+        self.threads[tid].version.ok_or(MachineError::MissingVersion {
+            thread: tid,
+            pc: self.threads[tid].pc,
+            context,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -243,7 +415,38 @@ impl TmMachine {
 
     fn op_begin(&mut self, tid: usize) {
         let partial = self.scheme == Scheme::BulkPartial;
+        if self.threads[tid].escalated && self.threads[tid].depth == 0 {
+            // Graceful degradation: after repeated squashes this transaction
+            // re-executes non-speculatively under global exclusion — it can
+            // no longer be squashed, so it is guaranteed to finish.
+            debug_assert!(self.serial_token.is_none(), "serial token already held");
+            self.serial_token = Some(tid);
+            let t = &mut self.threads[tid];
+            t.serialized = true;
+            t.tx_serial += 1;
+            t.tx_start_pc = t.pc;
+            t.tx_start_cycle = t.timer.now();
+            t.read_set.clear();
+            t.write_set.clear();
+            t.sections.clear();
+            t.section_starts.clear();
+            t.exact_sections.clear();
+            if let Some(v) = t.version.take() {
+                t.bdm.set_running(None);
+                t.bdm.free_version(v);
+            }
+            t.depth += 1;
+            t.pc += 1;
+            return;
+        }
         let t = &mut self.threads[tid];
+        if t.serialized {
+            // Nested Begin inside a serialized transaction: flat, nothing
+            // speculative to track.
+            t.depth += 1;
+            t.pc += 1;
+            return;
+        }
         if t.depth == 0 {
             t.tx_serial += 1;
             t.tx_start_pc = t.pc;
@@ -273,8 +476,8 @@ impl TmMachine {
         t.pc += 1;
     }
 
-    fn op_end(&mut self, tid: usize) {
-        let partial = self.scheme == Scheme::BulkPartial;
+    fn op_end(&mut self, tid: usize) -> Result<(), MachineError> {
+        let partial = self.scheme == Scheme::BulkPartial && !self.threads[tid].serialized;
         let t = &mut self.threads[tid];
         debug_assert!(t.depth > 0, "End without Begin");
         t.depth -= 1;
@@ -287,14 +490,57 @@ impl TmMachine {
                 t.exact_sections.push(Default::default());
             }
             t.pc += 1;
+        } else if t.serialized {
+            self.serialized_commit(tid);
+            self.threads[tid].pc += 1;
         } else {
-            self.commit(tid);
+            self.commit(tid)?;
             self.threads[tid].pc += 1;
         }
+        Ok(())
     }
 
-    fn op_read(&mut self, tid: usize, a: Addr) {
+    /// Commit of a serialized (escalated) transaction: its stores already
+    /// propagated as ordinary coherence traffic, so commit only arbitrates
+    /// for the bus (keeping the global commit order total) and releases
+    /// the serial token.
+    fn serialized_commit(&mut self, tid: usize) {
+        let now = self.threads[tid].timer.now();
+        let start = self.bus.acquire(now, self.cfg.commit_arb);
+        let finish = start + self.cfg.commit_arb;
+        self.threads[tid].timer.wait_until(finish);
+        self.stats.commits += 1;
+        self.stats.serialized_commits += 1;
+        self.auditor.observe_commit(tid, finish);
+        let t = &mut self.threads[tid];
+        t.serialized = false;
+        t.escalated = false;
+        t.tx_squashes = 0;
+        t.tx_serial += 1; // releases threads stalled on this transaction
+        t.overflow.discard();
+        debug_assert_eq!(self.serial_token, Some(tid));
+        self.serial_token = None;
+        self.audit_state(finish);
+    }
+
+    fn op_read(&mut self, tid: usize, a: Addr) -> Result<(), MachineError> {
         let line = a.line(self.cfg.geom.line_bytes());
+        if self.threads[tid].serialized {
+            // A serialized transaction reads non-speculatively: no read set,
+            // no signature, no conflict checks — the serial token already
+            // guarantees atomicity. Speculative dirty copies elsewhere are
+            // nacked by `neighbor_has`, so it reads committed state.
+            let in_neighbor = self.neighbor_has(tid, line);
+            let mut bw = std::mem::take(&mut self.stats.bw);
+            let t = &mut self.threads[tid];
+            let acc = t.timer.load(&mut t.cache, line, in_neighbor, &self.cfg, &mut bw);
+            self.stats.bw = bw;
+            if let Some(victim) = acc.writeback {
+                self.handle_dirty_victim(tid, victim);
+            }
+            self.threads[tid].pc += 1;
+            return Ok(());
+        }
         // Eager RAW conflict: reading a line speculatively written elsewhere.
         if self.scheme.is_eager() {
             let conflicting: Vec<usize> = self
@@ -303,7 +549,7 @@ impl TmMachine {
                 .filter(|&j| self.threads[j].write_set.contains(&line))
                 .collect();
             if !self.resolve_eager_conflicts(tid, &conflicting, line) {
-                return; // stalled; retry this op later
+                return Ok(()); // stalled; retry this op later
             }
         }
         let in_tx = self.threads[tid].in_tx();
@@ -315,11 +561,15 @@ impl TmMachine {
         if let Some(victim) = acc.writeback {
             self.handle_dirty_victim(tid, victim);
         }
-        let t = &mut self.threads[tid];
         if in_tx {
+            let v = if self.scheme.uses_signatures() {
+                Some(self.version_of(tid, "transactional load")?)
+            } else {
+                None
+            };
+            let t = &mut self.threads[tid];
             t.read_set.insert(line);
-            if self.scheme.uses_signatures() {
-                let v = t.version.expect("version in tx");
+            if let Some(v) = v {
                 t.bdm.record_load(v, a);
                 if self.scheme == Scheme::BulkPartial {
                     t.sections.record_load(a);
@@ -331,13 +581,18 @@ impl TmMachine {
             }
         }
         self.threads[tid].pc += 1;
+        Ok(())
     }
 
-    fn op_write(&mut self, tid: usize, a: Addr) {
+    fn op_write(&mut self, tid: usize, a: Addr) -> Result<(), MachineError> {
         let line = a.line(self.cfg.geom.line_bytes());
-        if !self.threads[tid].in_tx() {
+        if !self.threads[tid].in_tx() || self.threads[tid].serialized {
+            // A serialized transaction's store is an ordinary coherent
+            // store: it propagates an individual invalidation, which may
+            // squash speculative readers — exactly the paper's
+            // non-transactional-write rule (§4.2).
             self.non_tx_write(tid, a, line);
-            return;
+            return Ok(());
         }
         // Eager conflict: writing a line another in-flight tx read/wrote.
         if self.scheme.is_eager() {
@@ -347,7 +602,7 @@ impl TmMachine {
                 .filter(|&j| self.threads[j].exact_union_contains(line))
                 .collect();
             if !self.resolve_eager_conflicts(tid, &conflicting, line) {
-                return; // stalled
+                return Ok(()); // stalled
             }
             // The eager store itself propagates an invalidation.
             if !self.threads[tid].write_set.contains(&line) {
@@ -357,8 +612,8 @@ impl TmMachine {
         }
         // Set Restriction enforcement (Bulk schemes).
         if self.scheme.uses_signatures() {
+            let v = self.version_of(tid, "speculative store check")?;
             let t = &self.threads[tid];
-            let v = t.version.expect("version in tx");
             match check_speculative_store(&t.bdm, v, a, &t.cache) {
                 StoreCheck::Proceed { safe_writebacks } => {
                     let n = safe_writebacks.len() as u64;
@@ -384,10 +639,14 @@ impl TmMachine {
         if let Some(victim) = acc.writeback {
             self.handle_dirty_victim(tid, victim);
         }
+        let v = if self.scheme.uses_signatures() {
+            Some(self.version_of(tid, "speculative store")?)
+        } else {
+            None
+        };
         let t = &mut self.threads[tid];
         t.write_set.insert(line);
-        if self.scheme.uses_signatures() {
-            let v = t.version.expect("version in tx");
+        if let Some(v) = v {
             t.bdm.record_store(v, a);
             if self.scheme == Scheme::BulkPartial {
                 t.sections.record_store(a);
@@ -395,6 +654,7 @@ impl TmMachine {
             }
         }
         t.pc += 1;
+        Ok(())
     }
 
     /// A non-transactional store: updates this cache and sends an
@@ -415,7 +675,10 @@ impl TmMachine {
                             probe.insert_addr(a);
                             o.sections.disambiguate(&probe).is_some()
                         }
-                        _ => o.bdm.disambiguate_addr(o.version.expect("in tx"), a),
+                        _ => match o.version {
+                            Some(v) => o.bdm.disambiguate_addr(v, a),
+                            None => false,
+                        },
                     }
                 } else {
                     o.exact_union_contains(line)
@@ -443,33 +706,84 @@ impl TmMachine {
     // Commit
     // ------------------------------------------------------------------
 
-    fn commit(&mut self, tid: usize) {
+    fn commit(&mut self, tid: usize) -> Result<(), MachineError> {
         let exact_w: HashSet<LineAddr> = self.threads[tid].write_set.clone();
         let scheme = self.scheme;
 
+        // Chaos: the arbiter may deny the commit request a bounded number
+        // of times; the committer retries with exponential backoff.
+        let mut attempt = 0u32;
+        loop {
+            let Some(plan) = self.chaos.as_mut() else { break };
+            let Some(backoff) = plan.deny_commit(attempt) else { break };
+            self.stats.commit_retries += 1;
+            self.threads[tid].timer.advance(backoff);
+            attempt += 1;
+        }
+
         // Broadcast payload and bus occupancy.
-        let (payload_bytes, w_sig) = match scheme {
-            Scheme::EagerNaive | Scheme::Eager => (0u64, None),
-            Scheme::Lazy => (exact_w.len() as u64 * self.cfg.msg_sizes.addr_msg, None),
+        let (payload_bytes, mut msg) = match scheme {
+            Scheme::EagerNaive | Scheme::Eager => (0u64, CommitMsg::AddressList),
+            Scheme::Lazy => {
+                (exact_w.len() as u64 * self.cfg.msg_sizes.addr_msg, CommitMsg::AddressList)
+            }
             Scheme::Bulk => {
-                let t = &self.threads[tid];
-                let w = t.bdm.write_signature(t.version.expect("in tx")).clone();
-                (w.compressed_size_bits().div_ceil(8), Some(w))
+                let v = self.version_of(tid, "bulk commit")?;
+                let w = self.threads[tid].bdm.write_signature(v).clone();
+                (w.compressed_size_bits().div_ceil(8), CommitMsg::signatures(w))
             }
             Scheme::BulkPartial => {
                 let w = self.threads[tid].sections.commit_union();
-                (w.compressed_size_bits().div_ceil(8), Some(w))
+                (w.compressed_size_bits().div_ceil(8), CommitMsg::signatures(w))
             }
         };
+
+        // Chaos: in-flight bit flips, broadcast delay, duplication.
+        let (delay, duplicate) = match self.chaos.as_mut() {
+            Some(plan) => {
+                plan.maybe_corrupt(&mut msg);
+                (plan.broadcast_delay(), plan.duplicate_broadcast())
+            }
+            None => (0, false),
+        };
+
         let now = self.threads[tid].timer.now();
         let duration = self.cfg.commit_arb
-            + if scheme.is_eager() { 0 } else { self.cfg.broadcast_cycles(payload_bytes) };
+            + if scheme.is_eager() { 0 } else { self.cfg.broadcast_cycles(payload_bytes) }
+            + delay;
         let start = self.bus.acquire(now, duration);
-        let finish = start + duration;
-        self.threads[tid].timer.wait_until(finish);
+        let mut finish = start + duration;
         if !scheme.is_eager() {
             self.stats.bw.record_commit(payload_bytes, &self.cfg.msg_sizes);
         }
+
+        // Delivery: receivers CRC-check signature payloads. A detected
+        // corruption is nacked and retransmitted from the committer's
+        // pristine copy — costing bus time, never correctness.
+        let delivered = msg.deliver();
+        if let Some(d) = &delivered {
+            if d.corruption_detected {
+                let retransmit = self
+                    .chaos
+                    .as_ref()
+                    .map_or(0, |p| p.config().retransmit_cycles);
+                let restart = self.bus.acquire(finish, retransmit);
+                finish = restart + retransmit;
+                self.stats.bw.record_commit(payload_bytes, &self.cfg.msg_sizes);
+            }
+            if let Some(plan) = self.chaos.as_mut() {
+                plan.note_delivery(d.corruption_detected, d.silent_corruption);
+            }
+            if d.silent_corruption {
+                self.auditor.record(
+                    InvariantKind::UndetectedCorruption,
+                    tid,
+                    finish,
+                    "corrupted commit signature passed its CRC".to_string(),
+                );
+            }
+        }
+        self.threads[tid].timer.wait_until(finish);
 
         self.stats.commits += 1;
         self.stats.rd_set_lines += self.threads[tid].read_set.len() as u64;
@@ -494,9 +808,14 @@ impl TmMachine {
             self.stats.bw.record(MsgClass::Wb, n * self.cfg.msg_sizes.line_msg);
         }
 
-        // Receivers.
-        for j in self.other_indices(tid) {
-            self.receive_commit(j, tid, &exact_w, w_sig.as_ref(), finish);
+        // Receivers. A chaos-duplicated broadcast is delivered twice; the
+        // second delivery must be idempotent (squashed receivers are no
+        // longer in a transaction, invalidations are idempotent).
+        let rounds = if duplicate { 2 } else { 1 };
+        for _ in 0..rounds {
+            for j in self.other_indices(tid) {
+                self.receive_commit(j, tid, &exact_w, delivered.as_ref(), finish)?;
+            }
         }
 
         // Committer cleanup: the paper's clear-a-signature commit.
@@ -512,6 +831,8 @@ impl TmMachine {
         t.write_set.clear();
         t.depth = 0;
         t.tx_serial += 1; // releases stalled threads
+        t.tx_squashes = 0; // the transaction finished; escalation pressure resets
+        t.escalated = false;
         // Overflow area at commit: the spilled lines are already in
         // memory, so Bulk simply forgets the area; a conventional lazy
         // scheme walks it to fold the data into architectural state.
@@ -519,6 +840,31 @@ impl TmMachine {
             Scheme::Lazy => t.overflow.deallocate(true),
             _ => t.overflow.discard(),
         }
+
+        self.auditor.observe_commit(tid, finish);
+        if self.auditor.enabled() {
+            // Serializability: every surviving speculative transaction must
+            // be conflict-free with the committed write set — anything else
+            // should have been squashed or rolled back above.
+            for j in self.other_indices(tid) {
+                let o = &self.threads[j];
+                if !o.speculative() {
+                    continue;
+                }
+                if let Some(l) = exact_w
+                    .iter()
+                    .find(|l| o.read_set.contains(l) || o.write_set.contains(l))
+                {
+                    let detail = format!(
+                        "thread {j} survived a commit by thread {tid} that overlaps \
+                         its exact sets at line {l}"
+                    );
+                    self.auditor.record(InvariantKind::Serializability, j, finish, detail);
+                }
+            }
+            self.audit_state(finish);
+        }
+        Ok(())
     }
 
     fn receive_commit(
@@ -526,9 +872,9 @@ impl TmMachine {
         j: usize,
         committer: usize,
         exact_w: &HashSet<LineAddr>,
-        w_sig: Option<&Signature>,
+        delivered: Option<&DeliveredSignatures>,
         finish: u64,
-    ) {
+    ) -> Result<(), MachineError> {
         let in_tx = self.threads[j].in_tx();
         let exact_conflict = in_tx && {
             let o = &self.threads[j];
@@ -565,12 +911,21 @@ impl TmMachine {
                 }
             }
             Scheme::Bulk => {
-                let w = w_sig.expect("bulk commit carries a signature");
+                let Some(d) = delivered else {
+                    return Err(MachineError::MalformedCommit {
+                        scheme: "Bulk",
+                        payload: "address-list",
+                    });
+                };
+                let w = &d.w;
                 let sig_conflict = in_tx && {
                     let o = &self.threads[j];
-                    o.bdm.disambiguate(o.version.expect("in tx"), w).squash()
+                    match o.version {
+                        Some(v) => o.bdm.disambiguate(v, w).squash(),
+                        None => false,
+                    }
                 };
-                debug_assert!(!exact_conflict || sig_conflict, "signature false negative");
+                self.check_no_false_negative(j, exact_conflict, sig_conflict, finish);
                 if sig_conflict {
                     let dep = self.exact_dep_size(j, exact_w);
                     self.squash_thread(j, finish, exact_conflict, dep);
@@ -579,8 +934,15 @@ impl TmMachine {
                 }
             }
             Scheme::BulkPartial => {
-                let w = w_sig.expect("bulk commit carries a signature");
+                let Some(d) = delivered else {
+                    return Err(MachineError::MalformedCommit {
+                        scheme: "Bulk-Partial",
+                        payload: "address-list",
+                    });
+                };
+                let w = &d.w;
                 let violated = if in_tx { self.threads[j].sections.disambiguate(w) } else { None };
+                self.check_no_false_negative(j, exact_conflict, violated.is_some(), finish);
                 match violated {
                     Some(0) => {
                         // Violation in the first section: full restart.
@@ -594,6 +956,28 @@ impl TmMachine {
                         self.bulk_apply_commit(j, committer, w, exact_w);
                     }
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// A signature disambiguation that misses a real (exact-set) conflict
+    /// is a false negative — the one failure signatures must never have
+    /// (§3). Under audit it becomes a structured report; otherwise it is
+    /// a debug assertion, as before.
+    fn check_no_false_negative(&mut self, j: usize, exact: bool, sig: bool, cycle: u64) {
+        if exact && !sig {
+            if self.auditor.enabled() {
+                self.auditor.record(
+                    InvariantKind::SignatureContainment,
+                    j,
+                    cycle,
+                    "signature disambiguation missed an exact-set conflict \
+                     (false negative)"
+                        .to_string(),
+                );
+            } else {
+                debug_assert!(false, "signature false negative");
             }
         }
     }
@@ -648,6 +1032,7 @@ impl TmMachine {
         t.depth = depth_at(&t.ops, t.pc, t.tx_start_pc);
         t.timer.wait_until(at);
         t.timer.advance(self.cfg.squash_overhead);
+        self.audit_state(at);
     }
 
     fn squash_thread(&mut self, j: usize, at: u64, truly: bool, dep: u64) {
@@ -694,6 +1079,17 @@ impl TmMachine {
         t.stalled_on = None;
         t.timer.wait_until(at);
         t.timer.advance(self.cfg.squash_overhead);
+        // Escalation: too many squashes of the same transaction trigger the
+        // serialized fallback on its next restart.
+        t.tx_squashes += 1;
+        if let Some(threshold) = self.escalation {
+            let t = &mut self.threads[j];
+            if !t.escalated && t.tx_squashes >= threshold {
+                t.escalated = true;
+                self.stats.escalations += 1;
+            }
+        }
+        self.audit_state(at);
     }
 
     // ------------------------------------------------------------------
@@ -791,7 +1187,8 @@ impl TmMachine {
     }
 
     fn handle_dirty_victim(&mut self, tid: usize, victim: LineAddr) {
-        let speculative = self.threads[tid].in_tx() && self.threads[tid].write_set.contains(&victim);
+        let speculative =
+            self.threads[tid].speculative() && self.threads[tid].write_set.contains(&victim);
         if speculative {
             // §6.2.2: speculative dirty evictions go to the overflow area.
             self.threads[tid].overflow.spill(victim);
@@ -799,11 +1196,45 @@ impl TmMachine {
             self.stats.bw.record(MsgClass::Ub, self.cfg.msg_sizes.line_msg);
             if self.scheme.uses_signatures() {
                 let t = &mut self.threads[tid];
-                let v = t.version.expect("version in tx");
-                t.bdm.note_overflow(v);
+                if let Some(v) = t.version {
+                    t.bdm.note_overflow(v);
+                }
             }
         } else {
             self.stats.bw.record(MsgClass::Wb, self.cfg.msg_sizes.line_msg);
+        }
+    }
+
+    /// Feeds the auditor the whole machine state: the Set Restriction for
+    /// every cache/BDM pair, and signature-vs-oracle containment for every
+    /// speculative thread (a signature may alias, but an address in the
+    /// exact read/write set missing from the signature is a false-negative
+    /// hazard).
+    fn audit_state(&mut self, cycle: u64) {
+        if !self.auditor.enabled() {
+            return;
+        }
+        for j in 0..self.threads.len() {
+            let t = &self.threads[j];
+            self.auditor.audit_set_restriction(j, cycle, &t.bdm, &t.cache);
+            if !t.speculative() {
+                continue;
+            }
+            let Some(v) = t.version else { continue };
+            let r = t.bdm.read_signature(v);
+            let w = t.bdm.write_signature(v);
+            let missing = t
+                .read_set
+                .iter()
+                .find(|l| !r.contains_line(**l))
+                .map(|l| format!("read-set line {l} is not in the R signature"))
+                .or_else(|| {
+                    t.write_set
+                        .iter()
+                        .find(|l| !w.contains_line(**l))
+                        .map(|l| format!("write-set line {l} is not in the W signature"))
+                });
+            self.auditor.audit_containment(j, cycle, missing);
         }
     }
 
@@ -1156,6 +1587,74 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.squashes, b.squashes);
         assert_eq!(a.bw.total(), b.bw.total());
+    }
+
+    #[test]
+    fn escalation_serializes_past_the_naive_eager_livelock() {
+        // With the serialized fallback armed, even the naive-eager dueling
+        // increments of Fig. 12(a) finish: after a few squashes one thread
+        // escalates, runs non-speculatively under the serial token, and the
+        // system drains.
+        let w = fig12a_livelock(50, 400);
+        let mut m = TmMachine::new(&w, Scheme::EagerNaive, &cfg());
+        m.set_escalation_threshold(Some(4));
+        let stats = m.run();
+        assert!(!stats.livelocked, "escalation must break the livelock: {stats:?}");
+        assert_eq!(stats.commits, 100);
+        assert!(stats.escalations > 0, "{stats:?}");
+        assert!(stats.serialized_commits > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn try_with_signature_reports_typed_trace_error() {
+        let w = TmWorkload {
+            name: "bad".into(),
+            threads: vec![ThreadTrace { ops: vec![TmOp::End] }],
+        };
+        let err = TmMachine::try_new(&w, Scheme::Bulk, &cfg()).err().expect("must fail");
+        assert!(matches!(
+            err,
+            bulk_chaos::MachineError::Trace { thread: 0, .. }
+        ));
+        assert!(err.to_string().contains("thread 0"), "{err}");
+    }
+
+    #[test]
+    fn try_new_rejects_empty_workloads() {
+        let w = TmWorkload { name: "empty".into(), threads: vec![] };
+        let err = TmMachine::try_new(&w, Scheme::Lazy, &cfg()).err().expect("must fail");
+        assert_eq!(err, bulk_chaos::MachineError::EmptyWorkload { machine: "tm" });
+    }
+
+    #[test]
+    fn chaos_run_is_deterministic_and_clean_under_audit() {
+        let p = profiles::tm_profile("lu").unwrap();
+        let w = p.generate(2);
+        let run = |seed: u64| {
+            let mut m = TmMachine::new(&w, Scheme::Bulk, &cfg());
+            m.set_chaos(bulk_chaos::FaultPlan::seeded(seed));
+            m.enable_audit();
+            m.try_run().expect("chaos run completes")
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.chaos, b.chaos);
+        assert!(
+            a.violations.is_empty(),
+            "chaos must cost time, never correctness: {:?}",
+            a.violations
+        );
+        assert!(a.audit_checks > 0);
+        assert_eq!(
+            a.chaos.corruptions_injected, a.chaos.corruptions_detected,
+            "every injected signature flip must be caught by the CRC: {:?}",
+            a.chaos
+        );
+        assert_eq!(a.chaos.silent_corruptions, 0);
+        assert!(a.chaos.total_injected() > 0, "the plan must actually inject: {:?}", a.chaos);
+        assert!(!a.livelocked);
+        assert_eq!(a.commits, (p.threads * p.txs_per_thread) as u64);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Statistics collected by a TM run — everything Tables 7 and Figures
 //! 11/13/14 report.
 
+use bulk_chaos::{FaultStats, InvariantViolation};
 use bulk_mem::BandwidthStats;
 
 /// Aggregate statistics of one TM simulation.
@@ -46,6 +47,18 @@ pub struct TmStats {
     pub cycles: u64,
     /// Machine-wide interconnect traffic.
     pub bw: BandwidthStats,
+    /// Commit-arbitration denials retried with backoff (chaos runs).
+    pub commit_retries: u64,
+    /// Transactions escalated to the serialized (non-speculative) fallback.
+    pub escalations: u64,
+    /// Commits completed by the serialized fallback.
+    pub serialized_commits: u64,
+    /// Individual invariant checks performed by the auditor.
+    pub audit_checks: u64,
+    /// Injected-fault accounting for chaos runs.
+    pub chaos: FaultStats,
+    /// Invariant violations the auditor observed (empty on a healthy run).
+    pub violations: Vec<InvariantViolation>,
 }
 
 impl TmStats {
@@ -70,6 +83,12 @@ impl TmStats {
         self.individual_invalidations += other.individual_invalidations;
         self.cycles += other.cycles;
         self.bw += other.bw;
+        self.commit_retries += other.commit_retries;
+        self.escalations += other.escalations;
+        self.serialized_commits += other.serialized_commits;
+        self.audit_checks += other.audit_checks;
+        self.chaos.merge(&other.chaos);
+        self.violations.extend(other.violations.iter().cloned());
     }
 
     /// Mean committed read-set size in lines.

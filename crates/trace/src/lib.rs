@@ -27,4 +27,4 @@ pub use gen::{
     read_line, tm_region_line, written_line, TlsProfile, TmProfile, FRAME_UNIT, HOT_IDX, LIVEIN_UNIT,
     PRIVATE_IDX, STREAM_IDX, VIO_UNIT, WS_UNIT,
 };
-pub use ops::{TaskTrace, ThreadTrace, TlsOp, TlsWorkload, TmOp, TmWorkload};
+pub use ops::{TaskTrace, ThreadTrace, TlsOp, TlsWorkload, TmOp, TmWorkload, TraceError};

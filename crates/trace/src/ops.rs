@@ -1,6 +1,59 @@
 //! Trace operation types consumed by the TM and TLS runtimes.
 
 use bulk_mem::Addr;
+use std::fmt;
+
+/// A structural defect in a thread or task trace, reported by
+/// [`ThreadTrace::validate`] / [`TaskTrace::validate`]. Machine
+/// construction surfaces this as a typed error instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// An `End` with no open transaction.
+    UnmatchedEnd {
+        /// Index of the offending op.
+        op: usize,
+    },
+    /// Transactions still open at the end of the trace.
+    UnclosedTransactions {
+        /// How many `Begin`s were never closed.
+        open: usize,
+    },
+    /// Nesting exceeded the runtime's supported depth.
+    NestingTooDeep {
+        /// The depth that was reached.
+        depth: usize,
+        /// Index of the `Begin` that exceeded it.
+        op: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+    /// A task trace with more than one `Spawn`.
+    MultipleSpawns {
+        /// Index of the first `Spawn`.
+        first: usize,
+        /// Index of the offending second `Spawn`.
+        second: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnmatchedEnd { op } => write!(f, "unmatched End at op {op}"),
+            TraceError::UnclosedTransactions { open } => {
+                write!(f, "{open} unclosed transactions at end of trace")
+            }
+            TraceError::NestingTooDeep { depth, op, max } => {
+                write!(f, "nesting depth {depth} at op {op} exceeds supported maximum {max}")
+            }
+            TraceError::MultipleSpawns { first, second } => {
+                write!(f, "second Spawn at op {second} (first at op {first})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// One operation of a TM thread trace. Accesses between [`TmOp::Begin`]
 /// and its matching [`TmOp::End`] are transactional; `Begin` nests
@@ -31,24 +84,24 @@ impl ThreadTrace {
     /// Validates nesting: every `End` has a matching `Begin`, all
     /// transactions are closed by the end of the trace, and transactional
     /// nesting never exceeds `max_depth`.
-    pub fn validate(&self, max_depth: usize) -> Result<(), String> {
+    pub fn validate(&self, max_depth: usize) -> Result<(), TraceError> {
         let mut depth = 0usize;
         for (i, op) in self.ops.iter().enumerate() {
             match op {
                 TmOp::Begin => {
                     depth += 1;
                     if depth > max_depth {
-                        return Err(format!("nesting depth {depth} at op {i}"));
+                        return Err(TraceError::NestingTooDeep { depth, op: i, max: max_depth });
                     }
                 }
                 TmOp::End => {
-                    depth = depth.checked_sub(1).ok_or(format!("unmatched End at op {i}"))?;
+                    depth = depth.checked_sub(1).ok_or(TraceError::UnmatchedEnd { op: i })?;
                 }
                 _ => {}
             }
         }
         if depth != 0 {
-            return Err(format!("{depth} unclosed transactions"));
+            return Err(TraceError::UnclosedTransactions { open: depth });
         }
         Ok(())
     }
@@ -100,6 +153,21 @@ pub struct TaskTrace {
 }
 
 impl TaskTrace {
+    /// Validates the task shape: at most one `Spawn` per task (a task
+    /// spawns at most its one successor, paper §2.2).
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut first = None;
+        for (i, op) in self.ops.iter().enumerate() {
+            if matches!(op, TlsOp::Spawn) {
+                match first {
+                    None => first = Some(i),
+                    Some(f) => return Err(TraceError::MultipleSpawns { first: f, second: i }),
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Index of the `Spawn` op, if present.
     pub fn spawn_index(&self) -> Option<usize> {
         self.ops.iter().position(|op| matches!(op, TlsOp::Spawn))
@@ -164,6 +232,26 @@ mod tests {
             ],
         };
         assert_eq!(t.tx_access_count(), 1);
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        let t = ThreadTrace { ops: vec![TmOp::End] };
+        assert_eq!(t.validate(4), Err(TraceError::UnmatchedEnd { op: 0 }));
+        let t = ThreadTrace { ops: vec![TmOp::Begin, TmOp::Begin, TmOp::End] };
+        assert_eq!(t.validate(4), Err(TraceError::UnclosedTransactions { open: 1 }));
+        assert_eq!(
+            t.validate(1),
+            Err(TraceError::NestingTooDeep { depth: 2, op: 1, max: 1 })
+        );
+    }
+
+    #[test]
+    fn task_validate_rejects_double_spawn() {
+        let t = TaskTrace { ops: vec![TlsOp::Spawn, TlsOp::Compute(1), TlsOp::Spawn] };
+        assert_eq!(t.validate(), Err(TraceError::MultipleSpawns { first: 0, second: 2 }));
+        assert!(TaskTrace { ops: vec![TlsOp::Spawn] }.validate().is_ok());
+        assert!(TaskTrace::default().validate().is_ok());
     }
 
     #[test]

@@ -18,4 +18,15 @@ cargo build --release --offline --locked --workspace --all-targets
 echo "== cargo test -q --offline --locked --workspace"
 cargo test -q --offline --locked --workspace "$@"
 
+# Bounded chaos smoke: deterministic fault injection + invariant audit
+# through the CLI, one TM and one TLS scheme over three fault seeds.
+# Any invariant violation or undetected corruption is a nonzero exit.
+BULK=target/release/bulk
+echo "== chaos smoke ($BULK, 3 seeds x 2 schemes)"
+for seed in 1 2 3; do
+  "$BULK" tm  --app mc   --scheme bulk --seed "$seed" --txs 10  --chaos > /dev/null
+  "$BULK" tls --app gzip --scheme bulk --seed "$seed" --tasks 60 --chaos > /dev/null
+done
+echo "chaos smoke: OK"
+
 echo "verify: OK (hermetic build, no registry dependencies)"

@@ -17,7 +17,9 @@
 //! * [`sim`] — discrete-event timing simulator (Table 5 machines),
 //! * [`trace`] — synthetic TLS/TM workloads (evaluation substitution),
 //! * [`tm`] — transactional-memory runtime with Eager/Lazy/Bulk schemes,
-//! * [`tls`] — thread-level-speculation runtime with the same schemes.
+//! * [`tls`] — thread-level-speculation runtime with the same schemes,
+//! * [`chaos`] — deterministic fault injection and runtime invariant
+//!   auditing for both runtimes.
 //!
 //! # Quickstart
 //!
@@ -33,6 +35,7 @@
 //! assert!(!w.is_empty());
 //! ```
 
+pub use bulk_chaos as chaos;
 pub use bulk_core as bulk;
 pub use bulk_mem as mem;
 pub use bulk_rng as rng;
