@@ -100,6 +100,19 @@ fn bench_expansion(suite: &mut BenchSuite) {
     suite.bench("expansion", "signature_expansion_400lines", || {
         black_box(sig.expand(&cache))
     });
+
+    // Untimed instrumented expansion of the same scenario: the δ
+    // pre-selection and tag-read counters land in the metrics block.
+    let reg = bulk_obs::Registry::new();
+    let obs = bulk_obs::ExpansionObs::register(&reg, "commit_path.");
+    let matched = sig.expand_observed(&cache, Some(&obs));
+    reg.counter("commit_path.expansion.exact_lines").add(
+        matched
+            .iter()
+            .filter(|e| write_set(22).iter().any(|a| a.line(64) == e.addr))
+            .count() as u64,
+    );
+    suite.set_metrics(&reg);
 }
 
 fn main() {

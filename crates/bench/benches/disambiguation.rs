@@ -7,6 +7,7 @@
 
 use bulk_bench::BenchSuite;
 use bulk_mem::{Addr, LineAddr};
+use bulk_obs::VerdictCounters;
 use bulk_sig::{Signature, SignatureConfig};
 use std::collections::HashSet;
 use std::hint::black_box;
@@ -19,6 +20,7 @@ fn addresses(n: u32, salt: u32) -> Vec<Addr> {
 
 fn main() {
     let mut suite = BenchSuite::from_args("disambiguation");
+    let reg = bulk_obs::Registry::new();
     for (wc_n, r_n) in [(22u32, 90u32), (100, 400)] {
         let label = format!("{wc_n}w_{r_n}r");
         let wc = addresses(wc_n, 0x1111);
@@ -41,6 +43,15 @@ fn main() {
         suite.bench("exact_per_address", &label, || {
             black_box(wc.iter().any(|a| exact.contains(&black_box(*a).line(64))))
         });
+
+        // Untimed: classify the signature's per-address answers against the
+        // exact oracle, so the metrics block reports the aliasing this
+        // scenario's signatures introduce.
+        let verdicts = VerdictCounters::register(&reg, &format!("disambiguation.{label}."));
+        for a in &wc {
+            verdicts.record(r_sig.contains_addr(*a), exact.contains(&a.line(64)));
+        }
     }
+    suite.set_metrics(&reg);
     suite.finish();
 }

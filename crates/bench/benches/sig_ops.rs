@@ -84,6 +84,34 @@ fn bench_rle(suite: &mut BenchSuite) {
     }
 }
 
+/// Untimed membership false-positive probe per configuration: fill with a
+/// Table-8-sized address set, then test addresses known to be absent. The
+/// counters land in the `BENCH_sig_ops.json` metrics block and track the
+/// aliasing rate the attribution layer measures at machine level.
+fn collect_metrics(suite: &mut BenchSuite) {
+    let reg = bulk_obs::Registry::new();
+    let inserted: std::collections::HashSet<u32> =
+        (0..22u32).map(|i| i.wrapping_mul(2654435761) & 0x00ff_ffc0).collect();
+    for id in ["S1", "S14", "S23"] {
+        let s = filled(&config(id), 22);
+        let probes = reg.counter(&format!("sig_ops.fp_probe.{id}.probes"));
+        let fps = reg.counter(&format!("sig_ops.fp_probe.{id}.false_positives"));
+        for i in 0..1000u32 {
+            // A different multiplicative pattern than `filled`'s, with the
+            // (unlikely) true members skipped, so every hit is aliasing.
+            let raw = i.wrapping_mul(0x9e37_79b9) & 0x00ff_ffc0;
+            if inserted.contains(&raw) {
+                continue;
+            }
+            probes.inc();
+            if s.contains_addr(Addr::new(raw)) {
+                fps.inc();
+            }
+        }
+    }
+    suite.set_metrics(&reg);
+}
+
 fn main() {
     let mut suite = BenchSuite::from_args("sig_ops");
     bench_insert(&mut suite);
@@ -91,5 +119,6 @@ fn main() {
     bench_intersect_and_union(&mut suite);
     bench_decode(&mut suite);
     bench_rle(&mut suite);
+    collect_metrics(&mut suite);
     suite.finish();
 }

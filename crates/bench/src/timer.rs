@@ -53,6 +53,7 @@ pub struct BenchSuite {
     name: &'static str,
     filters: Vec<String>,
     results: Vec<BenchResult>,
+    metrics: Option<String>,
 }
 
 impl BenchSuite {
@@ -63,7 +64,16 @@ impl BenchSuite {
             .skip(1)
             .filter(|a| !a.starts_with('-'))
             .collect();
-        BenchSuite { name, filters, results: Vec::new() }
+        BenchSuite { name, filters, results: Vec::new(), metrics: None }
+    }
+
+    /// Attaches a metrics registry snapshot to the suite: its contents are
+    /// embedded as a `"metrics"` object in `BENCH_<suite>.json`. Bench
+    /// targets run one small instrumented scenario (untimed) so every
+    /// results file carries the observability counters alongside the
+    /// timings.
+    pub fn set_metrics(&mut self, registry: &bulk_obs::Registry) {
+        self.metrics = Some(registry.to_json_indented("  "));
     }
 
     fn selected(&self, group: &str, id: &str) -> bool {
@@ -177,7 +187,12 @@ impl BenchSuite {
                 if i + 1 == self.results.len() { "" } else { "," },
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        match &self.metrics {
+            Some(m) => out.push_str(&format!("  \"metrics\": {m}\n")),
+            None => out.push_str("  \"metrics\": null\n"),
+        }
+        out.push_str("}\n");
         out
     }
 
@@ -225,7 +240,12 @@ mod tests {
 
     #[test]
     fn measures_and_serializes() {
-        let mut suite = BenchSuite { name: "selftest", filters: Vec::new(), results: Vec::new() };
+        let mut suite = BenchSuite {
+            name: "selftest",
+            filters: Vec::new(),
+            results: Vec::new(),
+            metrics: None,
+        };
         let mut x = 0u64;
         suite.bench("group", "spin", || {
             x = x.wrapping_add(1);
@@ -255,6 +275,7 @@ mod tests {
             name: "filters",
             filters: vec!["keep".to_string()],
             results: Vec::new(),
+            metrics: None,
         };
         suite.bench("group", "keep_this", || black_box(1));
         suite.bench("group", "drop_this", || black_box(1));
@@ -265,5 +286,23 @@ mod tests {
     #[test]
     fn json_escapes_quotes() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn metrics_block_is_embedded() {
+        let mut suite = BenchSuite {
+            name: "metrics",
+            filters: Vec::new(),
+            results: Vec::new(),
+            metrics: None,
+        };
+        assert!(suite.to_json().contains("\"metrics\": null"));
+        let reg = bulk_obs::Registry::new();
+        reg.counter("bench.scenario.squashes").add(7);
+        suite.set_metrics(&reg);
+        let json = suite.to_json();
+        assert!(json.contains("\"metrics\": {"));
+        assert!(json.contains("\"bench.scenario.squashes\": 7"));
+        assert!(!json.contains("\"metrics\": null"));
     }
 }

@@ -41,6 +41,11 @@ pub struct TmArgs {
     pub chaos: bool,
     /// Check runtime invariants after every commit and squash.
     pub audit: bool,
+    /// Print the metrics registry (squash attribution, invalidation
+    /// overshoot, counters/gauges/histograms) after the run.
+    pub metrics: bool,
+    /// Write the structured event log as JSONL to this path.
+    pub events_out: Option<String>,
 }
 
 /// Options of `bulk tls`.
@@ -60,6 +65,11 @@ pub struct TlsArgs {
     pub chaos: bool,
     /// Check runtime invariants after every commit and squash.
     pub audit: bool,
+    /// Print the metrics registry (squash attribution, invalidation
+    /// overshoot, counters/gauges/histograms) after the run.
+    pub metrics: bool,
+    /// Write the structured event log as JSONL to this path.
+    pub events_out: Option<String>,
 }
 
 /// Options of `bulk replay`.
@@ -80,10 +90,10 @@ USAGE:
   bulk list
   bulk tm  --app <name> [--scheme <eager-naive|eager|lazy|bulk|bulk-partial>]
            [--seed <n>] [--txs <n>] [--sig <S1..S23>] [--dump-trace <file>]
-           [--chaos] [--audit]
+           [--chaos] [--audit] [--metrics] [--events-out <file>]
   bulk tls --app <name> [--scheme <eager|lazy|bulk|bulk-no-overlap>]
            [--seed <n>] [--tasks <n>] [--dump-trace <file>]
-           [--chaos] [--audit]
+           [--chaos] [--audit] [--metrics] [--events-out <file>]
   bulk replay --file <trace> --scheme <name>
   bulk sweep-sig --app <name> [--seed <n>]
   bulk help
@@ -96,6 +106,15 @@ CHAOS:
   overridden with the BULK_CHAOS_SEED environment variable; every chaos
   run prints the seed needed to replay it. Any invariant violation or
   undetected corruption makes the exit code nonzero.
+
+OBSERVABILITY:
+  --metrics prints the metrics registry after the run: every squash is
+  attributed against the exact per-address oracle (true-conflict vs.
+  signature aliasing), bulk invalidations record exact-vs-expanded line
+  counts, and all counters/gauges/histograms are listed. --events-out
+  writes the structured event log (commit broadcasts, squashes with
+  cause, bulk invalidations, overflow spills, context switches,
+  escalations) as one JSON object per line.
 ";
 
 /// Parses a TM scheme name.
@@ -130,7 +149,7 @@ struct Flags {
 }
 
 /// Flags that stand alone, without a value.
-const BOOLEAN_FLAGS: &[&str] = &["chaos", "audit"];
+const BOOLEAN_FLAGS: &[&str] = &["chaos", "audit", "metrics"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
@@ -198,8 +217,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let dump_trace = f.take("dump-trace");
             let chaos = f.take_bool("chaos");
             let audit = f.take_bool("audit") || chaos;
+            let metrics = f.take_bool("metrics");
+            let events_out = f.take("events-out");
             f.finish()?;
-            Ok(Command::Tm(TmArgs { app, scheme, seed, txs, sig, dump_trace, chaos, audit }))
+            Ok(Command::Tm(TmArgs {
+                app,
+                scheme,
+                seed,
+                txs,
+                sig,
+                dump_trace,
+                chaos,
+                audit,
+                metrics,
+                events_out,
+            }))
         }
         "tls" => {
             let mut f = Flags::parse(rest)?;
@@ -216,8 +248,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let dump_trace = f.take("dump-trace");
             let chaos = f.take_bool("chaos");
             let audit = f.take_bool("audit") || chaos;
+            let metrics = f.take_bool("metrics");
+            let events_out = f.take("events-out");
             f.finish()?;
-            Ok(Command::Tls(TlsArgs { app, scheme, seed, tasks, dump_trace, chaos, audit }))
+            Ok(Command::Tls(TlsArgs {
+                app,
+                scheme,
+                seed,
+                tasks,
+                dump_trace,
+                chaos,
+                audit,
+                metrics,
+                events_out,
+            }))
         }
         "replay" => {
             let mut f = Flags::parse(rest)?;
@@ -266,6 +310,8 @@ mod tests {
                 dump_trace: None,
                 chaos: false,
                 audit: false,
+                metrics: false,
+                events_out: None,
             })
         );
     }
@@ -329,6 +375,26 @@ mod tests {
             parse(&args("sweep-sig --app cb --seed 3")).unwrap(),
             Command::SweepSig { seed: 3, .. }
         ));
+    }
+
+    #[test]
+    fn parses_metrics_and_events_out() {
+        match parse(&args("tm --app mc --metrics --events-out /tmp/e.jsonl")).unwrap() {
+            Command::Tm(a) => {
+                assert!(a.metrics);
+                assert_eq!(a.events_out.as_deref(), Some("/tmp/e.jsonl"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // --metrics is boolean: the next token is still parsed as a flag.
+        match parse(&args("tls --app gzip --metrics --seed 5")).unwrap() {
+            Command::Tls(a) => {
+                assert!(a.metrics);
+                assert!(a.events_out.is_none());
+                assert_eq!(a.seed, 5);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

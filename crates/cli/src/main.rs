@@ -8,9 +8,11 @@ mod args;
 mod report;
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use args::{parse, Command, ReplayArgs, TlsArgs, TmArgs, USAGE};
 use bulk_chaos::FaultPlan;
+use bulk_obs::Obs;
 use bulk_sig::{table8, table8_spec, BitPermutation, Granularity, SignatureConfig};
 use bulk_sim::SimConfig;
 use bulk_tls::TlsMachine;
@@ -123,9 +125,42 @@ fn run_tm(a: TmArgs) -> Result<(), String> {
     let mut m =
         TmMachine::try_with_signature(&wl, a.scheme, &cfg, sig).map_err(|e| e.to_string())?;
     let seed = configure_tm(&mut m, &a)?;
+    let obs = make_obs(a.metrics, &a.events_out);
+    if let Some(o) = &obs {
+        m.attach_obs(Arc::clone(o));
+    }
     let stats = m.try_run().map_err(|e| e.to_string())?;
-    report::print_tm(&a.app, a.scheme, &stats);
+    report::print_tm(&a.app, a.scheme, &stats, a.chaos);
+    finish_obs(&obs, "tm.", a.metrics, &a.events_out)?;
     check_violations(&stats.violations, seed)
+}
+
+/// Builds the shared observability bundle when `--metrics` or
+/// `--events-out` asked for one.
+fn make_obs(metrics: bool, events_out: &Option<String>) -> Option<Arc<Obs>> {
+    (metrics || events_out.is_some()).then(|| Arc::new(Obs::new()))
+}
+
+/// Prints the metrics section and/or writes the event JSONL, as requested.
+fn finish_obs(
+    obs: &Option<Arc<Obs>>,
+    prefix: &str,
+    metrics: bool,
+    events_out: &Option<String>,
+) -> Result<(), String> {
+    let Some(o) = obs else { return Ok(()) };
+    if metrics {
+        report::print_metrics(o.registry(), prefix);
+    }
+    if let Some(path) = events_out {
+        std::fs::write(path, o.events().to_jsonl()).map_err(|e| e.to_string())?;
+        println!(
+            "events written to {path} ({} events, {} dropped)",
+            o.events().len(),
+            o.events().dropped()
+        );
+    }
+    Ok(())
 }
 
 fn configure_tm(m: &mut TmMachine, a: &TmArgs) -> Result<Option<u64>, String> {
@@ -156,8 +191,13 @@ fn run_tls(a: TlsArgs) -> Result<(), String> {
     let seq = bulk_tls::run_tls_sequential(&wl, &cfg);
     let mut m = TlsMachine::try_new(&wl, a.scheme, &cfg).map_err(|e| e.to_string())?;
     let seed = configure_tls(&mut m, &a)?;
+    let obs = make_obs(a.metrics, &a.events_out);
+    if let Some(o) = &obs {
+        m.attach_obs(Arc::clone(o));
+    }
     let stats = m.try_run().map_err(|e| e.to_string())?;
-    report::print_tls(&a.app, a.scheme, seq, &stats);
+    report::print_tls(&a.app, a.scheme, seq, &stats, a.chaos);
+    finish_obs(&obs, "tls.", a.metrics, &a.events_out)?;
     check_violations(&stats.violations, seed)
 }
 
@@ -182,7 +222,7 @@ fn replay(a: ReplayArgs) -> Result<(), String> {
         let m = TmMachine::try_new(&wl, scheme, &SimConfig::tm_default())
             .map_err(|e| e.to_string())?;
         let stats = m.try_run().map_err(|e| e.to_string())?;
-        report::print_tm(&wl.name.clone(), scheme, &stats);
+        report::print_tm(&wl.name.clone(), scheme, &stats, false);
         Ok(())
     } else if text.starts_with("TLS ") {
         let wl = io::tls_from_str(&text).map_err(|e| e.to_string())?;
@@ -191,7 +231,7 @@ fn replay(a: ReplayArgs) -> Result<(), String> {
         let seq = bulk_tls::run_tls_sequential(&wl, &cfg);
         let m = TlsMachine::try_new(&wl, scheme, &cfg).map_err(|e| e.to_string())?;
         let stats = m.try_run().map_err(|e| e.to_string())?;
-        report::print_tls(&wl.name.clone(), scheme, seq, &stats);
+        report::print_tls(&wl.name.clone(), scheme, seq, &stats, false);
         Ok(())
     } else {
         Err("unrecognized trace header (expected `TM <name>` or `TLS <name>`)".into())
@@ -203,14 +243,22 @@ fn sweep_sig(app: &str, seed: u64) -> Result<(), String> {
         .ok_or_else(|| format!("unknown TM app `{app}` (try `bulk list`)"))?;
     let wl = p.generate(seed);
     let cfg = SimConfig::tm_default();
-    println!("{:<6} {:>7} {:>9} {:>7} {:>9}", "config", "bits", "squashes", "false", "cycles");
+    println!(
+        "{:<6} {:>7} {:>9} {:>7} {:>9} {:>9}",
+        "config", "bits", "squashes", "false", "false%", "cycles"
+    );
     for id in ["S1", "S4", "S9", "S12", "S14", "S17", "S19", "S23"] {
         let sig = signature(id)?;
         let bits = sig.size_bits();
         let stats = TmMachine::with_signature(&wl, bulk_tm::Scheme::Bulk, &cfg, sig).run();
         println!(
-            "{:<6} {:>7} {:>9} {:>7} {:>9}",
-            id, bits, stats.squashes, stats.false_squashes, stats.cycles
+            "{:<6} {:>7} {:>9} {:>7} {:>8.1} {:>9}",
+            id,
+            bits,
+            stats.squashes,
+            stats.false_squashes,
+            100.0 * stats.false_squash_frac(),
+            stats.cycles
         );
     }
     Ok(())

@@ -5,8 +5,9 @@ use bulk_mem::MsgClass;
 use bulk_tls::{TlsScheme, TlsStats};
 use bulk_tm::{Scheme, TmStats};
 
-/// Prints a TM run summary.
-pub fn print_tm(app: &str, scheme: Scheme, s: &TmStats) {
+/// Prints a TM run summary. `chaos_active` tells whether a fault plan was
+/// armed; the resilience section is omitted otherwise.
+pub fn print_tm(app: &str, scheme: Scheme, s: &TmStats, chaos_active: bool) {
     println!("TM run: app={app} scheme={scheme}");
     println!("  commits            {}", s.commits);
     println!(
@@ -40,6 +41,7 @@ pub fn print_tm(app: &str, scheme: Scheme, s: &TmStats) {
     println!("  cycles             {}", s.cycles);
     print_bw("  ", &s.bw);
     print_resilience(
+        chaos_active,
         &s.chaos,
         s.commit_retries,
         s.escalations,
@@ -49,8 +51,9 @@ pub fn print_tm(app: &str, scheme: Scheme, s: &TmStats) {
     );
 }
 
-/// Prints a TLS run summary.
-pub fn print_tls(app: &str, scheme: TlsScheme, seq_cycles: u64, s: &TlsStats) {
+/// Prints a TLS run summary. `chaos_active` tells whether a fault plan was
+/// armed; the resilience section is omitted otherwise.
+pub fn print_tls(app: &str, scheme: TlsScheme, seq_cycles: u64, s: &TlsStats, chaos_active: bool) {
     println!("TLS run: app={app} scheme={scheme}");
     println!("  commits            {}", s.commits);
     println!(
@@ -78,6 +81,7 @@ pub fn print_tls(app: &str, scheme: TlsScheme, seq_cycles: u64, s: &TlsStats) {
     );
     print_bw("  ", &s.bw);
     print_resilience(
+        chaos_active,
         &s.chaos,
         s.commit_retries,
         s.escalations,
@@ -87,8 +91,13 @@ pub fn print_tls(app: &str, scheme: TlsScheme, seq_cycles: u64, s: &TlsStats) {
     );
 }
 
-/// Chaos/audit section, printed only when fault injection or auditing ran.
+/// Chaos/audit section. The fault and degradation lines belong to chaos
+/// runs: without an armed FaultPlan they would report stale zeros (or
+/// ordinary escalations dressed up as resilience data), so they are gated
+/// on `chaos_active`. The audit line stands on its own whenever the
+/// auditor ran.
 fn print_resilience(
+    chaos_active: bool,
     chaos: &FaultStats,
     retries: u64,
     escalations: u64,
@@ -96,7 +105,7 @@ fn print_resilience(
     audit_checks: u64,
     violations: usize,
 ) {
-    if chaos.total_injected() > 0 {
+    if chaos_active && chaos.total_injected() > 0 {
         println!(
             "  chaos faults       {} ({} denials, {} delays, {} dups, \
              {} corruptions [{} caught], {} ctx switches, {} evictions)",
@@ -110,7 +119,7 @@ fn print_resilience(
             chaos.forced_evictions
         );
     }
-    if retries + escalations + serialized > 0 {
+    if chaos_active && retries + escalations + serialized > 0 {
         println!(
             "  degradation        {retries} commit retries, {escalations} escalations, \
              {serialized} serialized commits"
@@ -144,6 +153,66 @@ fn human_bytes(b: u64) -> String {
     }
 }
 
+/// Prints the `--metrics` section: squash attribution, invalidation
+/// overshoot and the full registry contents, for the machine under
+/// `prefix` (`"tm."` or `"tls."`).
+pub fn print_metrics(reg: &bulk_obs::Registry, prefix: &str) {
+    let c = |name: &str| reg.counter_value(&format!("{prefix}{name}"));
+    let total = c("squashes");
+    let tc = c("squash.true_conflict");
+    let aliasing = c("squash.aliasing");
+    println!("metrics ({}):", prefix.trim_end_matches('.'));
+    let share = if total > 0 { 100.0 * aliasing as f64 / total as f64 } else { 0.0 };
+    println!(
+        "  squash attribution {total} total = {tc} true-conflict + {aliasing} aliasing ({share:.1}%)"
+    );
+    let inv = c("invalidate.lines");
+    if inv > 0 {
+        println!(
+            "  bulk invalidation  {} lines = {} exact + {} overshoot",
+            inv,
+            c("invalidate.exact"),
+            c("invalidate.overshoot")
+        );
+    }
+    let verdicts = c("verdict.true_positive")
+        + c("verdict.false_positive")
+        + c("verdict.true_negative")
+        + c("verdict.false_negative");
+    if verdicts > 0 {
+        println!(
+            "  verdicts           {} TP, {} FP, {} TN, {} FN (vs exact oracle)",
+            c("verdict.true_positive"),
+            c("verdict.false_positive"),
+            c("verdict.true_negative"),
+            c("verdict.false_negative")
+        );
+    }
+    println!("  counters:");
+    for (name, value) in reg.counters() {
+        println!("    {name:<34} {value}");
+    }
+    let gauges = reg.gauges();
+    if !gauges.is_empty() {
+        println!("  gauges:");
+        for (name, value) in gauges {
+            println!("    {name:<34} {value}");
+        }
+    }
+    let hists = reg.histograms();
+    if !hists.is_empty() {
+        println!("  histograms:");
+        for (name, h) in hists {
+            let mean = if h.count() > 0 { h.sum() as f64 / h.count() as f64 } else { 0.0 };
+            println!(
+                "    {name:<34} n={} sum={} mean={mean:.1}",
+                h.count(),
+                h.sum()
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,7 +227,12 @@ mod tests {
 
     #[test]
     fn reports_do_not_panic() {
-        print_tm("t", Scheme::Bulk, &TmStats::default());
-        print_tls("t", TlsScheme::Bulk, 1, &TlsStats::default());
+        print_tm("t", Scheme::Bulk, &TmStats::default(), false);
+        print_tls("t", TlsScheme::Bulk, 1, &TlsStats::default(), true);
+        let reg = bulk_obs::Registry::new();
+        reg.counter("tm.squashes").add(3);
+        reg.counter("tm.squash.true_conflict").add(2);
+        reg.counter("tm.squash.aliasing").add(1);
+        print_metrics(&reg, "tm.");
     }
 }

@@ -2,6 +2,7 @@
 //! processor's BDM and its (unmodified) cache via bulk invalidation.
 
 use bulk_mem::{Cache, LineAddr, LineState};
+use bulk_obs::ExpansionObs;
 use bulk_sig::{Granularity, Signature};
 
 use crate::{Bdm, VersionId};
@@ -26,15 +27,26 @@ pub fn squash(
     cache: &mut Cache,
     invalidate_read_lines: bool,
 ) -> SquashInvalidation {
+    squash_observed(bdm, v, cache, invalidate_read_lines, None)
+}
+
+/// [`squash`] with optional instrumentation of its signature expansions.
+pub fn squash_observed(
+    bdm: &mut Bdm,
+    v: VersionId,
+    cache: &mut Cache,
+    invalidate_read_lines: bool,
+    obs: Option<&ExpansionObs>,
+) -> SquashInvalidation {
     let mut out = SquashInvalidation::default();
-    for e in bdm.write_signature(v).expand(cache) {
+    for e in bdm.write_signature(v).expand_observed(cache, obs) {
         if e.state == LineState::Dirty {
             cache.invalidate(e.addr);
             out.dirty_invalidated.push(e.addr);
         }
     }
     if invalidate_read_lines {
-        for e in bdm.read_signature(v).expand(cache) {
+        for e in bdm.read_signature(v).expand_observed(cache, obs) {
             if e.state == LineState::Clean {
                 cache.invalidate(e.addr);
                 out.read_invalidated.push(e.addr);
@@ -76,13 +88,24 @@ pub fn apply_remote_commit(
     w_c: &Signature,
     cache: &mut Cache,
 ) -> CommitApplication {
+    apply_remote_commit_observed(bdm, w_c, cache, None)
+}
+
+/// [`apply_remote_commit`] with optional instrumentation of the `W_C`
+/// expansion.
+pub fn apply_remote_commit_observed(
+    bdm: &Bdm,
+    w_c: &Signature,
+    cache: &mut Cache,
+    obs: Option<&ExpansionObs>,
+) -> CommitApplication {
     let mut out = CommitApplication::default();
     let fine_grain = bdm.config().granularity() == Granularity::Word;
     let owner_masks: Vec<(crate::VersionId, bulk_sig::SetBitmask)> = bdm
         .versions_in_use()
         .map(|v| (v, bdm.decode_write_sets(v)))
         .collect();
-    for e in w_c.expand(cache) {
+    for e in w_c.expand_observed(cache, obs) {
         match e.state {
             LineState::Clean => {
                 cache.invalidate(e.addr);

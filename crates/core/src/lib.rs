@@ -40,6 +40,8 @@
 //! assert!(py.disambiguate(vy, &commit.w).squash());
 //! ```
 
+#![warn(missing_docs)]
+
 mod bdm;
 pub mod flows;
 mod msg;

@@ -10,6 +10,8 @@
 
 use std::collections::HashSet;
 
+use bulk_obs::OverflowObs;
+
 use crate::LineAddr;
 
 /// A per-thread overflow area holding speculative dirty lines evicted from
@@ -18,6 +20,7 @@ use crate::LineAddr;
 pub struct OverflowArea {
     lines: HashSet<LineAddr>,
     accesses: u64,
+    obs: Option<OverflowObs>,
 }
 
 impl OverflowArea {
@@ -26,17 +29,34 @@ impl OverflowArea {
         OverflowArea::default()
     }
 
+    /// Attaches pre-registered observability counters; every subsequent
+    /// spill/lookup/walk is mirrored into them.
+    pub fn attach_obs(&mut self, obs: OverflowObs) {
+        self.obs = Some(obs);
+    }
+
     /// Moves an evicted speculative dirty line into the area. The spill
     /// itself is a cache writeback, not a consultation of the area, so it
     /// does not count as an access.
     pub fn spill(&mut self, line: LineAddr) {
         self.lines.insert(line);
+        if let Some(obs) = &self.obs {
+            obs.spills.inc();
+            obs.resident_max.record_max(self.lines.len() as u64);
+        }
     }
 
     /// Looks up whether `line` is held here. Counts as one access.
     pub fn lookup(&mut self, line: LineAddr) -> bool {
         self.accesses += 1;
-        self.lines.contains(&line)
+        let hit = self.lines.contains(&line);
+        if let Some(obs) = &self.obs {
+            obs.lookups.inc();
+            if hit {
+                obs.hits.inc();
+            }
+        }
+        hit
     }
 
     /// Whether `line` is held here, **without** counting an access. This is
@@ -61,6 +81,9 @@ impl OverflowArea {
         probe: impl IntoIterator<Item = &'a LineAddr>,
     ) -> Vec<LineAddr> {
         self.accesses += self.lines.len() as u64;
+        if let Some(obs) = &self.obs {
+            obs.walked_entries.add(self.lines.len() as u64);
+        }
         let probe: HashSet<&LineAddr> = probe.into_iter().collect();
         self.lines
             .iter()
@@ -76,6 +99,11 @@ impl OverflowArea {
     pub fn deallocate(&mut self, walk_entries: bool) {
         if !self.lines.is_empty() {
             self.accesses += if walk_entries { self.lines.len() as u64 } else { 1 };
+            if walk_entries {
+                if let Some(obs) = &self.obs {
+                    obs.walked_entries.add(self.lines.len() as u64);
+                }
+            }
         }
         self.lines.clear();
     }
@@ -171,6 +199,24 @@ mod tests {
         o.discard();
         assert!(o.is_empty());
         assert_eq!(o.accesses(), 0);
+    }
+
+    #[test]
+    fn attached_obs_mirrors_activity() {
+        let reg = bulk_obs::Registry::new();
+        let mut o = OverflowArea::new();
+        o.attach_obs(OverflowObs::register(&reg, "tm."));
+        o.spill(LineAddr::new(1));
+        o.spill(LineAddr::new(2));
+        assert!(o.lookup(LineAddr::new(1)));
+        assert!(!o.lookup(LineAddr::new(9)));
+        o.disambiguate_walk([LineAddr::new(1)].iter());
+        o.deallocate(true);
+        assert_eq!(reg.counter_value("tm.overflow.spills"), 2);
+        assert_eq!(reg.counter_value("tm.overflow.lookups"), 2);
+        assert_eq!(reg.counter_value("tm.overflow.hits"), 1);
+        assert_eq!(reg.counter_value("tm.overflow.walked_entries"), 4);
+        assert_eq!(reg.gauges(), vec![("tm.overflow.resident_max".to_string(), 2)]);
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! The structured event log: typed protocol events with logical
+//! timestamps, ring-buffered and exportable as JSONL.
+//!
+//! Every recorded [`Event`] carries a `seq` (a logical timestamp: the
+//! global record order, gap-free while the ring has not wrapped), the
+//! machine `cycle` at which the protocol step happened, and the `actor`
+//! (thread index in the TM machine, task index in the TLS machine). The
+//! ring keeps the most recent events and counts what it dropped, so a
+//! long run degrades to a bounded tail instead of unbounded memory.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Why a speculative thread/task was squashed, as attributed by the exact
+/// per-address oracle (see [`crate::Verdict`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquashCause {
+    /// The committed write set really overlapped the victim's exact
+    /// read/write sets — any scheme must squash here.
+    TrueConflict,
+    /// The signatures intersected but the exact sets were disjoint: the
+    /// squash is an artifact of signature aliasing (paper §7.5's false
+    /// positives).
+    Aliasing,
+}
+
+impl SquashCause {
+    /// Attribution from the oracle's view of the conflict.
+    pub fn from_oracle(truly_conflicting: bool) -> Self {
+        if truly_conflicting {
+            SquashCause::TrueConflict
+        } else {
+            SquashCause::Aliasing
+        }
+    }
+
+    /// Stable lowercase name used in JSONL and metric suffixes.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SquashCause::TrueConflict => "true_conflict",
+            SquashCause::Aliasing => "aliasing",
+        }
+    }
+}
+
+/// One typed protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A transaction/task committed and broadcast its write set.
+    CommitBroadcast {
+        /// Bytes on the bus (compressed signature, or address list for
+        /// conventional schemes).
+        payload_bytes: u64,
+        /// Exact committed write-set size (lines for TM, words for TLS).
+        writes: u64,
+    },
+    /// A speculative thread/task was squashed.
+    Squash {
+        /// Oracle attribution: real conflict or signature aliasing.
+        cause: SquashCause,
+        /// Exact dependence-set size (`|W_C ∩ (R_R ∪ W_R)|`); 0 for an
+        /// aliasing-induced squash.
+        dep: u64,
+    },
+    /// A receiver bulk-invalidated cache lines selected by the committed
+    /// write signature (paper §4.3).
+    BulkInvalidate {
+        /// Lines the signature expansion invalidated.
+        lines: u64,
+        /// How many of those the committer exactly wrote.
+        exact: u64,
+        /// `lines - exact`: invalidations caused purely by aliasing
+        /// (Table 7 "False Inv/Com" numerator).
+        overshoot: u64,
+    },
+    /// A speculative dirty line was evicted into the memory overflow area
+    /// (paper §6.2.2).
+    Overflow {
+        /// Lines resident in the overflow area after the spill.
+        resident: u64,
+    },
+    /// A forced context switch spilled and reloaded the running version's
+    /// signatures (paper §6.2.2; chaos runs only).
+    CtxSwitch,
+    /// A repeatedly-squashed transaction/task escalated to its
+    /// non-speculative fallback (graceful degradation).
+    Escalation,
+}
+
+impl EventKind {
+    /// Stable lowercase tag used as the JSONL `"event"` field.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::CommitBroadcast { .. } => "commit_broadcast",
+            EventKind::Squash { .. } => "squash",
+            EventKind::BulkInvalidate { .. } => "bulk_invalidate",
+            EventKind::Overflow { .. } => "overflow",
+            EventKind::CtxSwitch => "ctx_switch",
+            EventKind::Escalation => "escalation",
+        }
+    }
+}
+
+/// A recorded event: a typed payload plus its logical timestamp and
+/// machine coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Logical timestamp: global record order (0, 1, 2, …).
+    pub seq: u64,
+    /// Machine cycle of the protocol step.
+    pub cycle: u64,
+    /// Thread index (TM) or task index (TLS) the event concerns.
+    pub actor: u32,
+    /// The typed payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The event as one JSONL line (no trailing newline). Field order is
+    /// fixed, so identical runs serialize byte-identically.
+    pub fn to_json_line(&self) -> String {
+        let head = format!(
+            "{{\"seq\": {}, \"cycle\": {}, \"actor\": {}, \"event\": \"{}\"",
+            self.seq,
+            self.cycle,
+            self.actor,
+            self.kind.tag()
+        );
+        let tail = match &self.kind {
+            EventKind::CommitBroadcast { payload_bytes, writes } => {
+                format!(", \"payload_bytes\": {payload_bytes}, \"writes\": {writes}}}")
+            }
+            EventKind::Squash { cause, dep } => {
+                format!(", \"cause\": \"{}\", \"dep\": {dep}}}", cause.as_str())
+            }
+            EventKind::BulkInvalidate { lines, exact, overshoot } => {
+                format!(", \"lines\": {lines}, \"exact\": {exact}, \"overshoot\": {overshoot}}}")
+            }
+            EventKind::Overflow { resident } => format!(", \"resident\": {resident}}}"),
+            EventKind::CtxSwitch | EventKind::Escalation => "}".to_string(),
+        };
+        head + &tail
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// Default ring capacity: enough for every event of the repo's stock
+/// workloads, small enough to be harmless if a run is enormous.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 16;
+
+/// A bounded, shareable log of [`Event`]s.
+#[derive(Debug)]
+pub struct EventLog {
+    seq: AtomicU64,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// Creates a log with the default capacity.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Creates a log holding at most `capacity` events; older events are
+    /// dropped (and counted) once it is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log capacity must be positive");
+        EventLog { seq: AtomicU64::new(0), capacity, ring: Mutex::new(Ring::default()) }
+    }
+
+    /// Records one event, assigning it the next logical timestamp.
+    pub fn record(&self, actor: u32, cycle: u64, kind: EventKind) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().expect("event ring poisoned");
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(Event { seq, cycle, actor, kind });
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("event ring poisoned").buf.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("event ring poisoned").dropped
+    }
+
+    /// A snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .expect("event ring poisoned")
+            .buf
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The retained events as JSONL: one event per line, oldest first,
+    /// with a trailing newline after the last event (empty string if no
+    /// events). Deterministic for identical runs.
+    pub fn to_jsonl(&self) -> String {
+        let ring = self.ring.lock().expect("event ring poisoned");
+        let mut out = String::new();
+        for e in &ring.buf {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_with_monotonic_seq() {
+        let log = EventLog::new();
+        log.record(0, 10, EventKind::CtxSwitch);
+        log.record(1, 20, EventKind::Escalation);
+        let ev = log.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].seq, 0);
+        assert_eq!(ev[1].seq, 1);
+        assert_eq!(ev[1].actor, 1);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let log = EventLog::with_capacity(2);
+        for i in 0..5 {
+            log.record(i, u64::from(i), EventKind::CtxSwitch);
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let ev = log.events();
+        assert_eq!(ev[0].seq, 3, "oldest retained is the third-from-last record");
+        assert_eq!(ev[1].seq, 4);
+    }
+
+    #[test]
+    fn jsonl_lines_are_objects_with_fixed_fields() {
+        let log = EventLog::new();
+        log.record(
+            2,
+            100,
+            EventKind::Squash { cause: SquashCause::Aliasing, dep: 0 },
+        );
+        log.record(
+            0,
+            120,
+            EventKind::BulkInvalidate { lines: 5, exact: 4, overshoot: 1 },
+        );
+        log.record(1, 130, EventKind::CommitBroadcast { payload_bytes: 320, writes: 12 });
+        log.record(1, 140, EventKind::Overflow { resident: 3 });
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "not an object: {l}");
+        }
+        assert_eq!(
+            lines[0],
+            "{\"seq\": 0, \"cycle\": 100, \"actor\": 2, \"event\": \"squash\", \
+             \"cause\": \"aliasing\", \"dep\": 0}"
+        );
+        assert!(lines[1].contains("\"overshoot\": 1"));
+        assert!(lines[2].contains("\"payload_bytes\": 320"));
+        assert!(lines[3].contains("\"resident\": 3"));
+    }
+
+    #[test]
+    fn cause_names_are_stable() {
+        assert_eq!(SquashCause::from_oracle(true).as_str(), "true_conflict");
+        assert_eq!(SquashCause::from_oracle(false).as_str(), "aliasing");
+    }
+}

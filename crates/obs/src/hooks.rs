@@ -1,0 +1,275 @@
+//! Pre-registered handle bundles for the instrumented layers.
+//!
+//! The hot paths (signature expansion, overflow walks, the machines'
+//! commit/squash/invalidate steps) must not pay name lookups or
+//! allocation per record. Each bundle here is built once — resolving all
+//! of its [`Counter`]/[`Gauge`]/[`Histogram`] handles by name — and then
+//! recorded through with plain atomic ops.
+//!
+//! Naming convention: every handle lives under the prefix the caller
+//! passes at registration (`"tm."`, `"tls."`, `"bench."`, …), so one
+//! [`Registry`] can host several machines side by side.
+
+use std::sync::Arc;
+
+use crate::attribution::VerdictCounters;
+use crate::events::{EventKind, SquashCause};
+use crate::metrics::{Counter, Gauge, Histogram, Registry};
+use crate::Obs;
+
+/// Counters for the signature expansion path (paper §4.1's δ decode):
+/// how often signatures are expanded into line addresses, how much cache
+/// tag work that costs, and how many lines each expansion selects.
+#[derive(Debug, Clone)]
+pub struct ExpansionObs {
+    /// Signature expansions performed.
+    pub calls: Counter,
+    /// Candidate cache sets selected by the decoded set-index bits.
+    pub candidate_sets: Counter,
+    /// Cache tag reads performed while filtering candidate lines.
+    pub tag_reads: Counter,
+    /// Lines the expansions actually selected (signature members present
+    /// in the cache).
+    pub matched_lines: Counter,
+}
+
+impl ExpansionObs {
+    /// Registers the expansion counters under `prefix`.
+    pub fn register(reg: &Registry, prefix: &str) -> Self {
+        ExpansionObs {
+            calls: reg.counter(&format!("{prefix}expansion.calls")),
+            candidate_sets: reg.counter(&format!("{prefix}expansion.candidate_sets")),
+            tag_reads: reg.counter(&format!("{prefix}expansion.tag_reads")),
+            matched_lines: reg.counter(&format!("{prefix}expansion.matched_lines")),
+        }
+    }
+}
+
+/// Counters for the memory overflow area (paper §6.2.2): spills of
+/// speculative dirty lines past the cache, lookups on miss, and the
+/// sequential walks commit/squash must perform.
+#[derive(Debug, Clone)]
+pub struct OverflowObs {
+    /// Lines spilled into the overflow area.
+    pub spills: Counter,
+    /// Lookups (cache misses with the O bit set).
+    pub lookups: Counter,
+    /// Lookups that found the line in the overflow area.
+    pub hits: Counter,
+    /// Entries touched by sequential walks (disambiguation or
+    /// deallocation).
+    pub walked_entries: Counter,
+    /// High-water mark of resident overflow lines.
+    pub resident_max: Gauge,
+}
+
+impl OverflowObs {
+    /// Registers the overflow counters under `prefix`.
+    pub fn register(reg: &Registry, prefix: &str) -> Self {
+        OverflowObs {
+            spills: reg.counter(&format!("{prefix}overflow.spills")),
+            lookups: reg.counter(&format!("{prefix}overflow.lookups")),
+            hits: reg.counter(&format!("{prefix}overflow.hits")),
+            walked_entries: reg.counter(&format!("{prefix}overflow.walked_entries")),
+            resident_max: reg.gauge(&format!("{prefix}overflow.resident_max")),
+        }
+    }
+}
+
+/// The full instrumentation bundle a machine (TM or TLS) holds: one
+/// handle per metric it maintains, plus the shared [`Obs`] so protocol
+/// steps can also be recorded as events.
+///
+/// All handles live under the prefix given to [`RuntimeObs::attach`]
+/// (`"tm."` or `"tls."`). The `on_*` methods are the machines' single
+/// instrumentation surface; each is one or two atomic ops plus, where
+/// the step is a typed protocol event, an [`EventLog::record`]
+/// (ring-buffer push).
+///
+/// [`EventLog::record`]: crate::EventLog::record
+#[derive(Debug, Clone)]
+pub struct RuntimeObs {
+    obs: Arc<Obs>,
+    /// Successful commits.
+    pub commits: Counter,
+    /// Commit broadcast payload sizes in bytes.
+    pub commit_payload_bytes: Histogram,
+    /// Exact committed write-set sizes (lines for TM, words for TLS).
+    pub commit_writes: Histogram,
+    /// Total squashes (`= squash_true_conflict + squash_aliasing`).
+    pub squashes: Counter,
+    /// Squashes the oracle confirms (real data dependence).
+    pub squash_true_conflict: Counter,
+    /// Squashes caused purely by signature aliasing.
+    pub squash_aliasing: Counter,
+    /// Exact dependence-set sizes of true-conflict squashes.
+    pub squash_dep: Histogram,
+    /// Lines invalidated by bulk invalidations.
+    pub inv_lines: Counter,
+    /// Of those, lines the committer exactly wrote.
+    pub inv_exact: Counter,
+    /// Of those, aliasing overshoot (`inv_lines - inv_exact`).
+    pub inv_overshoot: Counter,
+    /// Forced context switches (signature spill + reload).
+    pub ctx_switches: Counter,
+    /// Escalations to the non-speculative fallback.
+    pub escalations: Counter,
+    /// Disambiguation verdicts vs. the exact oracle.
+    pub verdicts: VerdictCounters,
+    /// The machine-side signature expansion counters.
+    pub expansion: ExpansionObs,
+    /// Counters to clone into the machine's overflow area, if it has one.
+    pub overflow: OverflowObs,
+}
+
+impl RuntimeObs {
+    /// Builds the bundle against `obs`, registering every handle under
+    /// `prefix` (use `"tm."` / `"tls."`).
+    pub fn attach(obs: Arc<Obs>, prefix: &str) -> Self {
+        let reg = obs.registry();
+        let bytes_edges = Histogram::pow2_edges(14); // 1 B .. 16 KiB
+        let size_edges = Histogram::pow2_edges(10); // 1 .. 1024 lines/words
+        let bundle = RuntimeObs {
+            commits: reg.counter(&format!("{prefix}commits")),
+            commit_payload_bytes: reg
+                .histogram(&format!("{prefix}commit.payload_bytes"), &bytes_edges),
+            commit_writes: reg.histogram(&format!("{prefix}commit.writes"), &size_edges),
+            squashes: reg.counter(&format!("{prefix}squashes")),
+            squash_true_conflict: reg.counter(&format!("{prefix}squash.true_conflict")),
+            squash_aliasing: reg.counter(&format!("{prefix}squash.aliasing")),
+            squash_dep: reg.histogram(&format!("{prefix}squash.dep_size"), &size_edges),
+            inv_lines: reg.counter(&format!("{prefix}invalidate.lines")),
+            inv_exact: reg.counter(&format!("{prefix}invalidate.exact")),
+            inv_overshoot: reg.counter(&format!("{prefix}invalidate.overshoot")),
+            ctx_switches: reg.counter(&format!("{prefix}ctx_switches")),
+            escalations: reg.counter(&format!("{prefix}escalations")),
+            verdicts: VerdictCounters::register(reg, prefix),
+            expansion: ExpansionObs::register(reg, prefix),
+            overflow: OverflowObs::register(reg, prefix),
+            obs,
+        };
+        bundle
+    }
+
+    /// The shared observability bundle the handles record into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// A commit broadcast: `payload_bytes` on the bus carrying an exact
+    /// write set of `writes` lines/words.
+    pub fn on_commit(&self, actor: u32, cycle: u64, payload_bytes: u64, writes: u64) {
+        self.commits.inc();
+        self.commit_payload_bytes.observe(payload_bytes);
+        self.commit_writes.observe(writes);
+        self.obs.events().record(
+            actor,
+            cycle,
+            EventKind::CommitBroadcast { payload_bytes, writes },
+        );
+    }
+
+    /// A squash, attributed by the oracle: `dep` is the exact
+    /// dependence-set size (0 when `truly_conflicting` is false).
+    pub fn on_squash(&self, actor: u32, cycle: u64, truly_conflicting: bool, dep: u64) {
+        self.squashes.inc();
+        let cause = SquashCause::from_oracle(truly_conflicting);
+        match cause {
+            SquashCause::TrueConflict => {
+                self.squash_true_conflict.inc();
+                self.squash_dep.observe(dep);
+            }
+            SquashCause::Aliasing => self.squash_aliasing.inc(),
+        }
+        self.obs
+            .events()
+            .record(actor, cycle, EventKind::Squash { cause, dep });
+    }
+
+    /// A bulk invalidation that wiped `lines` cache lines of which the
+    /// committer exactly wrote `exact`.
+    pub fn on_bulk_invalidate(&self, actor: u32, cycle: u64, lines: u64, exact: u64) {
+        let overshoot = lines.saturating_sub(exact);
+        self.inv_lines.add(lines);
+        self.inv_exact.add(exact);
+        self.inv_overshoot.add(overshoot);
+        if lines > 0 {
+            self.obs.events().record(
+                actor,
+                cycle,
+                EventKind::BulkInvalidate { lines, exact, overshoot },
+            );
+        }
+    }
+
+    /// A speculative dirty line spilled to the overflow area, which now
+    /// holds `resident` lines.
+    pub fn on_overflow_spill(&self, actor: u32, cycle: u64, resident: u64) {
+        self.obs
+            .events()
+            .record(actor, cycle, EventKind::Overflow { resident });
+    }
+
+    /// A forced context switch of the running speculative version.
+    pub fn on_ctx_switch(&self, actor: u32, cycle: u64) {
+        self.ctx_switches.inc();
+        self.obs.events().record(actor, cycle, EventKind::CtxSwitch);
+    }
+
+    /// An escalation to the non-speculative fallback.
+    pub fn on_escalation(&self, actor: u32, cycle: u64) {
+        self.escalations.inc();
+        self.obs.events().record(actor, cycle, EventKind::Escalation);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_registers_prefixed_handles() {
+        let obs = Arc::new(Obs::new());
+        let r = RuntimeObs::attach(Arc::clone(&obs), "tm.");
+        r.on_commit(0, 100, 64, 3);
+        r.on_squash(1, 120, false, 0);
+        r.on_squash(2, 130, true, 4);
+        r.on_bulk_invalidate(1, 140, 5, 4);
+        r.on_ctx_switch(0, 150);
+        r.on_escalation(2, 160);
+        let reg = obs.registry();
+        assert_eq!(reg.counter_value("tm.commits"), 1);
+        assert_eq!(reg.counter_value("tm.squashes"), 2);
+        assert_eq!(reg.counter_value("tm.squash.aliasing"), 1);
+        assert_eq!(reg.counter_value("tm.squash.true_conflict"), 1);
+        assert_eq!(reg.counter_value("tm.invalidate.overshoot"), 1);
+        assert_eq!(reg.counter_value("tm.ctx_switches"), 1);
+        assert_eq!(reg.counter_value("tm.escalations"), 1);
+        // squash split sums to total
+        assert_eq!(
+            reg.counter_value("tm.squashes"),
+            reg.counter_value("tm.squash.true_conflict")
+                + reg.counter_value("tm.squash.aliasing")
+        );
+        assert_eq!(obs.events().len(), 6);
+    }
+
+    #[test]
+    fn zero_line_invalidation_counts_but_emits_no_event() {
+        let obs = Arc::new(Obs::new());
+        let r = RuntimeObs::attach(Arc::clone(&obs), "tls.");
+        r.on_bulk_invalidate(0, 10, 0, 0);
+        assert!(obs.events().is_empty());
+        assert_eq!(obs.registry().counter_value("tls.invalidate.lines"), 0);
+    }
+
+    #[test]
+    fn overflow_obs_names() {
+        let reg = Registry::new();
+        let o = OverflowObs::register(&reg, "mem.");
+        o.spills.inc();
+        o.resident_max.record_max(7);
+        assert_eq!(reg.counter_value("mem.overflow.spills"), 1);
+        assert_eq!(reg.gauges(), vec![("mem.overflow.resident_max".to_string(), 7)]);
+    }
+}

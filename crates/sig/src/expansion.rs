@@ -3,6 +3,7 @@
 //! rather than a naive walk of every cache tag.
 
 use bulk_mem::{Cache, LineAddr, LineState};
+use bulk_obs::ExpansionObs;
 
 use crate::Signature;
 
@@ -29,15 +30,32 @@ impl Signature {
     ///
     /// Panics if the signature's line size differs from the cache's.
     pub fn expand(&self, cache: &Cache) -> Vec<ExpandedLine> {
+        self.expand_observed(cache, None)
+    }
+
+    /// [`Signature::expand`] with optional instrumentation: when `obs` is
+    /// given, the expansion records how many cache sets δ selected, how
+    /// many tags it read, and how many lines it matched.
+    pub fn expand_observed(&self, cache: &Cache, obs: Option<&ExpansionObs>) -> Vec<ExpandedLine> {
         let geom = cache.geometry();
         let mask = self.decode_sets(&geom);
         let mut out = Vec::new();
+        let mut sets = 0u64;
+        let mut tags = 0u64;
         for set in mask.iter_ones() {
+            sets += 1;
             for line in cache.lines_in_set(set) {
+                tags += 1;
                 if self.contains_any_word_of_line(line.addr()) {
                     out.push(ExpandedLine { addr: line.addr(), state: line.state() });
                 }
             }
+        }
+        if let Some(obs) = obs {
+            obs.calls.inc();
+            obs.candidate_sets.add(sets);
+            obs.tag_reads.add(tags);
+            obs.matched_lines.add(out.len() as u64);
         }
         out
     }
@@ -120,6 +138,27 @@ mod tests {
         // δ selects one set of 128; that set holds 2 lines (10 and 138).
         assert_eq!(sig.expansion_tag_reads(&cache), 2);
         assert!(sig.expansion_tag_reads(&cache) < cache.len());
+    }
+
+    #[test]
+    fn observed_expansion_counts_sets_tags_and_matches() {
+        let geom = CacheGeometry::tm_l1();
+        let mut cache = Cache::new(geom);
+        for i in 0..256u32 {
+            cache.fill_clean(LineAddr::new(i));
+        }
+        let mut sig = Signature::new(SignatureConfig::s14_tm());
+        sig.insert_line(LineAddr::new(10));
+        let reg = bulk_obs::Registry::new();
+        let obs = ExpansionObs::register(&reg, "sig.");
+        let found = sig.expand_observed(&cache, Some(&obs));
+        assert_eq!(reg.counter_value("sig.expansion.calls"), 1);
+        assert_eq!(
+            reg.counter_value("sig.expansion.tag_reads"),
+            sig.expansion_tag_reads(&cache) as u64
+        );
+        assert_eq!(reg.counter_value("sig.expansion.matched_lines"), found.len() as u64);
+        assert!(reg.counter_value("sig.expansion.candidate_sets") >= 1);
     }
 
     #[test]

@@ -37,6 +37,8 @@
 //! assert!(!w_committing.intersects(&r_receiver));
 //! ```
 
+#![warn(missing_docs)]
+
 mod config;
 mod decode;
 mod expansion;

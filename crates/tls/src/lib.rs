@@ -20,6 +20,6 @@ mod machine;
 mod scheme;
 mod stats;
 
-pub use machine::{run_tls, run_tls_sequential, TlsMachine};
+pub use machine::{run_tls, run_tls_observed, run_tls_sequential, TlsMachine};
 pub use scheme::TlsScheme;
 pub use stats::TlsStats;

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use bulk_chaos::{Auditor, FaultPlan, InvariantKind, MachineError};
 use bulk_core::{check_speculative_store, flows, Bdm, CommitMsg, StoreCheck, VersionId};
+use bulk_obs::{Obs, RuntimeObs};
 use bulk_mem::{Addr, Cache, LineAddr, MsgClass, WordAddr};
 use bulk_sig::{Signature, SignatureConfig};
 use bulk_sim::{Bus, CoreTimer, SimConfig};
@@ -99,11 +100,26 @@ pub struct TlsMachine {
     /// Whether the invariant auditor is armed.
     audit: bool,
     auditor: Auditor,
+    obs: Option<RuntimeObs>,
 }
 
 /// Runs `workload` under `scheme` and returns the collected statistics.
 pub fn run_tls(workload: &TlsWorkload, scheme: TlsScheme, cfg: &SimConfig) -> TlsStats {
     TlsMachine::new(workload, scheme, cfg).run()
+}
+
+/// [`run_tls`] with an observability bundle attached: metrics land in
+/// `obs`'s registry under the `tls.` prefix and protocol events in its
+/// event log (see [`TlsMachine::attach_obs`]).
+pub fn run_tls_observed(
+    workload: &TlsWorkload,
+    scheme: TlsScheme,
+    cfg: &SimConfig,
+    obs: std::sync::Arc<bulk_obs::Obs>,
+) -> TlsStats {
+    let mut m = TlsMachine::new(workload, scheme, cfg);
+    m.attach_obs(obs);
+    m.run()
 }
 
 /// Executes the workload sequentially (the Fig. 10 baseline): all tasks in
@@ -225,6 +241,7 @@ impl TlsMachine {
             chaos: None,
             audit: false,
             auditor: Auditor::off(),
+            obs: None,
         };
         m.tasks[0].ready_at = Some(0);
         Ok(m)
@@ -234,6 +251,13 @@ impl TlsMachine {
     /// head-serialized fallback entirely).
     pub fn set_escalation_threshold(&mut self, threshold: Option<u32>) {
         self.escalation = threshold;
+    }
+
+    /// Attaches an observability bundle: all protocol steps are mirrored
+    /// into metrics under the `tls.` prefix and into the shared event log,
+    /// and every squash is attributed against the exact oracle.
+    pub fn attach_obs(&mut self, obs: std::sync::Arc<Obs>) {
+        self.obs = Some(RuntimeObs::attach(obs, "tls."));
     }
 
     /// Arms the chaos fault injector for this run. The run then becomes a
@@ -454,6 +478,9 @@ impl TlsMachine {
         if plan.force_context_switch() {
             let cycles = plan.config().ctx_switch_cycles;
             self.procs[p].timer.advance(cycles);
+            if let Some(obs) = &self.obs {
+                obs.on_ctx_switch(p as u32, self.procs[p].timer.now());
+            }
         }
         let Some(plan) = &mut self.chaos else { return };
         if plan.force_eviction() {
@@ -714,6 +741,9 @@ impl TlsMachine {
         }
         self.last_commit_finish = finish;
         self.stats.commits += 1;
+        if let Some(obs) = &self.obs {
+            obs.on_commit(i as u32, finish, payload, exact_w_words.len() as u64);
+        }
         if self.tasks[i].escalated {
             self.stats.serialized_commits += 1;
         }
@@ -763,6 +793,9 @@ impl TlsMachine {
                         context: "tls commit disambiguation",
                     })?;
                     let squash = self.procs[q].bdm.disambiguate(v, sig).squash();
+                    if let Some(obs) = &self.obs {
+                        obs.verdicts.record(squash, exact_conflict);
+                    }
                     // A signature may alias but must never miss a real
                     // conflict (false negative).
                     if exact_conflict && !squash {
@@ -802,6 +835,7 @@ impl TlsMachine {
         // second pass must be idempotent (already-invalidated lines are
         // simply absent).
         let rounds = if duplicate { 2 } else { 1 };
+        let exp = self.obs.as_ref().map(|o| o.expansion.clone());
         let skip_proc_of_squashed = squash_from.map(|(j, _, _)| j);
         for round in 0..rounds {
             for q in 0..self.procs.len() {
@@ -819,7 +853,12 @@ impl TlsMachine {
                     TlsScheme::Bulk | TlsScheme::BulkNoOverlap => {
                         let w = &delivered.as_ref().expect("bulk commit delivers signatures").w;
                         let proc = &mut self.procs[q];
-                        let app = flows::apply_remote_commit(&proc.bdm, w, &mut proc.cache);
+                        let app = flows::apply_remote_commit_observed(
+                            &proc.bdm,
+                            w,
+                            &mut proc.cache,
+                            exp.as_ref(),
+                        );
                         if round > 0 {
                             continue; // duplicate delivery: no new stats
                         }
@@ -829,6 +868,10 @@ impl TlsMachine {
                             .filter(|l| !exact_lines.contains(l))
                             .count() as u64;
                         self.stats.false_invalidations += false_inv;
+                        if let Some(obs) = &self.obs {
+                            let lines = app.invalidated.len() as u64;
+                            obs.on_bulk_invalidate(q as u32, finish, lines, lines - false_inv);
+                        }
                         self.stats.line_merges += app.merged.len() as u64;
                         // Merged lines are refetched from the network (Fig. 6).
                         self.stats.bw.record(
@@ -959,24 +1002,28 @@ impl TlsMachine {
             match self.tasks[k].status {
                 Status::NotStarted => break,
                 Status::Running | Status::WaitingCommit => {
-                    self.squash_task(k, at, truly);
+                    self.squash_task(k, at, truly, if k == from { dep } else { 0 });
                 }
                 Status::Ready | Status::Committed => {}
             }
         }
     }
 
-    fn squash_task(&mut self, k: usize, at: u64, truly: bool) {
+    fn squash_task(&mut self, k: usize, at: u64, truly: bool, dep: u64) {
         self.stats.squashes += 1;
         if !truly {
             self.stats.false_squashes += 1;
+        }
+        if let Some(obs) = &self.obs {
+            obs.on_squash(k as u32, at, truly, dep);
         }
         let p = self.tasks[k].proc.expect("in-flight task has proc");
         if self.scheme.uses_signatures() {
             let v = self.tasks[k].version.expect("in-flight task has version");
             // TLS squash also invalidates lines the task read (§6.3).
+            let exp = self.obs.as_ref().map(|o| o.expansion.clone());
             let proc = &mut self.procs[p];
-            flows::squash(&mut proc.bdm, v, &mut proc.cache, true);
+            flows::squash_observed(&mut proc.bdm, v, &mut proc.cache, true, exp.as_ref());
         } else {
             let line_bytes = self.cfg.geom.line_bytes();
             let dirty: Vec<LineAddr> = self.tasks[k]
@@ -1018,6 +1065,9 @@ impl TlsMachine {
             if !t.escalated && t.restarts >= threshold {
                 t.escalated = true;
                 self.stats.escalations += 1;
+                if let Some(obs) = &self.obs {
+                    obs.on_escalation(k as u32, at);
+                }
             }
         }
         self.procs[p].timer.wait_until(at);

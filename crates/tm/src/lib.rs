@@ -23,6 +23,6 @@ mod machine;
 mod scheme;
 mod stats;
 
-pub use machine::{run_tm, TmMachine};
+pub use machine::{run_tm, run_tm_observed, TmMachine};
 pub use scheme::Scheme;
 pub use stats::TmStats;

@@ -17,6 +17,7 @@ use bulk_core::{
     StoreCheck, VersionId,
 };
 use bulk_mem::{Addr, Cache, LineAddr, MsgClass, OverflowArea};
+use bulk_obs::{Obs, RuntimeObs};
 use bulk_sig::{Signature, SignatureConfig};
 use bulk_sim::{Bus, CoreTimer, SimConfig};
 use bulk_trace::{TmOp, TmWorkload};
@@ -108,6 +109,7 @@ pub struct TmMachine {
     chaos: Option<FaultPlan>,
     audit: bool,
     auditor: Auditor,
+    obs: Option<RuntimeObs>,
 }
 
 /// Runs `workload` under `scheme` on the given machine configuration and
@@ -124,6 +126,20 @@ pub struct TmMachine {
 /// ```
 pub fn run_tm(workload: &TmWorkload, scheme: Scheme, cfg: &SimConfig) -> TmStats {
     TmMachine::new(workload, scheme, cfg).run()
+}
+
+/// [`run_tm`] with an observability bundle attached: metrics land in
+/// `obs`'s registry under the `tm.` prefix and protocol events in its
+/// event log (see [`TmMachine::attach_obs`]).
+pub fn run_tm_observed(
+    workload: &TmWorkload,
+    scheme: Scheme,
+    cfg: &SimConfig,
+    obs: Arc<Obs>,
+) -> TmStats {
+    let mut m = TmMachine::new(workload, scheme, cfg);
+    m.attach_obs(obs);
+    m.run()
 }
 
 impl TmMachine {
@@ -229,6 +245,7 @@ impl TmMachine {
             chaos: None,
             audit: false,
             auditor: Auditor::off(),
+            obs: None,
         })
     }
 
@@ -242,6 +259,17 @@ impl TmMachine {
     /// the serialized fallback entirely).
     pub fn set_escalation_threshold(&mut self, threshold: Option<u64>) {
         self.escalation = threshold;
+    }
+
+    /// Attaches an observability bundle: all protocol steps are mirrored
+    /// into metrics under the `tm.` prefix and into the shared event log,
+    /// and every squash is attributed against the exact oracle.
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        let robs = RuntimeObs::attach(obs, "tm.");
+        for t in &mut self.threads {
+            t.overflow.attach_obs(robs.overflow.clone());
+        }
+        self.obs = Some(robs);
     }
 
     /// Arms the chaos fault injector for this run. The run then becomes a
@@ -371,6 +399,9 @@ impl TmMachine {
             let cycles = plan.config().ctx_switch_cycles;
             let t = &mut self.threads[tid];
             t.timer.advance(cycles);
+            if let Some(obs) = &self.obs {
+                obs.on_ctx_switch(tid as u32, t.timer.now());
+            }
             if let Some(v) = t.version.take() {
                 // The OS preempts mid-transaction: signatures spill to
                 // memory and reload when the thread is rescheduled.
@@ -786,6 +817,9 @@ impl TmMachine {
         self.threads[tid].timer.wait_until(finish);
 
         self.stats.commits += 1;
+        if let Some(obs) = &self.obs {
+            obs.on_commit(tid as u32, finish, payload_bytes, exact_w.len() as u64);
+        }
         self.stats.rd_set_lines += self.threads[tid].read_set.len() as u64;
         self.stats.wr_set_lines += self.threads[tid].write_set.len() as u64;
 
@@ -926,11 +960,16 @@ impl TmMachine {
                     }
                 };
                 self.check_no_false_negative(j, exact_conflict, sig_conflict, finish);
+                if in_tx {
+                    if let Some(obs) = &self.obs {
+                        obs.verdicts.record(sig_conflict, exact_conflict);
+                    }
+                }
                 if sig_conflict {
                     let dep = self.exact_dep_size(j, exact_w);
                     self.squash_thread(j, finish, exact_conflict, dep);
                 } else {
-                    self.bulk_apply_commit(j, committer, w, exact_w);
+                    self.bulk_apply_commit(j, committer, w, exact_w, finish);
                 }
             }
             Scheme::BulkPartial => {
@@ -943,6 +982,11 @@ impl TmMachine {
                 let w = &d.w;
                 let violated = if in_tx { self.threads[j].sections.disambiguate(w) } else { None };
                 self.check_no_false_negative(j, exact_conflict, violated.is_some(), finish);
+                if in_tx {
+                    if let Some(obs) = &self.obs {
+                        obs.verdicts.record(violated.is_some(), exact_conflict);
+                    }
+                }
                 match violated {
                     Some(0) => {
                         // Violation in the first section: full restart.
@@ -953,7 +997,7 @@ impl TmMachine {
                         self.partial_rollback(j, sec, finish, exact_conflict);
                     }
                     None => {
-                        self.bulk_apply_commit(j, committer, w, exact_w);
+                        self.bulk_apply_commit(j, committer, w, exact_w, finish);
                     }
                 }
             }
@@ -988,15 +1032,21 @@ impl TmMachine {
         _committer: usize,
         w: &Signature,
         exact_w: &HashSet<LineAddr>,
+        finish: u64,
     ) {
+        let exp = self.obs.as_ref().map(|o| o.expansion.clone());
         let t = &mut self.threads[j];
-        let app = flows::apply_remote_commit(&t.bdm, w, &mut t.cache);
+        let app = flows::apply_remote_commit_observed(&t.bdm, w, &mut t.cache, exp.as_ref());
         let false_inv = app
             .invalidated
             .iter()
             .filter(|l| !exact_w.contains(l))
             .count() as u64;
         self.stats.false_invalidations += false_inv;
+        if let Some(obs) = &self.obs {
+            let lines = app.invalidated.len() as u64;
+            obs.on_bulk_invalidate(j as u32, finish, lines, lines - false_inv);
+        }
         debug_assert!(app.merged.is_empty(), "line-grain TM signatures never merge");
     }
 
@@ -1043,11 +1093,15 @@ impl TmMachine {
         } else {
             self.stats.false_squashes += 1;
         }
+        if let Some(obs) = &self.obs {
+            obs.on_squash(j as u32, at, truly, dep);
+        }
         let scheme = self.scheme;
+        let exp = self.obs.as_ref().map(|o| o.expansion.clone());
         let t = &mut self.threads[j];
         if scheme.uses_signatures() {
             if let Some(v) = t.version {
-                flows::squash(&mut t.bdm, v, &mut t.cache, false);
+                flows::squash_observed(&mut t.bdm, v, &mut t.cache, false, exp.as_ref());
             }
         } else {
             // Conventional squash: walk the cache and drop speculative
@@ -1087,6 +1141,9 @@ impl TmMachine {
             if !t.escalated && t.tx_squashes >= threshold {
                 t.escalated = true;
                 self.stats.escalations += 1;
+                if let Some(obs) = &self.obs {
+                    obs.on_escalation(j as u32, at);
+                }
             }
         }
         self.audit_state(at);
@@ -1193,6 +1250,10 @@ impl TmMachine {
             // §6.2.2: speculative dirty evictions go to the overflow area.
             self.threads[tid].overflow.spill(victim);
             self.stats.overflow_spills += 1;
+            if let Some(obs) = &self.obs {
+                let t = &self.threads[tid];
+                obs.on_overflow_spill(tid as u32, t.timer.now(), t.overflow.len() as u64);
+            }
             self.stats.bw.record(MsgClass::Ub, self.cfg.msg_sizes.line_msg);
             if self.scheme.uses_signatures() {
                 let t = &mut self.threads[tid];

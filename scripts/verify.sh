@@ -18,6 +18,12 @@ cargo build --release --offline --locked --workspace --all-targets
 echo "== cargo test -q --offline --locked --workspace"
 cargo test -q --offline --locked --workspace "$@"
 
+echo "== cargo doc --no-deps --offline --locked (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --no-deps --offline --locked --workspace
+
+echo "== cargo test --doc -q --offline --locked --workspace"
+cargo test --doc -q --offline --locked --workspace
+
 # Bounded chaos smoke: deterministic fault injection + invariant audit
 # through the CLI, one TM and one TLS scheme over three fault seeds.
 # Any invariant violation or undetected corruption is a nonzero exit.

@@ -19,7 +19,9 @@
 //! * [`tm`] — transactional-memory runtime with Eager/Lazy/Bulk schemes,
 //! * [`tls`] — thread-level-speculation runtime with the same schemes,
 //! * [`chaos`] — deterministic fault injection and runtime invariant
-//!   auditing for both runtimes.
+//!   auditing for both runtimes,
+//! * [`obs`] — observability: metrics registry, protocol event log, and
+//!   false-positive attribution against the exact oracle (DESIGN.md §8).
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@
 pub use bulk_chaos as chaos;
 pub use bulk_core as bulk;
 pub use bulk_mem as mem;
+pub use bulk_obs as obs;
 pub use bulk_rng as rng;
 pub use bulk_sig as sig;
 pub use bulk_sim as sim;
