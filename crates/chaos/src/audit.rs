@@ -22,6 +22,11 @@ pub enum InvariantKind {
     ClockMonotonicity,
     /// A corrupted signature passed its CRC and was silently accepted.
     UndetectedCorruption,
+    /// The serialized-fallback token protocol broke: the token was held by
+    /// a finished thread, double-granted, or a commit slot was cleared out
+    /// of order. These were `debug_assert!`s inside the machines; as
+    /// auditor checks, release-mode chaos soaks catch them too.
+    TokenProtocol,
 }
 
 impl fmt::Display for InvariantKind {
@@ -32,6 +37,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::Serializability => "serializability",
             InvariantKind::ClockMonotonicity => "clock-monotonicity",
             InvariantKind::UndetectedCorruption => "undetected-corruption",
+            InvariantKind::TokenProtocol => "token-protocol",
         };
         f.write_str(name)
     }

@@ -39,6 +39,16 @@ pub struct ChaosConfig {
     pub evict_prob: f64,
     /// Cycles a detected-corruption retransmission costs.
     pub retransmit_cycles: u64,
+    /// Per-broadcast probability that the commit arbiter crashes
+    /// mid-broadcast (after the bus grant, before every receiver has
+    /// acknowledged). Recovery — epoch re-election and idempotent replay
+    /// of the in-flight message — is the liveness engine's job; with no
+    /// engine armed the machines never consult this fault, so the default
+    /// chaos mix is unchanged. Zero by default.
+    pub arbiter_crash_prob: f64,
+    /// Cycles one arbiter re-election costs (lease timeout + election
+    /// round), charged before the replay.
+    pub reelect_cycles: u64,
 }
 
 impl ChaosConfig {
@@ -59,6 +69,31 @@ impl ChaosConfig {
             ctx_switch_cycles: 60,
             evict_prob: 0.03,
             retransmit_cycles: 80,
+            arbiter_crash_prob: 0.0,
+            reelect_cycles: 120,
+        }
+    }
+
+    /// The default mix plus arbiter crashes: every broadcast has a real
+    /// chance of losing the arbiter mid-flight, forcing an epoch
+    /// re-election and an idempotent replay. Requires a liveness engine
+    /// on the machine; used by the liveness soak and the CI soak job.
+    pub fn arbiter_crash(seed: u64) -> Self {
+        ChaosConfig {
+            arbiter_crash_prob: 0.25,
+            ..ChaosConfig::new(seed)
+        }
+    }
+
+    /// A squash-storm-leaning mix: aggressive corruption and duplication
+    /// with calm arbitration, to drive the aliasing-squash rate up and
+    /// exercise the liveness engine's storm throttle.
+    pub fn storm(seed: u64) -> Self {
+        ChaosConfig {
+            denial_prob: 0.05,
+            dup_prob: 0.30,
+            flip_prob: 0.50,
+            ..ChaosConfig::new(seed)
         }
     }
 }
@@ -89,6 +124,8 @@ pub struct FaultStats {
     pub forced_context_switches: u64,
     /// Cache evictions forced by injected capacity pressure.
     pub forced_evictions: u64,
+    /// Arbiter crashes injected mid-broadcast.
+    pub arbiter_crashes: u64,
 }
 
 impl FaultStats {
@@ -104,6 +141,7 @@ impl FaultStats {
         self.silent_corruptions += other.silent_corruptions;
         self.forced_context_switches += other.forced_context_switches;
         self.forced_evictions += other.forced_evictions;
+        self.arbiter_crashes += other.arbiter_crashes;
     }
 
     /// Total faults injected, across all kinds.
@@ -114,6 +152,7 @@ impl FaultStats {
             + self.corruptions_injected
             + self.forced_context_switches
             + self.forced_evictions
+            + self.arbiter_crashes
     }
 }
 
@@ -215,6 +254,21 @@ impl FaultPlan {
         if silent_corruption {
             self.stats.silent_corruptions += 1;
         }
+    }
+
+    /// Consulted once per commit broadcast *when a liveness engine is
+    /// armed*: does the arbiter crash mid-broadcast? Machines without a
+    /// liveness engine must not call this (they could not recover), which
+    /// also keeps the fault stream of engine-less runs unchanged.
+    pub fn arbiter_crash(&mut self) -> bool {
+        if self.cfg.arbiter_crash_prob <= 0.0 {
+            return false;
+        }
+        let hit = self.rng.random::<f64>() < self.cfg.arbiter_crash_prob;
+        if hit {
+            self.stats.arbiter_crashes += 1;
+        }
+        hit
     }
 
     /// Consulted once per executed operation: force a context switch on
@@ -324,6 +378,28 @@ mod tests {
         let stats = plan.stats();
         assert_eq!((stats.corruptions_injected, stats.corruptions_detected), (1, 1));
         assert_eq!(stats.silent_corruptions, 0);
+    }
+
+    #[test]
+    fn arbiter_crashes_only_when_configured() {
+        // The default mix never crashes the arbiter — and, crucially,
+        // consulting the fault must not consume randomness, so arming a
+        // liveness engine under the default mix leaves the fault stream
+        // of every other hook unchanged.
+        let mut consulted = FaultPlan::seeded(4);
+        let mut untouched = FaultPlan::seeded(4);
+        for _ in 0..50 {
+            assert!(!consulted.arbiter_crash());
+        }
+        let a = drain(&mut consulted, 200);
+        let b = drain(&mut untouched, 200);
+        assert_eq!(a, b);
+
+        let mut plan = FaultPlan::new(ChaosConfig::arbiter_crash(4));
+        let crashes = (0..100).filter(|_| plan.arbiter_crash()).count() as u64;
+        assert!(crashes > 0, "arbiter-crash profile should crash sometimes");
+        assert_eq!(plan.stats().arbiter_crashes, crashes);
+        assert_eq!(plan.take_stats().total_injected(), crashes);
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct TmArgs {
     pub metrics: bool,
     /// Write the structured event log as JSONL to this path.
     pub events_out: Option<String>,
+    /// Write the metrics registry as JSON to this path.
+    pub metrics_out: Option<String>,
+    /// Arm the detection-only forward-progress watchdog with this
+    /// global-stall bound in cycles; a trip exits nonzero with a diagnosis.
+    pub watchdog_ticks: Option<u64>,
 }
 
 /// Options of `bulk tls`.
@@ -70,6 +75,11 @@ pub struct TlsArgs {
     pub metrics: bool,
     /// Write the structured event log as JSONL to this path.
     pub events_out: Option<String>,
+    /// Write the metrics registry as JSON to this path.
+    pub metrics_out: Option<String>,
+    /// Arm the detection-only forward-progress watchdog with this
+    /// global-stall bound in cycles; a trip exits nonzero with a diagnosis.
+    pub watchdog_ticks: Option<u64>,
 }
 
 /// Options of `bulk replay`.
@@ -91,9 +101,11 @@ USAGE:
   bulk tm  --app <name> [--scheme <eager-naive|eager|lazy|bulk|bulk-partial>]
            [--seed <n>] [--txs <n>] [--sig <S1..S23>] [--dump-trace <file>]
            [--chaos] [--audit] [--metrics] [--events-out <file>]
+           [--metrics-out <file>] [--watchdog-ticks <n>]
   bulk tls --app <name> [--scheme <eager|lazy|bulk|bulk-no-overlap>]
            [--seed <n>] [--tasks <n>] [--dump-trace <file>]
            [--chaos] [--audit] [--metrics] [--events-out <file>]
+           [--metrics-out <file>] [--watchdog-ticks <n>]
   bulk replay --file <trace> --scheme <name>
   bulk sweep-sig --app <name> [--seed <n>]
   bulk help
@@ -114,7 +126,18 @@ OBSERVABILITY:
   counts, and all counters/gauges/histograms are listed. --events-out
   writes the structured event log (commit broadcasts, squashes with
   cause, bulk invalidations, overflow spills, context switches,
-  escalations) as one JSON object per line.
+  escalations) as one JSON object per line. --metrics-out writes the
+  registry itself as JSON (sorted names, fixed layout — byte-identical
+  across same-seed runs); CI uploads these as workflow artifacts.
+
+LIVENESS:
+  --watchdog-ticks <n> arms the detection-only forward-progress watchdog:
+  livelock (a squash ping-pong cycle between two threads), starvation
+  (one thread's commit age exceeding its bound) and global stall (no
+  commit for <n> cycles). Detection never perturbs the schedule — the
+  backoff ladder stays off. A trip aborts the run, prints the diagnosis
+  (including the detected squash cycle) and exits nonzero; try
+  `bulk tm --app mc --scheme eager-naive --watchdog-ticks 1000000`.
 ";
 
 /// Parses a TM scheme name.
@@ -219,6 +242,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let audit = f.take_bool("audit") || chaos;
             let metrics = f.take_bool("metrics");
             let events_out = f.take("events-out");
+            let metrics_out = f.take("metrics-out");
+            let watchdog_ticks = parse_opt_num(f.take("watchdog-ticks"), "--watchdog-ticks")?;
             f.finish()?;
             Ok(Command::Tm(TmArgs {
                 app,
@@ -231,6 +256,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 audit,
                 metrics,
                 events_out,
+                metrics_out,
+                watchdog_ticks,
             }))
         }
         "tls" => {
@@ -250,6 +277,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let audit = f.take_bool("audit") || chaos;
             let metrics = f.take_bool("metrics");
             let events_out = f.take("events-out");
+            let metrics_out = f.take("metrics-out");
+            let watchdog_ticks = parse_opt_num(f.take("watchdog-ticks"), "--watchdog-ticks")?;
             f.finish()?;
             Ok(Command::Tls(TlsArgs {
                 app,
@@ -261,6 +290,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 audit,
                 metrics,
                 events_out,
+                metrics_out,
+                watchdog_ticks,
             }))
         }
         "replay" => {
@@ -288,6 +319,16 @@ fn parse_num(v: Option<String>, default: u64, flag: &str) -> Result<u64, String>
     }
 }
 
+fn parse_opt_num(v: Option<String>, flag: &str) -> Result<Option<u64>, String> {
+    match v {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag}: bad number `{v}`")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,8 +353,36 @@ mod tests {
                 audit: false,
                 metrics: false,
                 events_out: None,
+                metrics_out: None,
+                watchdog_ticks: None,
             })
         );
+    }
+
+    #[test]
+    fn parses_metrics_out() {
+        match parse(&args("tm --app mc --metrics-out /tmp/m.json")).unwrap() {
+            Command::Tm(a) => assert_eq!(a.metrics_out.as_deref(), Some("/tmp/m.json")),
+            other => panic!("{other:?}"),
+        }
+        match parse(&args("tls --app gzip --metrics-out m.json")).unwrap() {
+            Command::Tls(a) => assert_eq!(a.metrics_out.as_deref(), Some("m.json")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_watchdog_ticks() {
+        match parse(&args("tm --app mc --scheme eager-naive --watchdog-ticks 500000")).unwrap() {
+            Command::Tm(a) => assert_eq!(a.watchdog_ticks, Some(500_000)),
+            other => panic!("{other:?}"),
+        }
+        match parse(&args("tls --app gzip --watchdog-ticks 9")).unwrap() {
+            Command::Tls(a) => assert_eq!(a.watchdog_ticks, Some(9)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("tm --app mc --watchdog-ticks nope")).is_err());
+        assert!(parse(&args("tm --app mc --watchdog-ticks")).is_err());
     }
 
     #[test]

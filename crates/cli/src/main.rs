@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use args::{parse, Command, ReplayArgs, TlsArgs, TmArgs, USAGE};
 use bulk_chaos::FaultPlan;
+use bulk_live::{BackoffConfig, LivenessConfig, WatchdogConfig};
 use bulk_obs::Obs;
 use bulk_sig::{table8, table8_spec, BitPermutation, Granularity, SignatureConfig};
 use bulk_sim::SimConfig;
@@ -109,6 +110,36 @@ fn check_violations(
     Err(format!("{} invariant violation(s){replay}", violations.len()))
 }
 
+/// Fails the run (nonzero exit) if the liveness watchdog tripped. The
+/// printed diagnosis carries the detected squash cycle for livelocks.
+fn check_liveness(violations: &[bulk_live::LivenessViolation]) -> Result<(), String> {
+    if violations.is_empty() {
+        return Ok(());
+    }
+    for v in violations {
+        eprintln!("{v}");
+    }
+    Err(format!("{} liveness violation(s)", violations.len()))
+}
+
+/// The `--watchdog-ticks` configuration: pure detection. A zero backoff
+/// ladder means arming the watchdog never perturbs the schedule, so a
+/// watched run stays cycle-identical to an unwatched one.
+fn watchdog_only(stall_ticks: u64) -> LivenessConfig {
+    LivenessConfig {
+        watchdog: WatchdogConfig {
+            stall_ticks,
+            ..WatchdogConfig::default()
+        },
+        backoff: BackoffConfig {
+            base: 0,
+            cap: 0,
+            ..BackoffConfig::default()
+        },
+        ..LivenessConfig::default()
+    }
+}
+
 fn run_tm(a: TmArgs) -> Result<(), String> {
     let mut p = profiles::tm_profile(&a.app)
         .ok_or_else(|| format!("unknown TM app `{}` (try `bulk list`)", a.app))?;
@@ -125,28 +156,35 @@ fn run_tm(a: TmArgs) -> Result<(), String> {
     let mut m =
         TmMachine::try_with_signature(&wl, a.scheme, &cfg, sig).map_err(|e| e.to_string())?;
     let seed = configure_tm(&mut m, &a)?;
-    let obs = make_obs(a.metrics, &a.events_out);
+    let obs = make_obs(a.metrics, &a.events_out, &a.metrics_out);
     if let Some(o) = &obs {
         m.attach_obs(Arc::clone(o));
     }
     let stats = m.try_run().map_err(|e| e.to_string())?;
     report::print_tm(&a.app, a.scheme, &stats, a.chaos);
-    finish_obs(&obs, "tm.", a.metrics, &a.events_out)?;
-    check_violations(&stats.violations, seed)
+    finish_obs(&obs, "tm.", a.metrics, &a.events_out, &a.metrics_out)?;
+    check_violations(&stats.violations, seed)?;
+    check_liveness(&stats.liveness_violations)
 }
 
-/// Builds the shared observability bundle when `--metrics` or
-/// `--events-out` asked for one.
-fn make_obs(metrics: bool, events_out: &Option<String>) -> Option<Arc<Obs>> {
-    (metrics || events_out.is_some()).then(|| Arc::new(Obs::new()))
+/// Builds the shared observability bundle when `--metrics`,
+/// `--events-out` or `--metrics-out` asked for one.
+fn make_obs(
+    metrics: bool,
+    events_out: &Option<String>,
+    metrics_out: &Option<String>,
+) -> Option<Arc<Obs>> {
+    (metrics || events_out.is_some() || metrics_out.is_some()).then(|| Arc::new(Obs::new()))
 }
 
-/// Prints the metrics section and/or writes the event JSONL, as requested.
+/// Prints the metrics section and/or writes the event JSONL and the
+/// registry JSON, as requested.
 fn finish_obs(
     obs: &Option<Arc<Obs>>,
     prefix: &str,
     metrics: bool,
     events_out: &Option<String>,
+    metrics_out: &Option<String>,
 ) -> Result<(), String> {
     let Some(o) = obs else { return Ok(()) };
     if metrics {
@@ -160,6 +198,10 @@ fn finish_obs(
             o.events().dropped()
         );
     }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, o.registry().to_json()).map_err(|e| e.to_string())?;
+        println!("metrics written to {path}");
+    }
     Ok(())
 }
 
@@ -167,13 +209,17 @@ fn configure_tm(m: &mut TmMachine, a: &TmArgs) -> Result<Option<u64>, String> {
     if a.audit {
         m.enable_audit();
     }
-    if !a.chaos {
-        return Ok(None);
+    let mut seed = None;
+    if a.chaos {
+        let s = chaos_seed(a.seed)?;
+        println!("chaos: fault seed {s} (replay with BULK_CHAOS_SEED={s})");
+        m.set_chaos(FaultPlan::seeded(s));
+        seed = Some(s);
     }
-    let seed = chaos_seed(a.seed)?;
-    println!("chaos: fault seed {seed} (replay with BULK_CHAOS_SEED={seed})");
-    m.set_chaos(FaultPlan::seeded(seed));
-    Ok(Some(seed))
+    if let Some(ticks) = a.watchdog_ticks {
+        m.enable_liveness(watchdog_only(ticks));
+    }
+    Ok(seed)
 }
 
 fn run_tls(a: TlsArgs) -> Result<(), String> {
@@ -191,27 +237,32 @@ fn run_tls(a: TlsArgs) -> Result<(), String> {
     let seq = bulk_tls::run_tls_sequential(&wl, &cfg);
     let mut m = TlsMachine::try_new(&wl, a.scheme, &cfg).map_err(|e| e.to_string())?;
     let seed = configure_tls(&mut m, &a)?;
-    let obs = make_obs(a.metrics, &a.events_out);
+    let obs = make_obs(a.metrics, &a.events_out, &a.metrics_out);
     if let Some(o) = &obs {
         m.attach_obs(Arc::clone(o));
     }
     let stats = m.try_run().map_err(|e| e.to_string())?;
     report::print_tls(&a.app, a.scheme, seq, &stats, a.chaos);
-    finish_obs(&obs, "tls.", a.metrics, &a.events_out)?;
-    check_violations(&stats.violations, seed)
+    finish_obs(&obs, "tls.", a.metrics, &a.events_out, &a.metrics_out)?;
+    check_violations(&stats.violations, seed)?;
+    check_liveness(&stats.liveness_violations)
 }
 
 fn configure_tls(m: &mut TlsMachine, a: &TlsArgs) -> Result<Option<u64>, String> {
     if a.audit {
         m.enable_audit();
     }
-    if !a.chaos {
-        return Ok(None);
+    let mut seed = None;
+    if a.chaos {
+        let s = chaos_seed(a.seed)?;
+        println!("chaos: fault seed {s} (replay with BULK_CHAOS_SEED={s})");
+        m.set_chaos(FaultPlan::seeded(s));
+        seed = Some(s);
     }
-    let seed = chaos_seed(a.seed)?;
-    println!("chaos: fault seed {seed} (replay with BULK_CHAOS_SEED={seed})");
-    m.set_chaos(FaultPlan::seeded(seed));
-    Ok(Some(seed))
+    if let Some(ticks) = a.watchdog_ticks {
+        m.enable_liveness(watchdog_only(ticks));
+    }
+    Ok(seed)
 }
 
 fn replay(a: ReplayArgs) -> Result<(), String> {

@@ -1,6 +1,7 @@
 //! Human-readable run reports for the CLI.
 
 use bulk_chaos::FaultStats;
+use bulk_live::LiveStats;
 use bulk_mem::MsgClass;
 use bulk_tls::{TlsScheme, TlsStats};
 use bulk_tm::{Scheme, TmStats};
@@ -26,7 +27,11 @@ pub fn print_tm(app: &str, scheme: Scheme, s: &TmStats, chaos_active: bool) {
         println!("  eager stalls       {}", s.stalls);
     }
     if s.livelocked {
-        println!("  *** LIVELOCKED (squash cap hit) ***");
+        if s.liveness.watchdog_trips > 0 {
+            println!("  *** LIVELOCKED (watchdog tripped) ***");
+        } else {
+            println!("  *** LIVELOCKED (squash cap hit) ***");
+        }
     }
     println!(
         "  footprints         rd {:.1} / wr {:.1} lines per committed tx",
@@ -49,6 +54,7 @@ pub fn print_tm(app: &str, scheme: Scheme, s: &TmStats, chaos_active: bool) {
         s.audit_checks,
         s.violations.len(),
     );
+    print_liveness(&s.liveness, s.liveness_violations.len());
 }
 
 /// Prints a TLS run summary. `chaos_active` tells whether a fault plan was
@@ -89,6 +95,37 @@ pub fn print_tls(app: &str, scheme: TlsScheme, seq_cycles: u64, s: &TlsStats, ch
         s.audit_checks,
         s.violations.len(),
     );
+    print_liveness(&s.liveness, s.liveness_violations.len());
+}
+
+/// Liveness-engine section: printed only when the engine recorded
+/// anything (the stats are all zeros unless it was armed).
+fn print_liveness(l: &LiveStats, violations: usize) {
+    if *l == LiveStats::default() && violations == 0 {
+        return;
+    }
+    println!(
+        "  liveness           {} backoff waits ({} cycles, {} storm widenings), \
+         {} watchdog trips",
+        l.backoff_waits, l.backoff_cycles, l.storm_widenings, l.watchdog_trips
+    );
+    if l.arbiter_crashes > 0 {
+        println!(
+            "  arbiter            {} crashes survived (epoch {}), {} replays, \
+             {} dedup drops, {} duplicate applications",
+            l.arbiter_crashes,
+            l.arbiter_epoch,
+            l.replayed_commits,
+            l.dedup_drops,
+            l.duplicate_applications
+        );
+    }
+    if l.checkpoints > 0 {
+        println!(
+            "  checkpoints        {} captured, {} restore failures",
+            l.checkpoints, l.checkpoint_restore_failures
+        );
+    }
 }
 
 /// Chaos/audit section. The fault and degradation lines belong to chaos

@@ -1,0 +1,223 @@
+//! Commit-arbiter failover and idempotent commit replay.
+//!
+//! The paper's commit protocol assumes an always-available arbiter that
+//! grants the bus and orders commits. Here the arbiter is a *failable*
+//! component: the chaos harness can crash it mid-broadcast, after the
+//! committer has been granted the bus but before every receiver has
+//! acknowledged the `CommitMsg`. Recovery is classic lease/epoch
+//! re-election:
+//!
+//! * every broadcast carries a [`CommitTicket`] — the arbiter epoch plus
+//!   the committer's transaction serial;
+//! * on a crash the epoch advances, leadership rotates deterministically
+//!   to the next processor, and re-election costs a fixed number of
+//!   cycles;
+//! * the in-flight message is *replayed* under the new epoch (the
+//!   committed-but-unacknowledged W_C must reach everyone), and receivers
+//!   deduplicate on `(committer, serial)` via [`DedupFilter`], so a W_C is
+//!   never applied twice no matter how many times crash or chaos
+//!   duplication re-delivers it.
+
+use std::collections::BTreeSet;
+
+/// Identity of one commit broadcast: arbiter epoch at grant time, the
+/// committing processor, and that processor's transaction serial number.
+///
+/// `(committer, serial)` is unique per transaction attempt that reaches
+/// the commit point, which is what makes receiver-side dedup sound; the
+/// epoch records which arbiter incarnation granted the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CommitTicket {
+    /// Arbiter epoch when the bus was granted.
+    pub epoch: u64,
+    /// Committing processor.
+    pub committer: usize,
+    /// The committer's transaction serial (monotonic per processor).
+    pub serial: u64,
+}
+
+/// The failable commit arbiter: current epoch, current leader, and the
+/// fixed re-election cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arbiter {
+    procs: usize,
+    leader: usize,
+    epoch: u64,
+    reelect_cycles: u64,
+    crashes: u64,
+}
+
+impl Arbiter {
+    /// Creates an arbiter for `procs` processors; processor 0 leads epoch 0.
+    pub fn new(procs: usize, reelect_cycles: u64) -> Self {
+        Arbiter {
+            procs: procs.max(1),
+            leader: 0,
+            epoch: 0,
+            reelect_cycles,
+            crashes: 0,
+        }
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Current leader processor.
+    pub fn leader(&self) -> usize {
+        self.leader
+    }
+
+    /// Number of crashes survived so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Stamps a ticket for a broadcast granted in the current epoch.
+    pub fn ticket(&self, committer: usize, serial: u64) -> CommitTicket {
+        CommitTicket {
+            epoch: self.epoch,
+            committer,
+            serial,
+        }
+    }
+
+    /// Crashes the arbiter mid-broadcast and re-elects.
+    ///
+    /// Leadership rotates deterministically to the next processor, the
+    /// epoch advances, and the returned cycle count (the lease timeout
+    /// plus election round) must be charged to the machine before the
+    /// in-flight message is replayed.
+    pub fn fail_over(&mut self) -> u64 {
+        self.crashes += 1;
+        self.epoch += 1;
+        self.leader = (self.leader + 1) % self.procs;
+        self.reelect_cycles
+    }
+}
+
+/// Receiver-side commit dedup: admits each `(committer, serial)` exactly
+/// once, counting replayed or duplicated deliveries as drops.
+///
+/// The filter also tracks *applications* separately from admissions, so a
+/// soak can assert the end-to-end property directly: however many times
+/// chaos duplicates a broadcast or a failover replays it, the number of
+/// duplicate applications stays zero.
+#[derive(Debug, Default)]
+pub struct DedupFilter {
+    admitted: BTreeSet<(usize, u64)>,
+    applied: BTreeSet<(usize, u64)>,
+    drops: u64,
+    duplicate_applications: u64,
+}
+
+impl DedupFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        DedupFilter::default()
+    }
+
+    /// Admits a delivery of `ticket` if its `(committer, serial)` has not
+    /// been seen before. A rejected (duplicate) delivery is counted and
+    /// must not be applied by the caller.
+    pub fn admit(&mut self, ticket: CommitTicket) -> bool {
+        if self.admitted.insert((ticket.committer, ticket.serial)) {
+            true
+        } else {
+            self.drops += 1;
+            false
+        }
+    }
+
+    /// Records that the caller actually applied `ticket`'s W_C. Returns
+    /// `true` if this was a *duplicate* application — a correctness bug
+    /// the soaks assert never happens.
+    pub fn record_application(&mut self, ticket: CommitTicket) -> bool {
+        if self.applied.insert((ticket.committer, ticket.serial)) {
+            false
+        } else {
+            self.duplicate_applications += 1;
+            true
+        }
+    }
+
+    /// Deliveries rejected as duplicates.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Distinct commits applied.
+    pub fn applications(&self) -> u64 {
+        self.applied.len() as u64
+    }
+
+    /// Times the same commit was applied more than once (must stay 0).
+    pub fn duplicate_applications(&self) -> u64 {
+        self.duplicate_applications
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failover_rotates_leadership_and_advances_the_epoch() {
+        let mut a = Arbiter::new(3, 120);
+        assert_eq!((a.epoch(), a.leader()), (0, 0));
+        assert_eq!(a.fail_over(), 120);
+        assert_eq!((a.epoch(), a.leader()), (1, 1));
+        a.fail_over();
+        a.fail_over();
+        assert_eq!((a.epoch(), a.leader()), (3, 0));
+        assert_eq!(a.crashes(), 3);
+    }
+
+    #[test]
+    fn tickets_carry_the_granting_epoch() {
+        let mut a = Arbiter::new(2, 50);
+        let t0 = a.ticket(1, 7);
+        a.fail_over();
+        let t1 = a.ticket(1, 7);
+        assert_eq!(t0.epoch, 0);
+        assert_eq!(t1.epoch, 1);
+        assert_eq!((t1.committer, t1.serial), (1, 7));
+    }
+
+    #[test]
+    fn replayed_ticket_is_dropped_even_under_a_new_epoch() {
+        let mut a = Arbiter::new(2, 50);
+        let mut f = DedupFilter::new();
+        let original = a.ticket(0, 3);
+        assert!(f.admit(original));
+        assert!(!f.record_application(original));
+        // Arbiter crashes; the same commit is replayed under epoch 1.
+        a.fail_over();
+        let replay = a.ticket(0, 3);
+        assert!(!f.admit(replay), "replay must be deduplicated");
+        assert_eq!(f.drops(), 1);
+        assert_eq!(f.duplicate_applications(), 0);
+    }
+
+    #[test]
+    fn distinct_serials_from_one_committer_are_independent() {
+        let a = Arbiter::new(2, 50);
+        let mut f = DedupFilter::new();
+        assert!(f.admit(a.ticket(0, 1)));
+        assert!(f.admit(a.ticket(0, 2)));
+        assert!(f.admit(a.ticket(1, 1)));
+        assert_eq!(f.drops(), 0);
+        assert_eq!(f.applications(), 0);
+    }
+
+    #[test]
+    fn double_application_is_counted_as_a_bug() {
+        let a = Arbiter::new(1, 0);
+        let mut f = DedupFilter::new();
+        let t = a.ticket(0, 9);
+        assert!(!f.record_application(t));
+        assert!(f.record_application(t));
+        assert_eq!(f.duplicate_applications(), 1);
+    }
+}

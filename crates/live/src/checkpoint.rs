@@ -1,0 +1,177 @@
+//! Crash-consistent checkpoints of per-thread speculative state.
+//!
+//! A forced context switch or an arbiter crash must not lose — or, worse,
+//! silently mutate — a thread's speculative footprint: the R/W signature
+//! pair, the Partial Overlap shadow signature, the overflow bit, and the
+//! set of line addresses parked in the overflow area (§6.2.2). A
+//! [`Checkpoint`] captures exactly that state; [`Checkpoint::verify`]
+//! proves a restore is byte-faithful before the thread resumes, so
+//! resumption can never violate the Set Restriction by running against a
+//! torn signature.
+//!
+//! The signature half rides on [`bulk_core`]'s spill/reload machinery (the
+//! paper performs the same save "in memory" on a context switch); the
+//! checkpoint adds the overflow-area snapshot and the equality proof.
+
+use bulk_core::SpilledVersion;
+use bulk_mem::LineAddr;
+
+/// A crash-consistent snapshot of one thread's speculative state.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The spilled R/W (and shadow) signatures plus the O bit.
+    pub spilled: SpilledVersion,
+    /// Sorted snapshot of the overflow area's resident line addresses.
+    pub overflow_lines: Vec<LineAddr>,
+}
+
+/// Why a checkpoint failed to verify against the restored state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The read signature differs after restore.
+    ReadSignature,
+    /// The write signature differs after restore.
+    WriteSignature,
+    /// The Partial Overlap shadow signature differs (or appeared/vanished).
+    ShadowSignature,
+    /// The overflow (O) bit differs.
+    OverflowBit,
+    /// The overflow area's resident line set differs.
+    OverflowLines,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            CheckpointError::ReadSignature => "read signature mismatch",
+            CheckpointError::WriteSignature => "write signature mismatch",
+            CheckpointError::ShadowSignature => "shadow signature mismatch",
+            CheckpointError::OverflowBit => "overflow bit mismatch",
+            CheckpointError::OverflowLines => "overflow line set mismatch",
+        };
+        write!(f, "checkpoint restore not faithful: {what}")
+    }
+}
+
+impl Checkpoint {
+    /// Builds a checkpoint from an already-spilled version and a snapshot
+    /// of the overflow area's lines. The line list is sorted so two
+    /// captures of identical state compare equal regardless of the
+    /// overflow area's internal iteration order.
+    pub fn capture(spilled: SpilledVersion, mut overflow_lines: Vec<LineAddr>) -> Self {
+        overflow_lines.sort_unstable();
+        Checkpoint {
+            spilled,
+            overflow_lines,
+        }
+    }
+
+    /// Verifies that `restored` state (spill + overflow snapshot, as would
+    /// be captured *after* a restore) is identical to this checkpoint.
+    ///
+    /// This is the crash-consistency proof: signatures must match bit for
+    /// bit, the O bit must match, and the overflow area must hold exactly
+    /// the same lines. Any mismatch means the restore would resume the
+    /// thread against torn state.
+    pub fn verify(
+        &self,
+        restored: &SpilledVersion,
+        restored_overflow: &[LineAddr],
+    ) -> Result<(), CheckpointError> {
+        if self.spilled.r != restored.r {
+            return Err(CheckpointError::ReadSignature);
+        }
+        if self.spilled.w != restored.w {
+            return Err(CheckpointError::WriteSignature);
+        }
+        if self.spilled.w_sh != restored.w_sh {
+            return Err(CheckpointError::ShadowSignature);
+        }
+        if self.spilled.overflowed != restored.overflowed {
+            return Err(CheckpointError::OverflowBit);
+        }
+        let mut lines = restored_overflow.to_vec();
+        lines.sort_unstable();
+        if self.overflow_lines != lines {
+            return Err(CheckpointError::OverflowLines);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulk_core::Bdm;
+    use bulk_mem::{Addr, CacheGeometry};
+    use bulk_sig::SignatureConfig;
+
+    fn loaded_bdm() -> (Bdm, bulk_core::VersionId) {
+        let mut bdm = Bdm::new(SignatureConfig::s14_tm(), CacheGeometry::tm_l1(), 1);
+        let v = bdm.alloc_version().unwrap();
+        bdm.record_load(v, Addr::new(0x1000));
+        bdm.record_store(v, Addr::new(0x2040));
+        bdm.record_store(v, Addr::new(0x3080));
+        (bdm, v)
+    }
+
+    #[test]
+    fn faithful_spill_reload_round_trip_verifies() {
+        let (mut bdm, v) = loaded_bdm();
+        let lines = vec![Addr::new(0x9000).line(64), Addr::new(0x8000).line(64)];
+        let ckpt = Checkpoint::capture(bdm.spill_version(v), lines.clone());
+
+        // Restore, then re-spill to compare what actually landed.
+        let v2 = bdm.reload_version(ckpt.spilled.clone()).unwrap();
+        let respilled = bdm.spill_version(v2);
+        assert_eq!(ckpt.verify(&respilled, &lines), Ok(()));
+    }
+
+    #[test]
+    fn capture_sorts_so_order_does_not_matter() {
+        let (mut bdm, v) = loaded_bdm();
+        let spilled = bdm.spill_version(v);
+        let a = Checkpoint::capture(
+            spilled.clone(),
+            vec![Addr::new(0x9000).line(64), Addr::new(0x1000).line(64)],
+        );
+        assert_eq!(
+            a.verify(
+                &spilled,
+                &[Addr::new(0x1000).line(64), Addr::new(0x9000).line(64)]
+            ),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn torn_write_signature_is_detected() {
+        let (mut bdm, v) = loaded_bdm();
+        let ckpt = Checkpoint::capture(bdm.spill_version(v), Vec::new());
+        let mut torn = ckpt.spilled.clone();
+        // Simulate a torn restore: one extra store leaks into W.
+        torn.w.insert_line(Addr::new(0xDEAD_C0).line(64));
+        assert_eq!(
+            ckpt.verify(&torn, &[]),
+            Err(CheckpointError::WriteSignature)
+        );
+    }
+
+    #[test]
+    fn overflow_bit_and_line_set_are_part_of_the_proof() {
+        let (mut bdm, v) = loaded_bdm();
+        let line = Addr::new(0x7000).line(64);
+        let ckpt = Checkpoint::capture(bdm.spill_version(v), vec![line]);
+
+        let mut flipped = ckpt.spilled.clone();
+        flipped.overflowed = !flipped.overflowed;
+        assert_eq!(
+            ckpt.verify(&flipped, &[line]),
+            Err(CheckpointError::OverflowBit)
+        );
+        assert_eq!(
+            ckpt.verify(&ckpt.spilled, &[]),
+            Err(CheckpointError::OverflowLines)
+        );
+    }
+}

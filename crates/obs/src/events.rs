@@ -86,6 +86,25 @@ pub enum EventKind {
     /// A repeatedly-squashed transaction/task escalated to its
     /// non-speculative fallback (graceful degradation).
     Escalation,
+    /// The liveness engine's backoff arbitration stalled a squashed
+    /// thread before its retry.
+    Backoff {
+        /// Cycles the thread was told to wait.
+        cycles: u64,
+    },
+    /// The commit arbiter crashed mid-broadcast and a new epoch was
+    /// elected; the in-flight commit message is replayed idempotently.
+    ArbiterFailover {
+        /// Epoch after re-election.
+        epoch: u64,
+    },
+    /// The forward-progress watchdog tripped; the run aborts with a
+    /// `LivenessViolation`.
+    WatchdogTrip {
+        /// Kebab-case violation kind (`livelock`, `starvation`,
+        /// `global-stall`).
+        kind: &'static str,
+    },
 }
 
 impl EventKind {
@@ -98,6 +117,9 @@ impl EventKind {
             EventKind::Overflow { .. } => "overflow",
             EventKind::CtxSwitch => "ctx_switch",
             EventKind::Escalation => "escalation",
+            EventKind::Backoff { .. } => "backoff",
+            EventKind::ArbiterFailover { .. } => "arbiter_failover",
+            EventKind::WatchdogTrip { .. } => "watchdog_trip",
         }
     }
 }
@@ -139,6 +161,9 @@ impl Event {
             }
             EventKind::Overflow { resident } => format!(", \"resident\": {resident}}}"),
             EventKind::CtxSwitch | EventKind::Escalation => "}".to_string(),
+            EventKind::Backoff { cycles } => format!(", \"cycles\": {cycles}}}"),
+            EventKind::ArbiterFailover { epoch } => format!(", \"epoch\": {epoch}}}"),
+            EventKind::WatchdogTrip { kind } => format!(", \"kind\": \"{kind}\"}}"),
         };
         head + &tail
     }
@@ -295,6 +320,29 @@ mod tests {
         assert!(lines[1].contains("\"overshoot\": 1"));
         assert!(lines[2].contains("\"payload_bytes\": 320"));
         assert!(lines[3].contains("\"resident\": 3"));
+    }
+
+    #[test]
+    fn liveness_events_serialize_with_fixed_fields() {
+        let log = EventLog::new();
+        log.record(0, 50, EventKind::Backoff { cycles: 96 });
+        log.record(2, 60, EventKind::ArbiterFailover { epoch: 3 });
+        log.record(1, 70, EventKind::WatchdogTrip { kind: "livelock" });
+        let lines: Vec<String> = log.to_jsonl().lines().map(String::from).collect();
+        assert_eq!(
+            lines[0],
+            "{\"seq\": 0, \"cycle\": 50, \"actor\": 0, \"event\": \"backoff\", \"cycles\": 96}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"seq\": 1, \"cycle\": 60, \"actor\": 2, \"event\": \"arbiter_failover\", \
+             \"epoch\": 3}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"seq\": 2, \"cycle\": 70, \"actor\": 1, \"event\": \"watchdog_trip\", \
+             \"kind\": \"livelock\"}"
+        );
     }
 
     #[test]

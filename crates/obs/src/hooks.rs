@@ -116,6 +116,20 @@ pub struct RuntimeObs {
     pub escalations: Counter,
     /// Disambiguation verdicts vs. the exact oracle.
     pub verdicts: VerdictCounters,
+    /// Backoff waits issued by the liveness engine.
+    pub live_backoff_waits: Counter,
+    /// Sizes of those waits, in cycles.
+    pub live_backoff_cycles: Histogram,
+    /// Watchdog trips (livelock / starvation / global stall).
+    pub live_watchdog_trips: Counter,
+    /// Arbiter crashes survived via epoch re-election.
+    pub live_arbiter_crashes: Counter,
+    /// Current arbiter epoch (high-water mark).
+    pub live_arbiter_epoch: Gauge,
+    /// Duplicate commit deliveries dropped by `(committer, serial)` dedup.
+    pub live_dedup_drops: Counter,
+    /// Crash-consistent checkpoints captured at context switches.
+    pub live_checkpoints: Counter,
     /// The machine-side signature expansion counters.
     pub expansion: ExpansionObs,
     /// Counters to clone into the machine's overflow area, if it has one.
@@ -144,6 +158,14 @@ impl RuntimeObs {
             ctx_switches: reg.counter(&format!("{prefix}ctx_switches")),
             escalations: reg.counter(&format!("{prefix}escalations")),
             verdicts: VerdictCounters::register(reg, prefix),
+            live_backoff_waits: reg.counter(&format!("{prefix}live.backoff_waits")),
+            live_backoff_cycles: reg
+                .histogram(&format!("{prefix}live.backoff_cycles"), &bytes_edges),
+            live_watchdog_trips: reg.counter(&format!("{prefix}live.watchdog_trips")),
+            live_arbiter_crashes: reg.counter(&format!("{prefix}live.arbiter_crashes")),
+            live_arbiter_epoch: reg.gauge(&format!("{prefix}live.arbiter_epoch")),
+            live_dedup_drops: reg.counter(&format!("{prefix}live.dedup_drops")),
+            live_checkpoints: reg.counter(&format!("{prefix}live.checkpoints")),
             expansion: ExpansionObs::register(reg, prefix),
             overflow: OverflowObs::register(reg, prefix),
             obs,
@@ -221,6 +243,46 @@ impl RuntimeObs {
         self.escalations.inc();
         self.obs.events().record(actor, cycle, EventKind::Escalation);
     }
+
+    /// A liveness-engine backoff wait of `cycles` issued to `actor`
+    /// before its retry. Zero-cycle waits are counted but not logged.
+    pub fn on_backoff(&self, actor: u32, cycle: u64, cycles: u64) {
+        self.live_backoff_waits.inc();
+        self.live_backoff_cycles.observe(cycles);
+        if cycles > 0 {
+            self.obs
+                .events()
+                .record(actor, cycle, EventKind::Backoff { cycles });
+        }
+    }
+
+    /// The watchdog tripped with violation kind `kind` (kebab-case).
+    pub fn on_watchdog_trip(&self, actor: u32, cycle: u64, kind: &'static str) {
+        self.live_watchdog_trips.inc();
+        self.obs
+            .events()
+            .record(actor, cycle, EventKind::WatchdogTrip { kind });
+    }
+
+    /// The commit arbiter crashed mid-broadcast (the committing `actor`'s
+    /// message will be replayed) and `epoch` was elected.
+    pub fn on_arbiter_failover(&self, actor: u32, cycle: u64, epoch: u64) {
+        self.live_arbiter_crashes.inc();
+        self.live_arbiter_epoch.record_max(epoch);
+        self.obs
+            .events()
+            .record(actor, cycle, EventKind::ArbiterFailover { epoch });
+    }
+
+    /// A duplicate commit delivery was dropped by the dedup filter.
+    pub fn on_dedup_drop(&self) {
+        self.live_dedup_drops.inc();
+    }
+
+    /// A crash-consistent checkpoint was captured at a context switch.
+    pub fn on_checkpoint(&self) {
+        self.live_checkpoints.inc();
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +323,28 @@ mod tests {
         r.on_bulk_invalidate(0, 10, 0, 0);
         assert!(obs.events().is_empty());
         assert_eq!(obs.registry().counter_value("tls.invalidate.lines"), 0);
+    }
+
+    #[test]
+    fn liveness_hooks_register_and_record() {
+        let obs = Arc::new(Obs::new());
+        let r = RuntimeObs::attach(Arc::clone(&obs), "tm.");
+        r.on_backoff(0, 100, 48);
+        r.on_backoff(1, 110, 0);
+        r.on_watchdog_trip(1, 200, "livelock");
+        r.on_arbiter_failover(0, 300, 2);
+        r.on_dedup_drop();
+        r.on_checkpoint();
+        let reg = obs.registry();
+        assert_eq!(reg.counter_value("tm.live.backoff_waits"), 2);
+        assert_eq!(reg.counter_value("tm.live.watchdog_trips"), 1);
+        assert_eq!(reg.counter_value("tm.live.arbiter_crashes"), 1);
+        assert_eq!(reg.counter_value("tm.live.dedup_drops"), 1);
+        assert_eq!(reg.counter_value("tm.live.checkpoints"), 1);
+        // Zero-cycle waits are counted but emit no event.
+        assert_eq!(obs.events().len(), 3);
+        let gauges = reg.gauges();
+        assert!(gauges.contains(&("tm.live.arbiter_epoch".to_string(), 2)));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use bulk_chaos::{Auditor, FaultPlan, InvariantKind, MachineError};
 use bulk_core::{check_speculative_store, flows, Bdm, CommitMsg, StoreCheck, VersionId};
+use bulk_live::{LivenessConfig, LivenessEngine};
 use bulk_obs::{Obs, RuntimeObs};
 use bulk_mem::{Addr, Cache, LineAddr, MsgClass, WordAddr};
 use bulk_sig::{Signature, SignatureConfig};
@@ -101,6 +102,10 @@ pub struct TlsMachine {
     audit: bool,
     auditor: Auditor,
     obs: Option<RuntimeObs>,
+    /// Optional liveness engine, armed via [`TlsMachine::enable_liveness`].
+    /// `None` leaves every existing run bit-identical: no fault-stream
+    /// draws, no timing changes.
+    live: Option<LivenessEngine>,
 }
 
 /// Runs `workload` under `scheme` and returns the collected statistics.
@@ -242,6 +247,7 @@ impl TlsMachine {
             audit: false,
             auditor: Auditor::off(),
             obs: None,
+            live: None,
         };
         m.tasks[0].ready_at = Some(0);
         Ok(m)
@@ -267,6 +273,25 @@ impl TlsMachine {
         if self.audit {
             self.rebuild_auditor();
         }
+    }
+
+    /// Arms the liveness engine: squash-triggered backoff arbitration, the
+    /// forward-progress watchdog, and the failable commit arbiter
+    /// (consulted by an armed chaos plan's `arbiter_crash` fault). Call
+    /// *after* [`TlsMachine::set_chaos`] so the backoff jitter inherits the
+    /// chaos seed; with `cfg.seed == 0` and chaos armed, the chaos seed is
+    /// used.
+    pub fn enable_liveness(&mut self, mut cfg: LivenessConfig) {
+        let chaos_seed = self.chaos.as_ref().map(|p| p.seed());
+        if cfg.seed == 0 {
+            cfg.seed = chaos_seed.unwrap_or(0);
+        }
+        self.live = Some(LivenessEngine::new(
+            self.scheme.to_string(),
+            self.tasks.len(),
+            cfg,
+            chaos_seed,
+        ));
     }
 
     /// Enables the runtime invariant auditor; violations are collected in
@@ -305,6 +330,11 @@ impl TlsMachine {
                     context: "TLS scheduling budget exhausted",
                 });
             }
+            if self.live.as_ref().is_some_and(|l| l.tripped()) {
+                // The watchdog tripped: the run cannot make progress, so it
+                // aborts with a diagnosis instead of burning the budget.
+                break;
+            }
             self.try_commits()?;
             if self.oldest_uncommitted >= self.tasks.len() {
                 break;
@@ -321,6 +351,9 @@ impl TlsMachine {
                 continue;
             };
             self.step(p);
+            if let Some(live) = &mut self.live {
+                live.on_tick(self.procs[p].timer.now());
+            }
         }
         self.stats.cycles = self
             .procs
@@ -334,7 +367,34 @@ impl TlsMachine {
         }
         self.stats.audit_checks = self.auditor.checks();
         self.stats.violations = self.auditor.take_violations();
+        if let Some(live) = &mut self.live {
+            self.stats.liveness = live.stats();
+            self.stats.liveness_violations = live.take_violations();
+            if let Some(obs) = &self.obs {
+                for v in &self.stats.liveness_violations {
+                    obs.on_watchdog_trip(
+                        v.thread.unwrap_or(0) as u32,
+                        v.cycle,
+                        v.kind.as_str(),
+                    );
+                }
+            }
+        }
         Ok(self.stats)
+    }
+
+    /// Token-protocol invariant check: under audit a breach becomes a
+    /// recorded [`InvariantKind::TokenProtocol`] violation; without the
+    /// auditor it remains a debug assertion, as before.
+    fn check_token_protocol(&mut self, ok: bool, proc: usize, cycle: u64, detail: &str) {
+        if ok {
+            return;
+        }
+        if self.auditor.enabled() {
+            self.auditor.record(InvariantKind::TokenProtocol, proc, cycle, detail.to_string());
+        } else {
+            debug_assert!(false, "{detail}");
+        }
     }
 
     fn pick_proc(&self) -> Option<usize> {
@@ -406,6 +466,12 @@ impl TlsMachine {
     }
 
     fn start_on(&mut self, p: usize, i: usize, fresh: bool) {
+        // An escalated task is only non-speculative at the head; (re)starting
+        // it anywhere else would let it be squashed again, defeating the
+        // head-serialized fallback.
+        let at_head = !self.tasks[i].escalated || i == self.oldest_uncommitted;
+        let now = self.procs[p].timer.now();
+        self.check_token_protocol(at_head, p, now, "escalated task started off the head");
         let t = &mut self.tasks[i];
         t.status = Status::Running;
         t.pc = 0;
@@ -484,12 +550,16 @@ impl TlsMachine {
         }
         let Some(plan) = &mut self.chaos else { return };
         if plan.force_eviction() {
-            let clean: Vec<LineAddr> = self.procs[p]
+            let mut clean: Vec<LineAddr> = self.procs[p]
                 .cache
                 .iter()
                 .filter(|l| !l.is_dirty())
                 .map(|l| l.addr())
                 .collect();
+            // Sort so the pick is a function of the cache *contents*, not of
+            // the sets' internal order (which depends on the hash-ordered
+            // invalidation history and differs run to run).
+            clean.sort_unstable();
             if !clean.is_empty() {
                 let plan = self.chaos.as_mut().expect("plan present");
                 let victim = clean[plan.pick(clean.len())];
@@ -561,7 +631,7 @@ impl TlsMachine {
             if let Some(j) = victim {
                 let now = self.procs[p].timer.now();
                 let dep = 1;
-                self.squash_cascade(j, now, true, dep);
+                self.squash_cascade(j, now, true, dep, Some(i));
             }
         }
         // Set Restriction enforcement (Bulk schemes only).
@@ -581,7 +651,9 @@ impl TlsMachine {
                     // speculative of the two — this running task.
                     self.stats.wr_wr_set_conflicts += 1;
                     let now = self.procs[p].timer.now();
-                    self.squash_cascade(i, now, true, 0);
+                    // The conflicting owner is a preempted co-resident
+                    // version, not an identifiable squasher task.
+                    self.squash_cascade(i, now, true, 0, None);
                     return; // task restarted; do not perform the write
                 }
             }
@@ -683,6 +755,13 @@ impl TlsMachine {
         // The commit point: the slot was cleared (clear-a-register commit,
         // §5.1), so the task is no longer speculative — mark it committed
         // *before* any cascade squash can audit it in a half-torn state.
+        // Only the head task's slot may be cleared, and only from the
+        // awaiting-commit state.
+        let head_ok = i == self.oldest_uncommitted;
+        let slot_ok = self.tasks[i].status == Status::WaitingCommit;
+        let at = self.tasks[i].finish_time;
+        self.check_token_protocol(head_ok, p, at, "commit slot cleared for a non-head task");
+        self.check_token_protocol(slot_ok, p, at, "commit slot cleared while not awaiting commit");
         self.tasks[i].status = Status::Committed;
 
         // Chaos: arbitration denials with bounded backoff delay the commit
@@ -737,6 +816,27 @@ impl TlsMachine {
                     finish,
                     "corrupted commit signature passed its CRC".to_string(),
                 );
+            }
+        }
+        // Arbiter failover: an armed chaos plan may crash the commit
+        // arbiter mid-broadcast. The new epoch's leader replays the
+        // in-flight commit; receivers dedup on the (committer, serial)
+        // ticket so the W_C is applied exactly once. Re-election occupies
+        // the bus (no broadcast can proceed while the arbiter lease times
+        // out), keeping commit order total.
+        let ticket = self
+            .live
+            .as_ref()
+            .map(|l| l.ticket(i, u64::from(self.tasks[i].restarts)));
+        let mut replay_rounds = 0u32;
+        if self.live.is_some() && self.chaos.as_mut().is_some_and(|plan| plan.arbiter_crash()) {
+            let live = self.live.as_mut().expect("liveness armed");
+            let reelect = live.arbiter_crash();
+            let restart = self.bus.acquire(finish, reelect);
+            finish = restart + reelect;
+            replay_rounds = 1;
+            if let Some(obs) = &self.obs {
+                obs.on_arbiter_failover(i as u32, finish, live.epoch());
             }
         }
         self.last_commit_finish = finish;
@@ -834,10 +934,21 @@ impl TlsMachine {
         // chaos-duplicated broadcast applies them a second time; the
         // second pass must be idempotent (already-invalidated lines are
         // simply absent).
-        let rounds = if duplicate { 2 } else { 1 };
+        let rounds = if duplicate { 2 } else { 1 } + replay_rounds;
         let exp = self.obs.as_ref().map(|o| o.expansion.clone());
         let skip_proc_of_squashed = squash_from.map(|(j, _, _)| j);
         for round in 0..rounds {
+            // Receiver-side dedup: only the first delivery of this commit's
+            // ticket is applied; chaos duplicates and failover replays are
+            // dropped here (and counted).
+            if let (Some(live), Some(tk)) = (self.live.as_mut(), ticket) {
+                if !live.admit(tk) {
+                    if let Some(obs) = &self.obs {
+                        obs.on_dedup_drop();
+                    }
+                    continue;
+                }
+            }
             for q in 0..self.procs.len() {
                 if q == p {
                     continue;
@@ -881,10 +992,13 @@ impl TlsMachine {
                     }
                 }
             }
+            if let (Some(live), Some(tk)) = (self.live.as_mut(), ticket) {
+                live.record_application(tk);
+            }
         }
 
         if let Some((j, truly, dep)) = squash_from {
-            self.squash_cascade(j, finish, truly, dep);
+            self.squash_cascade(j, finish, truly, dep, Some(i));
         }
 
         // Committer cleanup.
@@ -895,6 +1009,11 @@ impl TlsMachine {
         }
 
         self.auditor.observe_commit(p, finish);
+        if let Some(live) = &mut self.live {
+            live.on_commit(i, finish);
+            // A TLS task commits exactly once; it can no longer starve.
+            live.on_done(i);
+        }
         if self.auditor.enabled() {
             // Serializability: any surviving in-flight task whose exact
             // sets overlap the committed (non-overlap-covered) writes
@@ -993,7 +1112,7 @@ impl TlsMachine {
     // Squash
     // ------------------------------------------------------------------
 
-    fn squash_cascade(&mut self, from: usize, at: u64, truly: bool, dep: u64) {
+    fn squash_cascade(&mut self, from: usize, at: u64, truly: bool, dep: u64, by: Option<usize>) {
         if truly {
             self.stats.dep_set_words += dep;
             self.stats.dep_samples += 1;
@@ -1002,14 +1121,21 @@ impl TlsMachine {
             match self.tasks[k].status {
                 Status::NotStarted => break,
                 Status::Running | Status::WaitingCommit => {
-                    self.squash_task(k, at, truly, if k == from { dep } else { 0 });
+                    self.squash_task(k, at, truly, if k == from { dep } else { 0 }, by);
                 }
                 Status::Ready | Status::Committed => {}
             }
         }
     }
 
-    fn squash_task(&mut self, k: usize, at: u64, truly: bool, dep: u64) {
+    fn squash_task(&mut self, k: usize, at: u64, truly: bool, dep: u64, by: Option<usize>) {
+        // An escalated task runs only at the head, where no older peer
+        // exists to squash it (a wr-wr set conflict with a co-resident
+        // preempted version has no peer and is exempt).
+        let unsquashable =
+            by.is_some() && self.tasks[k].escalated && k == self.oldest_uncommitted;
+        let proc_of_k = self.tasks[k].proc.unwrap_or(0);
+        self.check_token_protocol(!unsquashable, proc_of_k, at, "escalated head task squashed");
         self.stats.squashes += 1;
         if !truly {
             self.stats.false_squashes += 1;
@@ -1072,6 +1198,17 @@ impl TlsMachine {
         }
         self.procs[p].timer.wait_until(at);
         self.procs[p].timer.advance(self.cfg.squash_overhead);
+        if self.live.is_some() {
+            // Age-based backoff: the victim's processor sits out a bounded,
+            // jittered wait before the task is eligible to restart.
+            let age_rank = k.saturating_sub(self.oldest_uncommitted);
+            let live = self.live.as_mut().expect("liveness armed");
+            let wait = live.on_squash(by, k, !truly, age_rank, at);
+            self.procs[p].timer.advance(wait);
+            if let Some(obs) = &self.obs {
+                obs.on_backoff(k as u32, at, wait);
+            }
+        }
         self.audit_state(at);
     }
 
@@ -1359,6 +1496,91 @@ mod tests {
         assert_eq!(stats.commits, 2);
         assert_eq!(stats.escalations, 1, "{stats:?}");
         assert_eq!(stats.serialized_commits, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn liveness_chaos_run_is_deterministic_and_clean() {
+        let p = profiles::tls_profile("gzip").unwrap(); // high violation rate
+        let wl = p.generate(4);
+        let run = |seed: u64| {
+            let mut m = TlsMachine::new(&wl, TlsScheme::Bulk, &cfg());
+            m.set_chaos(bulk_chaos::FaultPlan::seeded(seed));
+            m.enable_audit();
+            m.enable_liveness(bulk_live::LivenessConfig::default());
+            m.try_run().expect("liveness run completes")
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.liveness, b.liveness);
+        assert_eq!(a.commits as usize, p.tasks);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert!(a.liveness_violations.is_empty(), "{:?}", a.liveness_violations);
+        assert!(a.squashes > 0, "gzip must squash: {a:?}");
+        assert!(a.liveness.backoff_waits > 0, "{:?}", a.liveness);
+        assert_eq!(a.liveness.duplicate_applications, 0, "{:?}", a.liveness);
+    }
+
+    #[test]
+    fn arbiter_crash_is_survived_with_exactly_once_application() {
+        let p = profiles::tls_profile("vpr").unwrap();
+        let wl = p.generate(2);
+        let run = || {
+            let mut m = TlsMachine::new(&wl, TlsScheme::Bulk, &cfg());
+            m.set_chaos(bulk_chaos::FaultPlan::new(bulk_chaos::ChaosConfig::arbiter_crash(9)));
+            m.enable_audit();
+            m.enable_liveness(bulk_live::LivenessConfig::default());
+            m.try_run().expect("failover run completes")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.liveness, b.liveness);
+        assert!(a.liveness.arbiter_crashes > 0, "{:?}", a.liveness);
+        assert_eq!(a.chaos.arbiter_crashes, a.liveness.arbiter_crashes);
+        assert_eq!(a.liveness.arbiter_epoch, a.liveness.arbiter_crashes);
+        assert_eq!(a.liveness.replayed_commits, a.liveness.arbiter_crashes);
+        assert!(a.liveness.dedup_drops >= a.liveness.replayed_commits, "{:?}", a.liveness);
+        assert_eq!(a.liveness.duplicate_applications, 0, "{:?}", a.liveness);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert!(a.liveness_violations.is_empty(), "{:?}", a.liveness_violations);
+        assert_eq!(a.commits as usize, p.tasks, "every task commits despite crashes");
+    }
+
+    #[test]
+    fn escalated_head_task_serializes_cleanly_under_liveness() {
+        let tasks = vec![
+            vec![TlsOp::Spawn, TlsOp::Compute(5000), w(0x9000)],
+            vec![TlsOp::Spawn, r(0x9000), TlsOp::Compute(100)],
+        ];
+        let mut m = TlsMachine::new(&workload(tasks), TlsScheme::Lazy, &cfg());
+        m.set_escalation_threshold(Some(1));
+        m.enable_audit();
+        m.enable_liveness(bulk_live::LivenessConfig::default());
+        let stats = m.try_run().expect("run completes");
+        assert_eq!(stats.commits, 2);
+        assert_eq!(stats.escalations, 1, "{stats:?}");
+        assert_eq!(stats.serialized_commits, 1, "{stats:?}");
+        assert!(stats.violations.is_empty(), "{:?}", stats.violations);
+        assert!(stats.liveness_violations.is_empty(), "{:?}", stats.liveness_violations);
+        assert!(stats.liveness.backoff_waits > 0, "{:?}", stats.liveness);
+    }
+
+    #[test]
+    fn escalated_task_started_off_the_head_is_reported() {
+        let tasks = vec![
+            vec![TlsOp::Spawn, TlsOp::Compute(100)],
+            vec![TlsOp::Spawn, TlsOp::Compute(100)],
+        ];
+        let mut m = TlsMachine::new(&workload(tasks), TlsScheme::Lazy, &cfg());
+        m.enable_audit();
+        m.tasks[1].escalated = true;
+        m.tasks[1].proc = Some(0);
+        m.start_on(0, 1, false);
+        let violations = m.auditor.take_violations();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].kind, InvariantKind::TokenProtocol);
+        assert!(violations[0].detail.contains("off the head"), "{violations:?}");
     }
 
     #[test]

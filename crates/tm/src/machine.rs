@@ -16,6 +16,7 @@ use bulk_core::{
     check_speculative_store, flows, Bdm, CommitMsg, DeliveredSignatures, SectionStack,
     StoreCheck, VersionId,
 };
+use bulk_live::{Checkpoint, LivenessConfig, LivenessEngine};
 use bulk_mem::{Addr, Cache, LineAddr, MsgClass, OverflowArea};
 use bulk_obs::{Obs, RuntimeObs};
 use bulk_sig::{Signature, SignatureConfig};
@@ -110,6 +111,10 @@ pub struct TmMachine {
     audit: bool,
     auditor: Auditor,
     obs: Option<RuntimeObs>,
+    /// Liveness engine (watchdog + backoff + failable arbiter), armed by
+    /// [`TmMachine::enable_liveness`]. `None` leaves every existing run
+    /// bit-identical: no fault-stream draws, no timing changes.
+    live: Option<LivenessEngine>,
 }
 
 /// Runs `workload` under `scheme` on the given machine configuration and
@@ -246,6 +251,7 @@ impl TmMachine {
             audit: false,
             auditor: Auditor::off(),
             obs: None,
+            live: None,
         })
     }
 
@@ -281,6 +287,25 @@ impl TmMachine {
         }
     }
 
+    /// Arms the liveness engine: squash-triggered backoff arbitration, the
+    /// forward-progress watchdog, the failable commit arbiter (consulted by
+    /// an armed chaos plan's `arbiter_crash` fault), and checkpoint
+    /// verification at chaos context switches. Call *after*
+    /// [`TmMachine::set_chaos`] so the backoff jitter inherits the chaos
+    /// seed; with `cfg.seed == 0` and chaos armed, the chaos seed is used.
+    pub fn enable_liveness(&mut self, mut cfg: LivenessConfig) {
+        let chaos_seed = self.chaos.as_ref().map(|p| p.seed());
+        if cfg.seed == 0 {
+            cfg.seed = chaos_seed.unwrap_or(0);
+        }
+        self.live = Some(LivenessEngine::new(
+            self.scheme.to_string(),
+            self.threads.len(),
+            cfg,
+            chaos_seed,
+        ));
+    }
+
     /// Enables the runtime invariant auditor; violations are collected in
     /// [`TmStats::violations`] instead of panicking.
     pub fn enable_audit(&mut self) {
@@ -311,10 +336,22 @@ impl TmMachine {
                 self.stats.livelocked = true;
                 break;
             }
+            if self.live.as_ref().is_some_and(|l| l.tripped()) {
+                // The watchdog tripped: the run cannot make progress, so it
+                // aborts with a diagnosis instead of burning the squash cap.
+                self.stats.livelocked = true;
+                break;
+            }
             let Some(tid) = self.pick_runnable()? else {
                 break;
             };
             self.step(tid)?;
+            if let Some(live) = &mut self.live {
+                live.on_tick(self.threads[tid].timer.now());
+                if self.threads[tid].done {
+                    live.on_done(tid);
+                }
+            }
         }
         self.stats.cycles = self.threads.iter().map(|t| t.timer.now()).max().unwrap_or(0);
         self.stats.overflow_accesses =
@@ -324,15 +361,54 @@ impl TmMachine {
         }
         self.stats.audit_checks = self.auditor.checks();
         self.stats.violations = self.auditor.take_violations();
+        if let Some(live) = &mut self.live {
+            self.stats.liveness = live.stats();
+            self.stats.liveness_violations = live.take_violations();
+            if let Some(obs) = &self.obs {
+                for v in &self.stats.liveness_violations {
+                    obs.on_watchdog_trip(
+                        v.thread.unwrap_or(0) as u32,
+                        v.cycle,
+                        v.kind.as_str(),
+                    );
+                }
+            }
+        }
         Ok(self.stats)
     }
 
-    fn pick_runnable(&self) -> Result<Option<usize>, MachineError> {
+    /// Token-protocol invariant check: under audit a breach becomes a
+    /// structured [`InvariantKind::TokenProtocol`] report (so release-mode
+    /// chaos soaks catch it); otherwise it stays the `debug_assert!` it
+    /// used to be.
+    fn check_token_protocol(&mut self, ok: bool, thread: usize, cycle: u64, detail: &str) {
+        if ok {
+            return;
+        }
+        if self.auditor.enabled() {
+            self.auditor.record(InvariantKind::TokenProtocol, thread, cycle, detail.to_string());
+        } else {
+            debug_assert!(false, "{detail}");
+        }
+    }
+
+    fn pick_runnable(&mut self) -> Result<Option<usize>, MachineError> {
         // A serialized (escalated) transaction runs under global exclusion:
         // while the token is held, only the holder is scheduled.
         if let Some(k) = self.serial_token {
-            debug_assert!(!self.threads[k].done, "serial token held by a finished thread");
-            return Ok(Some(k));
+            if self.threads[k].done {
+                let cycle = self.threads[k].timer.now();
+                self.check_token_protocol(
+                    false,
+                    k,
+                    cycle,
+                    "serial token held by a finished thread",
+                );
+                // Recover: release the orphaned token so the run can finish.
+                self.serial_token = None;
+            } else {
+                return Ok(Some(k));
+            }
         }
         let mut best: Option<(u64, usize)> = None;
         let mut any_not_done = false;
@@ -406,19 +482,52 @@ impl TmMachine {
                 // The OS preempts mid-transaction: signatures spill to
                 // memory and reload when the thread is rescheduled.
                 let spilled = t.bdm.spill_version(v);
-                let v2 = t
-                    .bdm
-                    .reload_version(spilled)
-                    .unwrap_or_else(|_| unreachable!("slot was just freed"));
-                t.bdm.set_running(Some(v2));
-                t.version = Some(v2);
+                if self.live.is_some() {
+                    // Crash-consistent restore: checkpoint the spilled state
+                    // (+ overflow area), reload, re-spill, and prove the
+                    // round trip bit-faithful before the thread resumes — a
+                    // torn restore would run against signatures that no
+                    // longer cover the thread's footprint (Set Restriction
+                    // hazard).
+                    let ckpt = Checkpoint::capture(spilled, t.overflow.snapshot_lines());
+                    let v2 = t
+                        .bdm
+                        .reload_version(ckpt.spilled.clone())
+                        .unwrap_or_else(|_| unreachable!("slot was just freed"));
+                    let respilled = t.bdm.spill_version(v2);
+                    let restore_ok =
+                        ckpt.verify(&respilled, &t.overflow.snapshot_lines()).is_ok();
+                    let v3 = t
+                        .bdm
+                        .reload_version(respilled)
+                        .unwrap_or_else(|_| unreachable!("slot was just freed"));
+                    t.bdm.set_running(Some(v3));
+                    t.version = Some(v3);
+                    if let Some(live) = &mut self.live {
+                        live.note_checkpoint(restore_ok);
+                    }
+                    if let Some(obs) = &self.obs {
+                        obs.on_checkpoint();
+                    }
+                } else {
+                    let v2 = t
+                        .bdm
+                        .reload_version(spilled)
+                        .unwrap_or_else(|_| unreachable!("slot was just freed"));
+                    t.bdm.set_running(Some(v2));
+                    t.version = Some(v2);
+                }
             }
         }
         let Some(plan) = &mut self.chaos else { return };
         if plan.force_eviction() {
             let t = &self.threads[tid];
-            let resident: Vec<(LineAddr, bool)> =
+            let mut resident: Vec<(LineAddr, bool)> =
                 t.cache.iter().map(|l| (l.addr(), l.is_dirty())).collect();
+            // Sort so the pick is a function of the cache *contents*, not of
+            // the sets' internal order (which depends on the hash-ordered
+            // invalidation history and differs run to run).
+            resident.sort_unstable();
             if !resident.is_empty() {
                 let plan = self.chaos.as_mut().expect("plan present");
                 let (victim, dirty) = resident[plan.pick(resident.len())];
@@ -450,7 +559,9 @@ impl TmMachine {
             // Graceful degradation: after repeated squashes this transaction
             // re-executes non-speculatively under global exclusion — it can
             // no longer be squashed, so it is guaranteed to finish.
-            debug_assert!(self.serial_token.is_none(), "serial token already held");
+            let ok = self.serial_token.is_none();
+            let now = self.threads[tid].timer.now();
+            self.check_token_protocol(ok, tid, now, "serial token double-granted at Begin");
             self.serial_token = Some(tid);
             let t = &mut self.threads[tid];
             t.serialized = true;
@@ -549,8 +660,12 @@ impl TmMachine {
         t.tx_squashes = 0;
         t.tx_serial += 1; // releases threads stalled on this transaction
         t.overflow.discard();
-        debug_assert_eq!(self.serial_token, Some(tid));
+        let ok = self.serial_token == Some(tid);
+        self.check_token_protocol(ok, tid, finish, "serialized commit without the serial token");
         self.serial_token = None;
+        if let Some(live) = &mut self.live {
+            live.on_commit(tid, finish);
+        }
         self.audit_state(finish);
     }
 
@@ -719,7 +834,7 @@ impl TmMachine {
         let now = self.threads[tid].timer.now();
         for j in victims {
             let truly = self.threads[j].exact_union_contains(line);
-            self.squash_thread(j, now, truly, if truly { 1 } else { 0 });
+            self.squash_thread(j, now, truly, if truly { 1 } else { 0 }, Some(tid));
         }
         self.invalidate_in_others(tid, line);
         let in_neighbor = self.neighbor_has(tid, line);
@@ -814,6 +929,31 @@ impl TmMachine {
                 );
             }
         }
+
+        // Liveness: the commit arbiter itself can crash mid-broadcast
+        // (chaos `arbiter_crash` fault, consulted only when a liveness
+        // engine is armed). The new epoch's arbiter replays the in-flight
+        // broadcast; receivers dedup it by (committer, serial) ticket so a
+        // committed-but-unacked W_C is never applied twice.
+        let ticket = self
+            .live
+            .as_ref()
+            .map(|l| l.ticket(tid, self.threads[tid].tx_serial));
+        let mut replay_rounds = 0u32;
+        if self.live.is_some()
+            && self.chaos.as_mut().is_some_and(|plan| plan.arbiter_crash())
+        {
+            let live = self.live.as_mut().expect("liveness armed");
+            let reelect = live.arbiter_crash();
+            // Re-election occupies the bus (no broadcast can proceed while
+            // the arbiter lease times out), keeping commit order total.
+            let restart = self.bus.acquire(finish, reelect);
+            finish = restart + reelect;
+            replay_rounds = 1;
+            if let Some(obs) = &self.obs {
+                obs.on_arbiter_failover(tid as u32, finish, live.epoch());
+            }
+        }
         self.threads[tid].timer.wait_until(finish);
 
         self.stats.commits += 1;
@@ -842,13 +982,27 @@ impl TmMachine {
             self.stats.bw.record(MsgClass::Wb, n * self.cfg.msg_sizes.line_msg);
         }
 
-        // Receivers. A chaos-duplicated broadcast is delivered twice; the
-        // second delivery must be idempotent (squashed receivers are no
-        // longer in a transaction, invalidations are idempotent).
-        let rounds = if duplicate { 2 } else { 1 };
+        // Receivers. A chaos-duplicated broadcast is delivered twice, and a
+        // post-failover arbiter replays the in-flight broadcast once more.
+        // Without a liveness engine the second delivery relies on being
+        // idempotent (squashed receivers are no longer in a transaction,
+        // invalidations are idempotent); with one, receivers dedup by
+        // ticket and drop every delivery after the first.
+        let rounds = if duplicate { 2 } else { 1 } + replay_rounds;
         for _ in 0..rounds {
+            if let (Some(live), Some(tk)) = (self.live.as_mut(), ticket) {
+                if !live.admit(tk) {
+                    if let Some(obs) = &self.obs {
+                        obs.on_dedup_drop();
+                    }
+                    continue;
+                }
+            }
             for j in self.other_indices(tid) {
                 self.receive_commit(j, tid, &exact_w, delivered.as_ref(), finish)?;
+            }
+            if let (Some(live), Some(tk)) = (self.live.as_mut(), ticket) {
+                live.record_application(tk);
             }
         }
 
@@ -876,6 +1030,9 @@ impl TmMachine {
         }
 
         self.auditor.observe_commit(tid, finish);
+        if let Some(live) = &mut self.live {
+            live.on_commit(tid, finish);
+        }
         if self.auditor.enabled() {
             // Serializability: every surviving speculative transaction must
             // be conflict-free with the committed write set — anything else
@@ -921,7 +1078,7 @@ impl TmMachine {
                 // interleaving approximation) is squashed here for safety.
                 if exact_conflict {
                     let dep = self.exact_dep_size(j, exact_w);
-                    self.squash_thread(j, finish, true, dep);
+                    self.squash_thread(j, finish, true, dep, Some(committer));
                 } else {
                     self.invalidate_lines_exact(j, exact_w);
                 }
@@ -929,7 +1086,7 @@ impl TmMachine {
             Scheme::Lazy => {
                 if exact_conflict {
                     let dep = self.exact_dep_size(j, exact_w);
-                    self.squash_thread(j, finish, true, dep);
+                    self.squash_thread(j, finish, true, dep, Some(committer));
                 } else {
                     self.invalidate_lines_exact(j, exact_w);
                     // A conventional lazy scheme must also disambiguate the
@@ -967,7 +1124,7 @@ impl TmMachine {
                 }
                 if sig_conflict {
                     let dep = self.exact_dep_size(j, exact_w);
-                    self.squash_thread(j, finish, exact_conflict, dep);
+                    self.squash_thread(j, finish, exact_conflict, dep, Some(committer));
                 } else {
                     self.bulk_apply_commit(j, committer, w, exact_w, finish);
                 }
@@ -991,7 +1148,7 @@ impl TmMachine {
                     Some(0) => {
                         // Violation in the first section: full restart.
                         let dep = self.exact_dep_size(j, exact_w);
-                        self.squash_thread(j, finish, exact_conflict, dep);
+                        self.squash_thread(j, finish, exact_conflict, dep, Some(committer));
                     }
                     Some(sec) => {
                         self.partial_rollback(j, sec, finish, exact_conflict);
@@ -1085,7 +1242,10 @@ impl TmMachine {
         self.audit_state(at);
     }
 
-    fn squash_thread(&mut self, j: usize, at: u64, truly: bool, dep: u64) {
+    /// Squashes thread `j` at cycle `at`. `by` is the squasher (the
+    /// committing or storing thread), fed to the liveness watchdog to
+    /// detect ping-pong cycles; `truly` is the exact-oracle verdict.
+    fn squash_thread(&mut self, j: usize, at: u64, truly: bool, dep: u64, by: Option<usize>) {
         self.stats.squashes += 1;
         if truly {
             self.stats.dep_set_lines += dep;
@@ -1136,6 +1296,17 @@ impl TmMachine {
         // Escalation: too many squashes of the same transaction trigger the
         // serialized fallback on its next restart.
         t.tx_squashes += 1;
+        // Liveness: record the squash with the watchdog and apply the
+        // age-weighted randomized backoff before the victim retries.
+        if self.live.is_some() {
+            let age_rank = self.age_rank(j);
+            let live = self.live.as_mut().expect("liveness armed");
+            let wait = live.on_squash(by, j, !truly, age_rank, at);
+            self.threads[j].timer.advance(wait);
+            if let Some(obs) = &self.obs {
+                obs.on_backoff(j as u32, at, wait);
+            }
+        }
         if let Some(threshold) = self.escalation {
             let t = &mut self.threads[j];
             if !t.escalated && t.tx_squashes >= threshold {
@@ -1177,7 +1348,7 @@ impl TmMachine {
         for &j in conflicting {
             let dep = 1; // the conflicting line
             let _ = line;
-            self.squash_thread(j, now, true, dep);
+            self.squash_thread(j, now, true, dep, Some(tid));
         }
         true
     }
@@ -1188,6 +1359,20 @@ impl TmMachine {
 
     fn other_indices(&self, tid: usize) -> Vec<usize> {
         (0..self.threads.len()).filter(|&j| j != tid).collect()
+    }
+
+    /// Age rank of thread `j` among in-flight speculative transactions,
+    /// ordered by transaction start cycle (0 = oldest). Older transactions
+    /// get longer backoff multipliers so the *young* retry first and the
+    /// old — closest to committing — win the next arbitration.
+    fn age_rank(&self, j: usize) -> usize {
+        let key = (self.threads[j].tx_start_cycle, j);
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| *i != j && t.speculative())
+            .filter(|(i, t)| (t.tx_start_cycle, *i) < key)
+            .count()
     }
 
     fn other_tx_threads(&self, tid: usize) -> Vec<usize> {
@@ -1731,5 +1916,186 @@ mod tests {
             let stats = run_tm(&w, s, &cfg());
             assert_eq!(stats.commits, expected, "{s}");
         }
+    }
+
+    /// A liveness config whose backoff ladder is a no-op: detection only,
+    /// zero timing perturbation — what the CLI's `--watchdog-ticks` arms.
+    fn watchdog_only() -> bulk_live::LivenessConfig {
+        bulk_live::LivenessConfig {
+            backoff: bulk_live::BackoffConfig {
+                base: 0,
+                cap: 0,
+                ..bulk_live::BackoffConfig::default()
+            },
+            ..bulk_live::LivenessConfig::default()
+        }
+    }
+
+    #[test]
+    fn watchdog_diagnoses_the_naive_eager_livelock_deterministically() {
+        // The Fig. 12(a) ping-pong, previously only *demonstrated* by
+        // burning the squash cap, is now *diagnosed*: the watchdog names
+        // the squash cycle after a dozen alternations, long before the cap.
+        let w = fig12a_livelock(50, 400);
+        let run = || {
+            let mut m = TmMachine::new(&w, Scheme::EagerNaive, &cfg());
+            m.set_squash_cap(1_000_000);
+            m.enable_liveness(watchdog_only());
+            m.try_run().expect("watchdog abort is a clean stop")
+        };
+        let a = run();
+        let b = run();
+        assert!(a.livelocked, "the trip aborts the run: {a:?}");
+        assert_eq!(a.liveness.watchdog_trips, 1);
+        let v = &a.liveness_violations[0];
+        assert_eq!(v.kind, bulk_live::LivenessKind::Livelock);
+        assert!(v.detail.contains("squash cycle"), "{}", v.detail);
+        assert_eq!(
+            a.liveness_violations, b.liveness_violations,
+            "the diagnosis must be reproducible"
+        );
+        assert!(
+            a.squashes < 1_000,
+            "the watchdog must trip long before the squash cap: {}",
+            a.squashes
+        );
+    }
+
+    #[test]
+    fn randomized_backoff_alone_breaks_the_symmetric_livelock() {
+        // With only the age-weighted randomized backoff armed (watchdog
+        // thresholds pushed out of reach, no escalation), the dueling
+        // transactions desynchronize and drain — the classic
+        // backoff-beats-livelock result.
+        let w = fig12a_livelock(50, 400);
+        let mut m = TmMachine::new(&w, Scheme::EagerNaive, &cfg());
+        m.set_squash_cap(1_000_000);
+        let mut lc = bulk_live::LivenessConfig::default();
+        lc.seed = 42;
+        lc.watchdog.ping_pong_rounds = 1_000_000;
+        lc.watchdog.starvation_commits = u64::MAX;
+        m.enable_liveness(lc);
+        let stats = m.try_run().expect("run completes");
+        assert!(!stats.livelocked, "{stats:?}");
+        assert_eq!(stats.commits, 100);
+        assert_eq!(stats.escalations, 0, "no serialized fallback was armed");
+        assert!(stats.liveness.backoff_waits > 0);
+        assert!(stats.liveness.backoff_cycles > 0);
+    }
+
+    #[test]
+    fn orphaned_serial_token_is_reported_and_released() {
+        // The promoted token-protocol invariant: a finished thread must
+        // never hold the serial token. Under audit the breach becomes a
+        // structured violation and the token is released so the run drains.
+        let w = simple_workload(vec![
+            vec![TmOp::Begin, TmOp::Write(Addr::new(0)), TmOp::End],
+            vec![TmOp::Begin, TmOp::Write(Addr::new(4096)), TmOp::End],
+        ]);
+        let mut m = TmMachine::new(&w, Scheme::Eager, &cfg());
+        m.enable_audit();
+        m.serial_token = Some(0);
+        m.threads[0].done = true;
+        let picked = m.pick_runnable().expect("not a deadlock");
+        assert_eq!(m.serial_token, None, "orphaned token must be released");
+        assert_eq!(picked, Some(1));
+        let v = &m.auditor.violations()[0];
+        assert_eq!(v.kind, InvariantKind::TokenProtocol);
+        assert!(v.detail.contains("finished thread"), "{}", v.detail);
+    }
+
+    #[test]
+    fn double_granted_serial_token_is_reported() {
+        let w = simple_workload(vec![
+            vec![TmOp::Begin, TmOp::Write(Addr::new(0)), TmOp::End],
+            vec![TmOp::Begin, TmOp::Write(Addr::new(4096)), TmOp::End],
+        ]);
+        let mut m = TmMachine::new(&w, Scheme::Eager, &cfg());
+        m.enable_audit();
+        m.serial_token = Some(1);
+        m.threads[0].escalated = true;
+        m.op_begin(0);
+        let v = &m.auditor.violations()[0];
+        assert_eq!(v.kind, InvariantKind::TokenProtocol);
+        assert!(v.detail.contains("double-granted"), "{}", v.detail);
+    }
+
+    #[test]
+    fn escalated_thread_releases_token_under_chaos() {
+        // End-to-end serial-token handoff: with chaos perturbations, the
+        // liveness engine, and an aggressive escalation threshold, every
+        // escalated transaction must finish, hand the token back (zero
+        // token-protocol violations), and the machine must drain fully.
+        let w = fig12a_livelock(25, 200);
+        let run = |seed: u64| {
+            let mut m = TmMachine::new(&w, Scheme::EagerNaive, &cfg());
+            m.set_escalation_threshold(Some(2));
+            m.set_chaos(FaultPlan::seeded(seed));
+            m.enable_audit();
+            m.enable_liveness(bulk_live::LivenessConfig::default());
+            m.try_run().expect("run completes")
+        };
+        for seed in [13, 14] {
+            let stats = run(seed);
+            assert!(!stats.livelocked, "seed {seed}: {stats:?}");
+            assert_eq!(stats.commits, 50, "seed {seed}");
+            assert!(stats.escalations > 0, "seed {seed}");
+            assert!(stats.serialized_commits > 0, "seed {seed}");
+            assert!(stats.violations.is_empty(), "seed {seed}: {:?}", stats.violations);
+            assert!(
+                stats.liveness_violations.is_empty(),
+                "seed {seed}: {:?}",
+                stats.liveness_violations
+            );
+        }
+    }
+
+    #[test]
+    fn arbiter_crash_is_survived_with_exactly_once_application() {
+        // The commit arbiter crashes mid-broadcast (chaos fault); the new
+        // epoch replays the in-flight message and receivers dedup it by
+        // ticket: epochs advance, drops are counted, and no commit is ever
+        // applied twice.
+        let p = profiles::tm_profile("lu").unwrap();
+        let w = p.generate(2);
+        let run = |seed: u64| {
+            let mut m = TmMachine::new(&w, Scheme::Bulk, &cfg());
+            m.set_chaos(FaultPlan::new(bulk_chaos::ChaosConfig::arbiter_crash(seed)));
+            m.enable_audit();
+            m.enable_liveness(bulk_live::LivenessConfig::default());
+            m.try_run().expect("run completes")
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.cycles, b.cycles, "failover must stay deterministic");
+        assert!(a.liveness.arbiter_crashes > 0, "the profile must crash: {:?}", a.liveness);
+        assert_eq!(a.liveness.arbiter_epoch, a.liveness.arbiter_crashes);
+        assert_eq!(a.liveness.replayed_commits, a.liveness.arbiter_crashes);
+        assert!(a.liveness.dedup_drops >= a.liveness.replayed_commits);
+        assert_eq!(a.liveness.duplicate_applications, 0);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert_eq!(a.commits, (p.threads * p.txs_per_thread) as u64);
+    }
+
+    #[test]
+    fn checkpoints_verify_at_chaos_context_switches() {
+        let p = profiles::tm_profile("mc").unwrap();
+        let w = p.generate(3);
+        let mut m = TmMachine::new(&w, Scheme::Bulk, &cfg());
+        m.set_chaos(FaultPlan::seeded(21));
+        m.enable_audit();
+        m.enable_liveness(bulk_live::LivenessConfig::default());
+        let stats = m.try_run().expect("run completes");
+        assert!(
+            stats.chaos.forced_context_switches > 0,
+            "the plan must preempt: {:?}",
+            stats.chaos
+        );
+        assert!(stats.liveness.checkpoints > 0, "{:?}", stats.liveness);
+        assert_eq!(
+            stats.liveness.checkpoint_restore_failures, 0,
+            "every spill/reload round trip must verify bit-faithful"
+        );
+        assert!(stats.violations.is_empty(), "{:?}", stats.violations);
     }
 }

@@ -2,6 +2,7 @@
 //! 11/13/14 report.
 
 use bulk_chaos::{FaultStats, InvariantViolation};
+use bulk_live::{LiveStats, LivenessViolation};
 use bulk_mem::BandwidthStats;
 
 /// Aggregate statistics of one TM simulation.
@@ -59,6 +60,10 @@ pub struct TmStats {
     pub chaos: FaultStats,
     /// Invariant violations the auditor observed (empty on a healthy run).
     pub violations: Vec<InvariantViolation>,
+    /// Liveness-engine counters (all zero unless the engine was armed).
+    pub liveness: LiveStats,
+    /// Forward-progress violations the liveness watchdog emitted.
+    pub liveness_violations: Vec<LivenessViolation>,
 }
 
 impl TmStats {
@@ -89,6 +94,8 @@ impl TmStats {
         self.audit_checks += other.audit_checks;
         self.chaos.merge(&other.chaos);
         self.violations.extend(other.violations.iter().cloned());
+        self.liveness.merge(&other.liveness);
+        self.liveness_violations.extend(other.liveness_violations.iter().cloned());
     }
 
     /// Mean committed read-set size in lines.

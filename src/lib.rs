@@ -21,7 +21,10 @@
 //! * [`chaos`] — deterministic fault injection and runtime invariant
 //!   auditing for both runtimes,
 //! * [`obs`] — observability: metrics registry, protocol event log, and
-//!   false-positive attribution against the exact oracle (DESIGN.md §8).
+//!   false-positive attribution against the exact oracle (DESIGN.md §8),
+//! * [`live`] — liveness engine: forward-progress watchdog, age-based
+//!   backoff arbitration, commit-arbiter failover and crash-consistent
+//!   checkpoints (DESIGN.md §9).
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,7 @@
 
 pub use bulk_chaos as chaos;
 pub use bulk_core as bulk;
+pub use bulk_live as live;
 pub use bulk_mem as mem;
 pub use bulk_obs as obs;
 pub use bulk_rng as rng;
