@@ -6,13 +6,11 @@
 //! Results land in `BENCH_machines.json` (see `bulk_bench::timer`).
 
 use bulk_bench::BenchSuite;
-use bulk_obs::Obs;
 use bulk_sim::SimConfig;
-use bulk_tls::{run_tls, run_tls_observed, TlsScheme};
-use bulk_tm::{run_tm, run_tm_observed, Scheme};
+use bulk_tls::{run_tls, TlsScheme};
+use bulk_tm::{run_tm, Scheme};
 use bulk_trace::profiles;
 use std::hint::black_box;
-use std::sync::Arc;
 
 fn bench_tm(suite: &mut BenchSuite) {
     let cfg = SimConfig::tm_default();
@@ -34,22 +32,11 @@ fn bench_tls(suite: &mut BenchSuite) {
     }
 }
 
-/// Runs the same TM and TLS scenarios once, untimed, with observability
-/// attached, so `BENCH_machines.json` carries squash attribution and
-/// invalidation-overshoot counters next to the timings.
+/// Runs the shared instrumented scenario pair once, untimed, so
+/// `BENCH_machines.json` carries squash attribution, invalidation
+/// overshoot and the cycle-accounting breakdown next to the timings.
 fn collect_metrics(suite: &mut BenchSuite) {
-    let obs = Arc::new(Obs::new());
-    let mut tm = profiles::tm_profile("mc").expect("profile");
-    tm.txs_per_thread = 10;
-    run_tm_observed(&tm.generate(42), Scheme::Bulk, &SimConfig::tm_default(), Arc::clone(&obs));
-    let mut tls = profiles::tls_profile("gzip").expect("profile");
-    tls.tasks = 80;
-    run_tls_observed(
-        &tls.generate(42),
-        TlsScheme::Bulk,
-        &SimConfig::tls_default(),
-        Arc::clone(&obs),
-    );
+    let obs = bulk_bench::scenario_metrics();
     suite.set_metrics(obs.registry());
 }
 

@@ -1,0 +1,89 @@
+//! `bulk-bench-diff` — the bench regression gate.
+//!
+//! Compares every `BENCH_*.json` in `--baseline-dir` against its
+//! counterpart in `--fresh-dir` and exits nonzero when any benchmark
+//! regressed past the tolerance (or disappeared). CI runs this after the
+//! bench suites with the committed baselines in `crates/bench/baselines/`:
+//!
+//! ```text
+//! BULK_BENCH_OUT=fresh cargo bench -p bulk-bench
+//! cargo run -p bulk-bench --bin bench_diff -- \
+//!     --baseline-dir crates/bench/baselines --fresh-dir fresh
+//! ```
+
+use std::process::ExitCode;
+
+use bulk_bench::regress::{diff_dirs, DEFAULT_TOLERANCE};
+
+const USAGE: &str = "\
+bench_diff — compare fresh BENCH_*.json results against a baseline
+
+USAGE:
+  bench_diff --baseline-dir <dir> --fresh-dir <dir> [--tolerance <f>]
+
+  --tolerance <f>  allowed slowdown fraction before a benchmark counts as
+                   regressed (default 3.0: fresh medians may be up to 4x
+                   the baseline). Exits 1 on any regression or missing
+                   suite, 2 on bad invocation.
+";
+
+fn parse_args() -> Result<(String, String, f64), String> {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or(format!("flag {flag} needs a value"));
+        match flag.as_str() {
+            "--baseline-dir" => baseline = Some(value()?),
+            "--fresh-dir" => fresh = Some(value()?),
+            "--tolerance" => {
+                let v = value()?;
+                tolerance = v.parse().map_err(|_| format!("--tolerance: bad number `{v}`"))?;
+                if tolerance < 0.0 {
+                    return Err("--tolerance must be non-negative".into());
+                }
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok((
+        baseline.ok_or("--baseline-dir is required")?,
+        fresh.ok_or("--fresh-dir is required")?,
+        tolerance,
+    ))
+}
+
+fn main() -> ExitCode {
+    let (baseline, fresh, tolerance) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match diff_dirs(baseline.as_ref(), fresh.as_ref(), tolerance) {
+        Ok((regressions, suites)) if regressions.is_empty() => {
+            println!("bench-diff: {suites} suite(s) within tolerance {tolerance} — no regressions");
+            ExitCode::SUCCESS
+        }
+        Ok((regressions, suites)) => {
+            for r in &regressions {
+                eprintln!("REGRESSION {r}");
+            }
+            eprintln!(
+                "bench-diff: {} regression(s) across {suites} suite(s) at tolerance {tolerance}",
+                regressions.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Bench regression gating: parse `BENCH_*.json` results, compare a fresh
+//! run against a committed baseline, and report regressions.
+//!
+//! The committed baselines live in `crates/bench/baselines/`; CI runs the
+//! suites with `BULK_BENCH_OUT` pointing at a scratch directory and then
+//! `bulk-bench-diff --baseline-dir crates/bench/baselines --fresh-dir
+//! <scratch>`, which exits nonzero when any benchmark's fresh median
+//! exceeds the baseline median by more than the tolerance, or when a
+//! baseline suite/benchmark is missing from the fresh run. Wall-clock
+//! medians vary across machines, so the default tolerance is generous —
+//! the gate catches order-of-magnitude regressions (an accidental
+//! `O(n^2)` in the signature hot path), not percent-level noise.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Default `--tolerance`: a fresh median may be up to `1 + 3.0 = 4x` the
+/// baseline before the gate trips. Wide on purpose; see the module docs.
+pub const DEFAULT_TOLERANCE: f64 = 3.0;
+
+/// One suite parsed from a `BENCH_<name>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteResults {
+    /// Suite name (the `"suite"` field).
+    pub suite: String,
+    /// Median nanoseconds per benchmark, keyed by `group/bench`.
+    pub medians: BTreeMap<String, f64>,
+}
+
+/// One benchmark whose fresh result regressed against the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Suite the benchmark belongs to.
+    pub suite: String,
+    /// `group/bench` key.
+    pub bench: String,
+    /// Baseline median in nanoseconds.
+    pub baseline_ns: f64,
+    /// Fresh median in nanoseconds (`None`: missing from the fresh run).
+    pub fresh_ns: Option<f64>,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.fresh_ns {
+            Some(fresh) => write!(
+                f,
+                "{}: {} regressed {:.1}x (baseline {:.1} ns, fresh {:.1} ns)",
+                self.suite,
+                self.bench,
+                fresh / self.baseline_ns,
+                self.baseline_ns,
+                fresh
+            ),
+            None => write!(
+                f,
+                "{}: {} missing from the fresh run (baseline {:.1} ns)",
+                self.suite, self.bench, self.baseline_ns
+            ),
+        }
+    }
+}
+
+/// Extracts the string value of `"key": "value"` from a JSON fragment.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    // BENCH names never contain escaped quotes in practice, but the
+    // writer escapes them, so unescape to stay a faithful inverse.
+    let end = {
+        let bytes = rest.as_bytes();
+        let mut i = 0;
+        loop {
+            match bytes.get(i)? {
+                b'\\' => i += 2,
+                b'"' => break i,
+                _ => i += 1,
+            }
+        }
+    };
+    Some(rest[..end].replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// Extracts the numeric value of `"key": 1.23` from a JSON fragment.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the fixed `BENCH_*.json` layout written by
+/// [`crate::BenchSuite::to_json`].
+///
+/// # Errors
+///
+/// Returns a message naming the missing field when the text is not a
+/// bench results file.
+pub fn parse_suite(text: &str) -> Result<SuiteResults, String> {
+    let suite = text
+        .lines()
+        .find_map(|l| str_field(l, "suite"))
+        .ok_or("missing \"suite\" field")?;
+    let mut medians = BTreeMap::new();
+    for line in text.lines() {
+        let Some(group) = str_field(line, "group") else { continue };
+        let bench = str_field(line, "bench").ok_or("result entry without \"bench\"")?;
+        let median = num_field(line, "median_ns").ok_or("result entry without \"median_ns\"")?;
+        medians.insert(format!("{group}/{bench}"), median);
+    }
+    Ok(SuiteResults { suite, medians })
+}
+
+/// Compares one fresh suite against its baseline. A regression is a
+/// benchmark missing from the fresh run, or one whose fresh median
+/// exceeds `baseline * (1 + tolerance)`. Benchmarks only present in the
+/// fresh run are new and never regressions.
+pub fn diff_suites(baseline: &SuiteResults, fresh: &SuiteResults, tolerance: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for (bench, &base_ns) in &baseline.medians {
+        match fresh.medians.get(bench) {
+            None => out.push(Regression {
+                suite: baseline.suite.clone(),
+                bench: bench.clone(),
+                baseline_ns: base_ns,
+                fresh_ns: None,
+            }),
+            Some(&fresh_ns) => {
+                if fresh_ns > base_ns * (1.0 + tolerance) {
+                    out.push(Regression {
+                        suite: baseline.suite.clone(),
+                        bench: bench.clone(),
+                        baseline_ns: base_ns,
+                        fresh_ns: Some(fresh_ns),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Directory-level gate: every `BENCH_*.json` in `baseline_dir` must have
+/// a counterpart in `fresh_dir` that passes [`diff_suites`]. Returns all
+/// regressions (a missing fresh file reports every baseline benchmark of
+/// that suite as missing) plus the number of suites compared.
+///
+/// # Errors
+///
+/// Returns a message when a directory cannot be read or a baseline file
+/// cannot be parsed (a corrupt baseline must fail the gate, not pass it).
+pub fn diff_dirs(
+    baseline_dir: &Path,
+    fresh_dir: &Path,
+    tolerance: f64,
+) -> Result<(Vec<Regression>, usize), String> {
+    let mut regressions = Vec::new();
+    let mut suites = 0usize;
+    let mut names: Vec<std::path::PathBuf> = std::fs::read_dir(baseline_dir)
+        .map_err(|e| format!("cannot read baseline dir {}: {e}", baseline_dir.display()))?
+        .filter_map(|ent| ent.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("no BENCH_*.json baselines in {}", baseline_dir.display()));
+    }
+    for base_path in names {
+        let base_text = std::fs::read_to_string(&base_path)
+            .map_err(|e| format!("cannot read {}: {e}", base_path.display()))?;
+        let baseline = parse_suite(&base_text)
+            .map_err(|e| format!("{}: {e}", base_path.display()))?;
+        suites += 1;
+        let fresh_path = fresh_dir.join(base_path.file_name().expect("filtered on file name"));
+        let fresh = match std::fs::read_to_string(&fresh_path) {
+            Ok(text) => parse_suite(&text).map_err(|e| format!("{}: {e}", fresh_path.display()))?,
+            // A missing fresh file: every baseline benchmark is missing.
+            Err(_) => SuiteResults { suite: baseline.suite.clone(), medians: BTreeMap::new() },
+        };
+        regressions.extend(diff_suites(&baseline, &fresh, tolerance));
+    }
+    Ok((regressions, suites))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suite_json(median: f64) -> String {
+        format!(
+            "{{\n  \"suite\": \"selftest\",\n  \"samples_per_bench\": 15,\n  \"results\": [\n    \
+             {{\"group\": \"g\", \"bench\": \"a\", \"iters\": 10, \"median_ns\": {median:.2}, \
+             \"min_ns\": 1.00, \"max_ns\": 9.00}},\n    \
+             {{\"group\": \"g\", \"bench\": \"b\", \"iters\": 10, \"median_ns\": 50.00, \
+             \"min_ns\": 1.00, \"max_ns\": 9.00}}\n  ],\n  \"metrics\": null\n}}\n"
+        )
+    }
+
+    #[test]
+    fn parses_the_writer_format() {
+        let s = parse_suite(&suite_json(120.5)).unwrap();
+        assert_eq!(s.suite, "selftest");
+        assert_eq!(s.medians.len(), 2);
+        assert_eq!(s.medians["g/a"], 120.5);
+        assert_eq!(s.medians["g/b"], 50.0);
+        assert!(parse_suite("{}").is_err());
+    }
+
+    #[test]
+    fn round_trips_a_real_bench_suite() {
+        let mut suite = crate::BenchSuite::named("roundtrip");
+        suite.bench("grp", "spin", || std::hint::black_box(1u64));
+        let parsed = parse_suite(&suite.to_json()).unwrap();
+        assert_eq!(parsed.suite, "roundtrip");
+        assert!(parsed.medians.contains_key("grp/spin"));
+    }
+
+    #[test]
+    fn baseline_vs_itself_is_clean() {
+        let s = parse_suite(&suite_json(100.0)).unwrap();
+        assert!(diff_suites(&s, &s, 0.0).is_empty());
+    }
+
+    #[test]
+    fn slowdown_past_tolerance_regresses() {
+        let base = parse_suite(&suite_json(100.0)).unwrap();
+        let fresh = parse_suite(&suite_json(500.0)).unwrap();
+        let r = diff_suites(&base, &fresh, 3.0);
+        assert_eq!(r.len(), 1, "only g/a slowed down: {r:?}");
+        assert_eq!(r[0].bench, "g/a");
+        assert!(r[0].to_string().contains("5.0x"), "{}", r[0]);
+        // Just inside the tolerance: no regression.
+        let ok = parse_suite(&suite_json(399.0)).unwrap();
+        assert!(diff_suites(&base, &ok, 3.0).is_empty());
+    }
+
+    #[test]
+    fn missing_bench_is_a_regression_but_new_bench_is_not() {
+        let base = parse_suite(&suite_json(100.0)).unwrap();
+        let mut fresh = base.clone();
+        fresh.medians.remove("g/b");
+        fresh.medians.insert("g/new".into(), 1.0);
+        let r = diff_suites(&base, &fresh, 3.0);
+        assert_eq!(r.len(), 1);
+        assert_eq!((r[0].bench.as_str(), r[0].fresh_ns), ("g/b", None));
+        assert!(r[0].to_string().contains("missing"));
+    }
+
+    #[test]
+    fn directory_gate_flags_injected_regression_and_passes_baseline_vs_baseline() {
+        let dir = std::env::temp_dir().join(format!("bulk-regress-{}", std::process::id()));
+        let (base_dir, fresh_dir) = (dir.join("base"), dir.join("fresh"));
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&fresh_dir).unwrap();
+        std::fs::write(base_dir.join("BENCH_selftest.json"), suite_json(100.0)).unwrap();
+
+        // Baseline vs itself: zero regressions.
+        let (r, suites) = diff_dirs(&base_dir, &base_dir, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!((r.len(), suites), (0, 1));
+
+        // Injected synthetic regression: nonzero.
+        std::fs::write(fresh_dir.join("BENCH_selftest.json"), suite_json(100_000.0)).unwrap();
+        let (r, _) = diff_dirs(&base_dir, &fresh_dir, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(r.len(), 1);
+
+        // Missing fresh file: every baseline benchmark reported missing.
+        std::fs::remove_file(fresh_dir.join("BENCH_selftest.json")).unwrap();
+        let (r, _) = diff_dirs(&base_dir, &fresh_dir, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(r.len(), 2);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

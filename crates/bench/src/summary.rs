@@ -1,0 +1,83 @@
+//! Shared `BENCH_<name>.json` writer for the figure/table binaries.
+//!
+//! The `[[bench]]` targets time code and embed a metrics block next to
+//! their timings; the figure/table binaries print tables instead of
+//! timings, so each of them ends by calling [`write_summary`], which runs
+//! one small instrumented scenario pair (the canonical TM and TLS runs of
+//! the observability tests) and writes a results file carrying only the
+//! `"metrics"` block — commits, squash attribution, bulk-invalidation
+//! overshoot and the cycle-accounting breakdown (`*.cycles.*`). The
+//! regression gate (`bulk-bench-diff`) then sees a `BENCH_*.json` per
+//! binary, timed or not.
+
+use std::sync::Arc;
+
+use bulk_obs::Obs;
+use bulk_sim::SimConfig;
+use bulk_tls::{run_tls_observed, TlsScheme};
+use bulk_tm::{run_tm_observed, Scheme};
+use bulk_trace::profiles;
+
+use crate::timer::BenchSuite;
+
+/// Runs the canonical instrumented scenario pair (TM `mc` and TLS `gzip`
+/// under Bulk, seed 42) and returns the shared observability bundle. Both
+/// machines publish into one registry under their `tm.` / `tls.`
+/// prefixes, including the cycle-accounting counters.
+pub fn scenario_metrics() -> Arc<Obs> {
+    let obs = Arc::new(Obs::new());
+    let mut tm = profiles::tm_profile("mc").expect("mc profile");
+    tm.txs_per_thread = 12;
+    run_tm_observed(&tm.generate(42), Scheme::Bulk, &SimConfig::tm_default(), Arc::clone(&obs));
+    let mut tls = profiles::tls_profile("gzip").expect("gzip profile");
+    tls.tasks = 60;
+    run_tls_observed(
+        &tls.generate(42),
+        TlsScheme::Bulk,
+        &SimConfig::tls_default(),
+        Arc::clone(&obs),
+    );
+    obs
+}
+
+/// Writes `BENCH_<name>.json` (to `BULK_BENCH_OUT` or the working
+/// directory) with an empty timing list and the [`scenario_metrics`]
+/// registry embedded as the `"metrics"` block.
+pub fn write_summary(name: &'static str) {
+    let obs = scenario_metrics();
+    let mut suite = BenchSuite::named(name);
+    suite.set_metrics(obs.registry());
+    suite.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_publishes_cycle_accounting_for_both_machines() {
+        let obs = scenario_metrics();
+        let reg = obs.registry();
+        for prefix in ["tm.", "tls."] {
+            let c = |n: &str| reg.counter_value(&format!("{prefix}cycles.{n}"));
+            assert!(c("total") > 0, "{prefix}: accounting must cover the run");
+            assert_eq!(
+                c("useful") + c("squashed") + c("commit") + c("stall") + c("overhead") + c("other"),
+                c("total"),
+                "{prefix}: categories must conserve"
+            );
+            assert_eq!(c("audit_violations"), 0, "{prefix}: no accounting violations");
+        }
+    }
+
+    #[test]
+    fn summary_json_embeds_the_metrics_block() {
+        let obs = scenario_metrics();
+        let mut suite = BenchSuite::named("summary_selftest");
+        suite.set_metrics(obs.registry());
+        let json = suite.to_json();
+        assert!(json.contains("\"tm.cycles.total\""));
+        assert!(json.contains("\"tls.cycles.useful\""));
+        assert!(!json.contains("\"metrics\": null"));
+    }
+}

@@ -67,6 +67,13 @@ impl BenchSuite {
         BenchSuite { name, filters, results: Vec::new(), metrics: None }
     }
 
+    /// Creates an unfiltered suite. Figure/table binaries use this to
+    /// write a `BENCH_<name>.json` carrying only the metrics block (their
+    /// output is a table, not timings).
+    pub fn named(name: &'static str) -> Self {
+        BenchSuite { name, filters: Vec::new(), results: Vec::new(), metrics: None }
+    }
+
     /// Attaches a metrics registry snapshot to the suite: its contents are
     /// embedded as a `"metrics"` object in `BENCH_<suite>.json`. Bench
     /// targets run one small instrumented scenario (untimed) so every

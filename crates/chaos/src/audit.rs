@@ -27,6 +27,12 @@ pub enum InvariantKind {
     /// of order. These were `debug_assert!`s inside the machines; as
     /// auditor checks, release-mode chaos soaks catch them too.
     TokenProtocol,
+    /// Cycle-accounting conservation broke: the trace reducer found
+    /// overlapping same-timeline spans, a span running backwards or past
+    /// its actor's final clock, or an actor claiming more cycles than its
+    /// timeline holds — so the Fig. 13 categories cannot sum to the
+    /// total.
+    CycleConservation,
 }
 
 impl fmt::Display for InvariantKind {
@@ -38,6 +44,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::ClockMonotonicity => "clock-monotonicity",
             InvariantKind::UndetectedCorruption => "undetected-corruption",
             InvariantKind::TokenProtocol => "token-protocol",
+            InvariantKind::CycleConservation => "cycle-conservation",
         };
         f.write_str(name)
     }

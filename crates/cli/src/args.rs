@@ -48,6 +48,8 @@ pub struct TmArgs {
     pub events_out: Option<String>,
     /// Write the metrics registry as JSON to this path.
     pub metrics_out: Option<String>,
+    /// Write the causal span trace as Chrome trace-event JSON to this path.
+    pub trace_out: Option<String>,
     /// Arm the detection-only forward-progress watchdog with this
     /// global-stall bound in cycles; a trip exits nonzero with a diagnosis.
     pub watchdog_ticks: Option<u64>,
@@ -77,6 +79,8 @@ pub struct TlsArgs {
     pub events_out: Option<String>,
     /// Write the metrics registry as JSON to this path.
     pub metrics_out: Option<String>,
+    /// Write the causal span trace as Chrome trace-event JSON to this path.
+    pub trace_out: Option<String>,
     /// Arm the detection-only forward-progress watchdog with this
     /// global-stall bound in cycles; a trip exits nonzero with a diagnosis.
     pub watchdog_ticks: Option<u64>,
@@ -101,11 +105,11 @@ USAGE:
   bulk tm  --app <name> [--scheme <eager-naive|eager|lazy|bulk|bulk-partial>]
            [--seed <n>] [--txs <n>] [--sig <S1..S23>] [--dump-trace <file>]
            [--chaos] [--audit] [--metrics] [--events-out <file>]
-           [--metrics-out <file>] [--watchdog-ticks <n>]
+           [--metrics-out <file>] [--trace-out <file>] [--watchdog-ticks <n>]
   bulk tls --app <name> [--scheme <eager|lazy|bulk|bulk-no-overlap>]
            [--seed <n>] [--tasks <n>] [--dump-trace <file>]
            [--chaos] [--audit] [--metrics] [--events-out <file>]
-           [--metrics-out <file>] [--watchdog-ticks <n>]
+           [--metrics-out <file>] [--trace-out <file>] [--watchdog-ticks <n>]
   bulk replay --file <trace> --scheme <name>
   bulk sweep-sig --app <name> [--seed <n>]
   bulk help
@@ -129,6 +133,15 @@ OBSERVABILITY:
   escalations) as one JSON object per line. --metrics-out writes the
   registry itself as JSON (sorted names, fixed layout — byte-identical
   across same-seed runs); CI uploads these as workflow artifacts.
+  --trace-out writes the causal span trace in Chrome trace-event JSON
+  (load it in chrome://tracing or ui.perfetto.dev): speculative sections,
+  commit broadcasts, squashes, backoff, stalls, spills and checkpoints as
+  spans, with flow arrows from every commit broadcast to the squashes and
+  bulk invalidations it caused. The trace also feeds the cycle-accounting
+  profiler, whose per-category breakdown (useful, squashed, commit,
+  stall, overhead, other) appears in the --metrics report under
+  `*.cycles.*` and must conserve: categories sum to the total of all
+  per-thread timelines, audited like any other invariant.
 
 LIVENESS:
   --watchdog-ticks <n> arms the detection-only forward-progress watchdog:
@@ -243,6 +256,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let metrics = f.take_bool("metrics");
             let events_out = f.take("events-out");
             let metrics_out = f.take("metrics-out");
+            let trace_out = f.take("trace-out");
             let watchdog_ticks = parse_opt_num(f.take("watchdog-ticks"), "--watchdog-ticks")?;
             f.finish()?;
             Ok(Command::Tm(TmArgs {
@@ -257,6 +271,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 metrics,
                 events_out,
                 metrics_out,
+                trace_out,
                 watchdog_ticks,
             }))
         }
@@ -278,6 +293,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let metrics = f.take_bool("metrics");
             let events_out = f.take("events-out");
             let metrics_out = f.take("metrics-out");
+            let trace_out = f.take("trace-out");
             let watchdog_ticks = parse_opt_num(f.take("watchdog-ticks"), "--watchdog-ticks")?;
             f.finish()?;
             Ok(Command::Tls(TlsArgs {
@@ -291,6 +307,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 metrics,
                 events_out,
                 metrics_out,
+                trace_out,
                 watchdog_ticks,
             }))
         }
@@ -354,9 +371,22 @@ mod tests {
                 metrics: false,
                 events_out: None,
                 metrics_out: None,
+                trace_out: None,
                 watchdog_ticks: None,
             })
         );
+    }
+
+    #[test]
+    fn parses_trace_out() {
+        match parse(&args("tm --app mc --trace-out /tmp/t.json")).unwrap() {
+            Command::Tm(a) => assert_eq!(a.trace_out.as_deref(), Some("/tmp/t.json")),
+            other => panic!("{other:?}"),
+        }
+        match parse(&args("tls --app gzip --trace-out t.json")).unwrap() {
+            Command::Tls(a) => assert_eq!(a.trace_out.as_deref(), Some("t.json")),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

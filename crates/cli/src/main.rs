@@ -156,39 +156,44 @@ fn run_tm(a: TmArgs) -> Result<(), String> {
     let mut m =
         TmMachine::try_with_signature(&wl, a.scheme, &cfg, sig).map_err(|e| e.to_string())?;
     let seed = configure_tm(&mut m, &a)?;
-    let obs = make_obs(a.metrics, &a.events_out, &a.metrics_out);
+    let obs = make_obs(a.metrics, &a.events_out, &a.metrics_out, &a.trace_out);
     if let Some(o) = &obs {
         m.attach_obs(Arc::clone(o));
     }
     let stats = m.try_run().map_err(|e| e.to_string())?;
     report::print_tm(&a.app, a.scheme, &stats, a.chaos);
-    finish_obs(&obs, "tm.", a.metrics, &a.events_out, &a.metrics_out)?;
+    finish_obs(&obs, "tm.", a.metrics, &a.events_out, &a.metrics_out, &a.trace_out)?;
     check_violations(&stats.violations, seed)?;
     check_liveness(&stats.liveness_violations)
 }
 
 /// Builds the shared observability bundle when `--metrics`,
-/// `--events-out` or `--metrics-out` asked for one.
+/// `--events-out`, `--metrics-out` or `--trace-out` asked for one.
 fn make_obs(
     metrics: bool,
     events_out: &Option<String>,
     metrics_out: &Option<String>,
+    trace_out: &Option<String>,
 ) -> Option<Arc<Obs>> {
-    (metrics || events_out.is_some() || metrics_out.is_some()).then(|| Arc::new(Obs::new()))
+    (metrics || events_out.is_some() || metrics_out.is_some() || trace_out.is_some())
+        .then(|| Arc::new(Obs::new()))
 }
 
-/// Prints the metrics section and/or writes the event JSONL and the
-/// registry JSON, as requested.
+/// Prints the metrics section and/or writes the event JSONL, the
+/// registry JSON and the Chrome trace-event JSON, as requested.
 fn finish_obs(
     obs: &Option<Arc<Obs>>,
     prefix: &str,
     metrics: bool,
     events_out: &Option<String>,
     metrics_out: &Option<String>,
+    trace_out: &Option<String>,
 ) -> Result<(), String> {
     let Some(o) = obs else { return Ok(()) };
     if metrics {
         report::print_metrics(o.registry(), prefix);
+        report::print_cycle_breakdown(o.registry(), prefix);
+        report::print_event_drops(o.events());
     }
     if let Some(path) = events_out {
         std::fs::write(path, o.events().to_jsonl()).map_err(|e| e.to_string())?;
@@ -201,6 +206,14 @@ fn finish_obs(
     if let Some(path) = metrics_out {
         std::fs::write(path, o.registry().to_json()).map_err(|e| e.to_string())?;
         println!("metrics written to {path}");
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, o.trace().to_chrome_json()).map_err(|e| e.to_string())?;
+        println!(
+            "trace written to {path} ({} spans, {} dropped)",
+            o.trace().len(),
+            o.trace().dropped()
+        );
     }
     Ok(())
 }
@@ -237,13 +250,13 @@ fn run_tls(a: TlsArgs) -> Result<(), String> {
     let seq = bulk_tls::run_tls_sequential(&wl, &cfg);
     let mut m = TlsMachine::try_new(&wl, a.scheme, &cfg).map_err(|e| e.to_string())?;
     let seed = configure_tls(&mut m, &a)?;
-    let obs = make_obs(a.metrics, &a.events_out, &a.metrics_out);
+    let obs = make_obs(a.metrics, &a.events_out, &a.metrics_out, &a.trace_out);
     if let Some(o) = &obs {
         m.attach_obs(Arc::clone(o));
     }
     let stats = m.try_run().map_err(|e| e.to_string())?;
     report::print_tls(&a.app, a.scheme, seq, &stats, a.chaos);
-    finish_obs(&obs, "tls.", a.metrics, &a.events_out, &a.metrics_out)?;
+    finish_obs(&obs, "tls.", a.metrics, &a.events_out, &a.metrics_out, &a.trace_out)?;
     check_violations(&stats.violations, seed)?;
     check_liveness(&stats.liveness_violations)
 }

@@ -250,6 +250,41 @@ pub fn print_metrics(reg: &bulk_obs::Registry, prefix: &str) {
     }
 }
 
+/// Prints the cycle-accounting breakdown (the paper's Fig. 13 categories)
+/// from the `{prefix}cycles.*` counters published by the trace reducer.
+/// Silent when tracing produced no accounting (total is zero).
+pub fn print_cycle_breakdown(reg: &bulk_obs::Registry, prefix: &str) {
+    let c = |name: &str| reg.counter_value(&format!("{prefix}cycles.{name}"));
+    let total = c("total");
+    if total == 0 {
+        return;
+    }
+    println!("  cycle breakdown (per-thread timelines, {total} cycles):");
+    let pct = |v: u64| 100.0 * v as f64 / total as f64;
+    for name in ["useful", "squashed", "commit", "stall", "overhead", "other"] {
+        let v = c(name);
+        println!("    {name:<10} {v:>12}  {:5.1}%", pct(v));
+    }
+    let bus = c("commit_bus");
+    if bus > 0 {
+        println!("    {:<10} {bus:>12}  (bus lane, not part of the conservation sum)", "bus");
+    }
+    let viol = c("audit_violations");
+    if viol > 0 {
+        println!("    *** {viol} cycle-conservation violations ***");
+    }
+}
+
+/// Prints the event-log drop line of the `--metrics` report: how many
+/// records the bounded ring retained and how many it discarded.
+pub fn print_event_drops(events: &bulk_obs::EventLog) {
+    println!(
+        "  events.dropped     {} (retained {})",
+        events.dropped(),
+        events.len()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +306,16 @@ mod tests {
         reg.counter("tm.squash.true_conflict").add(2);
         reg.counter("tm.squash.aliasing").add(1);
         print_metrics(&reg, "tm.");
+    }
+
+    #[test]
+    fn cycle_breakdown_prints_when_populated() {
+        let reg = bulk_obs::Registry::new();
+        print_cycle_breakdown(&reg, "tm."); // silent on empty totals
+        reg.counter("tm.cycles.total").add(1000);
+        reg.counter("tm.cycles.useful").add(600);
+        reg.counter("tm.cycles.commit").add(400);
+        print_cycle_breakdown(&reg, "tm.");
+        print_event_drops(&bulk_obs::EventLog::new());
     }
 }

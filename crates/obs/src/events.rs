@@ -248,8 +248,11 @@ impl EventLog {
     }
 
     /// The retained events as JSONL: one event per line, oldest first,
-    /// with a trailing newline after the last event (empty string if no
-    /// events). Deterministic for identical runs.
+    /// followed by one trailer record
+    /// (`{"trailer": true, "retained": N, "dropped": M}`) so ring
+    /// truncation is never silent — a reader that sees `dropped > 0`
+    /// knows the head of the run is missing. Deterministic for identical
+    /// runs.
     pub fn to_jsonl(&self) -> String {
         let ring = self.ring.lock().expect("event ring poisoned");
         let mut out = String::new();
@@ -257,6 +260,11 @@ impl EventLog {
             out.push_str(&e.to_json_line());
             out.push('\n');
         }
+        out.push_str(&format!(
+            "{{\"trailer\": true, \"retained\": {}, \"dropped\": {}}}\n",
+            ring.buf.len(),
+            ring.dropped
+        ));
         out
     }
 }
@@ -308,10 +316,11 @@ mod tests {
         log.record(1, 140, EventKind::Overflow { resident: 3 });
         let jsonl = log.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5, "4 events + 1 trailer");
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "not an object: {l}");
         }
+        assert_eq!(lines[4], "{\"trailer\": true, \"retained\": 4, \"dropped\": 0}");
         assert_eq!(
             lines[0],
             "{\"seq\": 0, \"cycle\": 100, \"actor\": 2, \"event\": \"squash\", \
@@ -343,6 +352,35 @@ mod tests {
             "{\"seq\": 2, \"cycle\": 70, \"actor\": 1, \"event\": \"watchdog_trip\", \
              \"kind\": \"livelock\"}"
         );
+    }
+
+    #[test]
+    fn wraparound_keeps_seq_monotonic_and_trailer_reports_drops() {
+        let log = EventLog::with_capacity(3);
+        for i in 0..10u32 {
+            log.record(i, u64::from(i) * 10, EventKind::Escalation);
+        }
+        // Retained events are the newest three, seq still strictly
+        // increasing and gap-free across the wrap.
+        let ev = log.events();
+        assert_eq!(ev.len(), 3);
+        let seqs: Vec<u64> = ev.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+        assert_eq!(log.dropped(), 7);
+        let jsonl = log.to_jsonl();
+        let last = jsonl.lines().last().unwrap();
+        assert_eq!(last, "{\"trailer\": true, \"retained\": 3, \"dropped\": 7}");
+        // Recording after the wrap keeps counting from the global seq.
+        log.record(0, 100, EventKind::CtxSwitch);
+        assert_eq!(log.events().last().unwrap().seq, 10);
+        assert_eq!(log.dropped(), 8);
+    }
+
+    #[test]
+    fn empty_log_still_emits_a_trailer() {
+        let log = EventLog::new();
+        assert_eq!(log.to_jsonl(), "{\"trailer\": true, \"retained\": 0, \"dropped\": 0}\n");
     }
 
     #[test]

@@ -15,6 +15,9 @@ use std::sync::Arc;
 use crate::attribution::VerdictCounters;
 use crate::events::{EventKind, SquashCause};
 use crate::metrics::{Counter, Gauge, Histogram, Registry};
+use crate::trace::{
+    cycle_accounting, AccountingViolation, CycleBreakdown, SpanId, SpanKind, SpanOutcome, TraceLog,
+};
 use crate::Obs;
 
 /// Counters for the signature expansion path (paper §4.1's δ decode):
@@ -76,6 +79,50 @@ impl OverflowObs {
     }
 }
 
+/// Counters holding the machine's final Fig. 13 cycle breakdown, filled
+/// once per run by [`RuntimeObs::finish_cycle_accounting`]. The six
+/// per-actor categories (`useful + squashed + commit + stall + overhead
+/// + other`) sum exactly to `total` whenever `audit_violations` is zero
+/// — the conservation invariant.
+#[derive(Debug, Clone)]
+pub struct CycleObs {
+    /// Committed speculative-section cycles.
+    pub useful: Counter,
+    /// Squashed speculative-section cycles.
+    pub squashed: Counter,
+    /// Commit arbitration + broadcast cycles on actor timelines.
+    pub commit: Counter,
+    /// Conflict-stall and backoff-wait cycles.
+    pub stall: Counter,
+    /// Squash/rollback, context-switch, checkpoint and spill cycles.
+    pub overhead: Counter,
+    /// Non-speculative execution, dispatch gaps and idle tails.
+    pub other: Counter,
+    /// Commit broadcast cycles on the bus lane (TLS: overlaps execution).
+    pub commit_bus: Counter,
+    /// Total cycles across all actor timelines.
+    pub total: Counter,
+    /// Conservation-audit failures found while reducing the trace.
+    pub audit_violations: Counter,
+}
+
+impl CycleObs {
+    /// Registers the breakdown counters under `prefix`.
+    pub fn register(reg: &Registry, prefix: &str) -> Self {
+        CycleObs {
+            useful: reg.counter(&format!("{prefix}cycles.useful")),
+            squashed: reg.counter(&format!("{prefix}cycles.squashed")),
+            commit: reg.counter(&format!("{prefix}cycles.commit")),
+            stall: reg.counter(&format!("{prefix}cycles.stall")),
+            overhead: reg.counter(&format!("{prefix}cycles.overhead")),
+            other: reg.counter(&format!("{prefix}cycles.other")),
+            commit_bus: reg.counter(&format!("{prefix}cycles.commit_bus")),
+            total: reg.counter(&format!("{prefix}cycles.total")),
+            audit_violations: reg.counter(&format!("{prefix}cycles.audit_violations")),
+        }
+    }
+}
+
 /// The full instrumentation bundle a machine (TM or TLS) holds: one
 /// handle per metric it maintains, plus the shared [`Obs`] so protocol
 /// steps can also be recorded as events.
@@ -90,6 +137,11 @@ impl OverflowObs {
 #[derive(Debug, Clone)]
 pub struct RuntimeObs {
     obs: Arc<Obs>,
+    /// Trace track (Chrome-export process) this machine's spans live on.
+    pub track: u32,
+    /// The run's final cycle breakdown (filled by
+    /// [`RuntimeObs::finish_cycle_accounting`]).
+    pub cycles: CycleObs,
     /// Successful commits.
     pub commits: Counter,
     /// Commit broadcast payload sizes in bytes.
@@ -144,6 +196,8 @@ impl RuntimeObs {
         let bytes_edges = Histogram::pow2_edges(14); // 1 B .. 16 KiB
         let size_edges = Histogram::pow2_edges(10); // 1 .. 1024 lines/words
         let bundle = RuntimeObs {
+            track: obs.trace().register_track(prefix),
+            cycles: CycleObs::register(reg, prefix),
             commits: reg.counter(&format!("{prefix}commits")),
             commit_payload_bytes: reg
                 .histogram(&format!("{prefix}commit.payload_bytes"), &bytes_edges),
@@ -176,6 +230,84 @@ impl RuntimeObs {
     /// The shared observability bundle the handles record into.
     pub fn obs(&self) -> &Arc<Obs> {
         &self.obs
+    }
+
+    /// The shared span trace (this machine's spans live on
+    /// [`RuntimeObs::track`]).
+    pub fn trace(&self) -> &TraceLog {
+        self.obs.trace()
+    }
+
+    /// Opens a span at `start` on `actor`'s timeline.
+    pub fn span_begin(&self, actor: u32, kind: SpanKind, start: u64, detail: u64) -> SpanId {
+        self.obs.trace().begin(self.track, actor, kind, start, None, detail)
+    }
+
+    /// Opens a span nested under `parent`.
+    pub fn span_child(
+        &self,
+        actor: u32,
+        kind: SpanKind,
+        start: u64,
+        detail: u64,
+        parent: SpanId,
+    ) -> SpanId {
+        self.obs.trace().begin(self.track, actor, kind, start, Some(parent), detail)
+    }
+
+    /// Records an already-closed span `[start, end]`.
+    pub fn span_complete(
+        &self,
+        actor: u32,
+        kind: SpanKind,
+        start: u64,
+        end: u64,
+        detail: u64,
+    ) -> SpanId {
+        self.obs.trace().complete(self.track, actor, kind, start, end, None, detail)
+    }
+
+    /// Closes span `id` at `cycle`.
+    pub fn span_end(&self, id: SpanId, cycle: u64) {
+        self.obs.trace().end(id, cycle);
+    }
+
+    /// Resolves a section span's outcome.
+    pub fn span_outcome(&self, id: SpanId, outcome: SpanOutcome) {
+        self.obs.trace().set_outcome(id, outcome);
+    }
+
+    /// Links `cause` → `effect` (commit broadcast → squash /
+    /// bulk-invalidation it triggered).
+    pub fn span_link(&self, cause: SpanId, effect: SpanId) {
+        self.obs.trace().link(cause, effect);
+    }
+
+    /// Reduces this machine's trace into the Fig. 13 cycle breakdown and
+    /// publishes it through [`RuntimeObs::cycles`]. `totals[a]` is actor
+    /// `a`'s final clock. Call once, at the end of the run; the returned
+    /// breakdown carries any conservation-audit violations so the caller
+    /// can feed them to its invariant auditor.
+    pub fn finish_cycle_accounting(&self, totals: &[u64]) -> CycleBreakdown {
+        let mut br = cycle_accounting(&self.obs.trace().spans(), self.track, totals);
+        let dropped = self.obs.trace().dropped();
+        if dropped > 0 {
+            br.violations.push(AccountingViolation {
+                actor: u32::MAX,
+                cycle: 0,
+                detail: format!("trace ring dropped {dropped} spans; accounting is incomplete"),
+            });
+        }
+        self.cycles.useful.add(br.useful);
+        self.cycles.squashed.add(br.squashed);
+        self.cycles.commit.add(br.commit);
+        self.cycles.stall.add(br.stall);
+        self.cycles.overhead.add(br.overhead);
+        self.cycles.other.add(br.other);
+        self.cycles.commit_bus.add(br.commit_bus);
+        self.cycles.total.add(br.total);
+        self.cycles.audit_violations.add(br.violations.len() as u64);
+        br
     }
 
     /// A commit broadcast: `payload_bytes` on the bus carrying an exact
@@ -345,6 +477,50 @@ mod tests {
         assert_eq!(obs.events().len(), 3);
         let gauges = reg.gauges();
         assert!(gauges.contains(&("tm.live.arbiter_epoch".to_string(), 2)));
+    }
+
+    #[test]
+    fn span_helpers_and_accounting_publish_counters() {
+        let obs = Arc::new(Obs::new());
+        let r = RuntimeObs::attach(Arc::clone(&obs), "tm.");
+        let sec = r.span_begin(0, SpanKind::Section, 0, 1);
+        r.span_end(sec, 80);
+        r.span_outcome(sec, SpanOutcome::Useful);
+        let c = r.span_complete(0, SpanKind::Commit, 80, 100, 1);
+        let sq = r.span_complete(1, SpanKind::Squash, 100, 110, 0);
+        r.span_link(c, sq);
+        let br = r.finish_cycle_accounting(&[100, 150]);
+        assert!(br.violations.is_empty());
+        assert!(br.conserves());
+        let reg = obs.registry();
+        assert_eq!(reg.counter_value("tm.cycles.useful"), 80);
+        assert_eq!(reg.counter_value("tm.cycles.commit"), 20);
+        assert_eq!(reg.counter_value("tm.cycles.overhead"), 10);
+        assert_eq!(reg.counter_value("tm.cycles.total"), 250);
+        assert_eq!(reg.counter_value("tm.cycles.audit_violations"), 0);
+        assert_eq!(
+            reg.counter_value("tm.cycles.useful")
+                + reg.counter_value("tm.cycles.squashed")
+                + reg.counter_value("tm.cycles.commit")
+                + reg.counter_value("tm.cycles.stall")
+                + reg.counter_value("tm.cycles.overhead")
+                + reg.counter_value("tm.cycles.other"),
+            reg.counter_value("tm.cycles.total"),
+            "conservation invariant"
+        );
+        assert_eq!(obs.trace().spans()[2].cause, Some(c.raw()));
+    }
+
+    #[test]
+    fn two_machines_share_one_trace_on_distinct_tracks() {
+        let obs = Arc::new(Obs::new());
+        let tm = RuntimeObs::attach(Arc::clone(&obs), "tm.");
+        let tls = RuntimeObs::attach(Arc::clone(&obs), "tls.");
+        assert_ne!(tm.track, tls.track);
+        tm.span_complete(0, SpanKind::Commit, 0, 10, 0);
+        tls.span_complete(0, SpanKind::Commit, 0, 30, 0);
+        let br = tls.finish_cycle_accounting(&[40]);
+        assert_eq!(br.commit, 30, "only the tls track is reduced");
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   (`W_C ∩ R_R ∨ W_C ∩ W_R`, paper §2.3) cross-checked against the
 //!   exact per-address oracle and classified as a [`Verdict`]; squashes
 //!   split into *true-conflict* vs. *aliasing-induced*.
+//! - [`trace`] — span-based causal tracing ([`TraceLog`]): protocol
+//!   phases as timed [`Span`]s with parent/child structure and causal
+//!   links (a commit broadcast records every squash it triggered),
+//!   exported as Chrome trace-event JSON (`--trace-out`), plus the
+//!   [`cycle_accounting`] reducer folding each timeline into the paper's
+//!   Fig. 13 execution-time categories under a conservation audit.
 //! - [`hooks`] — pre-registered handle bundles ([`RuntimeObs`],
 //!   [`ExpansionObs`], [`OverflowObs`]) so instrumented layers never pay
 //!   name lookups per record.
@@ -35,24 +41,30 @@ pub mod attribution;
 pub mod events;
 pub mod hooks;
 pub mod metrics;
+pub mod trace;
 
 pub use attribution::{Verdict, VerdictCounters};
 pub use events::{Event, EventKind, EventLog, SquashCause, DEFAULT_EVENT_CAPACITY};
-pub use hooks::{ExpansionObs, OverflowObs, RuntimeObs};
+pub use hooks::{CycleObs, ExpansionObs, OverflowObs, RuntimeObs};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use trace::{
+    cycle_accounting, AccountingViolation, CycleBreakdown, Span, SpanId, SpanKind, SpanOutcome,
+    TraceLog, DEFAULT_TRACE_CAPACITY,
+};
 
-/// The shared observability bundle: one metrics [`Registry`] plus one
-/// [`EventLog`]. Typically wrapped in an `Arc` and handed to every layer
-/// of a run.
+/// The shared observability bundle: one metrics [`Registry`], one
+/// [`EventLog`] and one [`TraceLog`]. Typically wrapped in an `Arc` and
+/// handed to every layer of a run.
 #[derive(Debug, Default)]
 pub struct Obs {
     registry: Registry,
     events: EventLog,
+    trace: TraceLog,
 }
 
 impl Obs {
-    /// Creates a bundle with an empty registry and a default-capacity
-    /// event ring.
+    /// Creates a bundle with an empty registry and default-capacity
+    /// event and trace rings.
     pub fn new() -> Self {
         Obs::default()
     }
@@ -63,7 +75,11 @@ impl Obs {
     ///
     /// Panics if `capacity` is zero.
     pub fn with_event_capacity(capacity: usize) -> Self {
-        Obs { registry: Registry::new(), events: EventLog::with_capacity(capacity) }
+        Obs {
+            registry: Registry::new(),
+            events: EventLog::with_capacity(capacity),
+            trace: TraceLog::new(),
+        }
     }
 
     /// The metrics registry.
@@ -74,6 +90,11 @@ impl Obs {
     /// The event log.
     pub fn events(&self) -> &EventLog {
         &self.events
+    }
+
+    /// The span trace.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
     }
 }
 

@@ -421,6 +421,44 @@ mod tests {
     }
 
     #[test]
+    fn pow2_edge_boundaries_land_in_their_edge_bucket() {
+        // Edges [1, 2, 4, 8]: every exact power of two must land in its
+        // own bucket (inclusive upper bound), one above it in the next.
+        let h = Histogram::with_edges(&Histogram::pow2_edges(3));
+        for v in [1u64, 2, 4, 8] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1, 1]);
+        assert_eq!(h.overflow_count(), 0);
+        for v in [3u64, 5, 9] {
+            h.observe(v);
+        }
+        // 3 -> le=4, 5 -> le=8, 9 -> gt.
+        assert_eq!(h.bucket_counts(), vec![1, 1, 2, 2]);
+        assert_eq!(h.overflow_count(), 1);
+    }
+
+    #[test]
+    fn pow2_zero_lands_in_first_bucket() {
+        let h = Histogram::with_edges(&Histogram::pow2_edges(10));
+        h.observe(0);
+        assert_eq!(h.bucket_counts()[0], 1, "0 <= first edge (1)");
+        assert_eq!(h.overflow_count(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn pow2_u64_max_lands_in_overflow_bucket() {
+        let h = Histogram::with_edges(&Histogram::pow2_edges(63));
+        assert_eq!(*h.edges().last().unwrap(), 1u64 << 63);
+        h.observe(1u64 << 63); // exactly the last edge: finite bucket
+        h.observe(u64::MAX); // past it: overflow bucket
+        assert_eq!(*h.bucket_counts().last().unwrap(), 1);
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
     fn histogram_sum_saturates() {
         let h = Histogram::with_edges(&[1]);
         h.observe(u64::MAX);

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use bulk_chaos::{Auditor, FaultPlan, InvariantKind, MachineError};
 use bulk_core::{check_speculative_store, flows, Bdm, CommitMsg, StoreCheck, VersionId};
 use bulk_live::{LivenessConfig, LivenessEngine};
-use bulk_obs::{Obs, RuntimeObs};
+use bulk_obs::{Obs, RuntimeObs, SpanId, SpanKind, SpanOutcome};
 use bulk_mem::{Addr, Cache, LineAddr, MsgClass, WordAddr};
 use bulk_sig::{Signature, SignatureConfig};
 use bulk_sim::{Bus, CoreTimer, SimConfig};
@@ -62,6 +62,9 @@ struct Task {
     /// once it is the oldest uncommitted task — at the head it is
     /// effectively non-speculative and can no longer be squashed.
     escalated: bool,
+    /// Trace span of the current execution attempt ([`SpanId::DROPPED`]
+    /// when tracing is off or the task is not in flight).
+    section_span: SpanId,
 }
 
 impl Task {
@@ -102,6 +105,10 @@ pub struct TlsMachine {
     audit: bool,
     auditor: Auditor,
     obs: Option<RuntimeObs>,
+    /// Trace span of the commit broadcast currently being delivered;
+    /// squash and invalidation spans it triggers link back to it.
+    /// [`SpanId::DROPPED`] outside the delivery/disambiguation window.
+    commit_cause: SpanId,
     /// Optional liveness engine, armed via [`TlsMachine::enable_liveness`].
     /// `None` leaves every existing run bit-identical: no fault-stream
     /// draws, no timing changes.
@@ -230,6 +237,7 @@ impl TlsMachine {
                 spawn_inval_lines: Vec::new(),
                 restarts: 0,
                 escalated: false,
+                section_span: SpanId::DROPPED,
             });
         }
         let mut m = TlsMachine {
@@ -247,6 +255,7 @@ impl TlsMachine {
             audit: false,
             auditor: Auditor::off(),
             obs: None,
+            commit_cause: SpanId::DROPPED,
             live: None,
         };
         m.tasks[0].ready_at = Some(0);
@@ -364,6 +373,23 @@ impl TlsMachine {
             .max(self.last_commit_finish);
         if let Some(plan) = &mut self.chaos {
             self.stats.chaos = plan.take_stats();
+        }
+        if let Some(obs) = &self.obs {
+            // Fold the trace into Fig. 13 cycle categories per processor;
+            // the bus lane (actor == num_procs) carries commit broadcasts
+            // and is accounted separately from the per-processor timelines.
+            let totals: Vec<u64> = self.procs.iter().map(|p| p.timer.now()).collect();
+            let breakdown = obs.finish_cycle_accounting(&totals);
+            if self.auditor.enabled() {
+                for v in &breakdown.violations {
+                    self.auditor.record(
+                        InvariantKind::CycleConservation,
+                        if v.actor == u32::MAX { 0 } else { v.actor as usize },
+                        v.cycle,
+                        v.detail.clone(),
+                    );
+                }
+            }
         }
         self.stats.audit_checks = self.auditor.checks();
         self.stats.violations = self.auditor.take_violations();
@@ -503,6 +529,10 @@ impl TlsMachine {
             let v = self.tasks[i].version.expect("version allocated");
             self.procs[p].bdm.set_running(Some(v));
         }
+        if let Some(obs) = &self.obs {
+            self.tasks[i].section_span =
+                obs.span_begin(p as u32, SpanKind::Section, self.procs[p].timer.now(), i as u64);
+        }
     }
 
     fn step(&mut self, p: usize) {
@@ -543,9 +573,11 @@ impl TlsMachine {
         let Some(plan) = &mut self.chaos else { return };
         if plan.force_context_switch() {
             let cycles = plan.config().ctx_switch_cycles;
+            let pre = self.procs[p].timer.now();
             self.procs[p].timer.advance(cycles);
             if let Some(obs) = &self.obs {
                 obs.on_ctx_switch(p as u32, self.procs[p].timer.now());
+                obs.span_complete(p as u32, SpanKind::CtxSwitch, pre, self.procs[p].timer.now(), 0);
             }
         }
         let Some(plan) = &mut self.chaos else { return };
@@ -687,6 +719,11 @@ impl TlsMachine {
         }
         self.tasks[i].status = Status::WaitingCommit;
         self.tasks[i].finish_time = self.procs[p].timer.now();
+        if let Some(obs) = &self.obs {
+            // The attempt's processor occupancy ends here; the outcome
+            // (Useful/Squashed) is resolved at commit or squash time.
+            obs.span_end(self.tasks[i].section_span, self.tasks[i].finish_time);
+        }
         self.procs[p].running = None;
         if self.scheme.uses_signatures() {
             self.procs[p].bdm.set_running(None);
@@ -768,6 +805,9 @@ impl TlsMachine {
         // request; in-flight corruption, broadcast delay and duplication
         // perturb the delivery.
         let mut request = self.tasks[i].finish_time.max(self.last_commit_finish);
+        // The commit span starts when the task first asks for the bus:
+        // denial backoff and arbitration queueing are all commit time.
+        let req0 = request;
         let mut attempt = 0u32;
         loop {
             let Some(plan) = self.chaos.as_mut() else { break };
@@ -843,6 +883,22 @@ impl TlsMachine {
         self.stats.commits += 1;
         if let Some(obs) = &self.obs {
             obs.on_commit(i as u32, finish, payload, exact_w_words.len() as u64);
+            let sec = self.tasks[i].section_span;
+            obs.span_outcome(sec, SpanOutcome::Useful);
+            // Commit broadcasts serialize on the bus, so they live on a
+            // dedicated bus lane (actor index one past the processors).
+            let c = obs.span_child(
+                self.procs.len() as u32,
+                SpanKind::Commit,
+                req0,
+                exact_w_words.len() as u64,
+                sec,
+            );
+            obs.span_end(c, finish);
+            self.tasks[i].section_span = SpanId::DROPPED;
+            // Squashes and bulk invalidations this broadcast triggers link
+            // back to its commit span.
+            self.commit_cause = c;
         }
         if self.tasks[i].escalated {
             self.stats.serialized_commits += 1;
@@ -982,6 +1038,16 @@ impl TlsMachine {
                         if let Some(obs) = &self.obs {
                             let lines = app.invalidated.len() as u64;
                             obs.on_bulk_invalidate(q as u32, finish, lines, lines - false_inv);
+                            if lines > 0 {
+                                let inv = obs.span_complete(
+                                    q as u32,
+                                    SpanKind::BulkInvalidate,
+                                    finish,
+                                    finish,
+                                    lines,
+                                );
+                                obs.span_link(self.commit_cause, inv);
+                            }
                         }
                         self.stats.line_merges += app.merged.len() as u64;
                         // Merged lines are refetched from the network (Fig. 6).
@@ -1000,6 +1066,7 @@ impl TlsMachine {
         if let Some((j, truly, dep)) = squash_from {
             self.squash_cascade(j, finish, truly, dep, Some(i));
         }
+        self.commit_cause = SpanId::DROPPED;
 
         // Committer cleanup.
         if self.scheme.uses_signatures() {
@@ -1143,7 +1210,9 @@ impl TlsMachine {
         if let Some(obs) = &self.obs {
             obs.on_squash(k as u32, at, truly, dep);
         }
+        let was_running = self.tasks[k].status == Status::Running;
         let p = self.tasks[k].proc.expect("in-flight task has proc");
+        let pre = self.procs[p].timer.now();
         if self.scheme.uses_signatures() {
             let v = self.tasks[k].version.expect("in-flight task has version");
             // TLS squash also invalidates lines the task read (§6.3).
@@ -1198,15 +1267,32 @@ impl TlsMachine {
         }
         self.procs[p].timer.wait_until(at);
         self.procs[p].timer.advance(self.cfg.squash_overhead);
+        if let Some(obs) = &self.obs {
+            let sec = self.tasks[k].section_span;
+            if was_running {
+                // A running victim's attempt ends where the squash begins;
+                // a waiting-commit victim's span already ended at finish.
+                obs.span_end(sec, pre);
+            }
+            obs.span_outcome(sec, SpanOutcome::Squashed);
+            self.tasks[k].section_span = SpanId::DROPPED;
+            let post = self.procs[p].timer.now();
+            let sq = obs.span_complete(p as u32, SpanKind::Squash, pre, post, dep);
+            obs.span_link(self.commit_cause, sq);
+        }
         if self.live.is_some() {
             // Age-based backoff: the victim's processor sits out a bounded,
             // jittered wait before the task is eligible to restart.
             let age_rank = k.saturating_sub(self.oldest_uncommitted);
             let live = self.live.as_mut().expect("liveness armed");
             let wait = live.on_squash(by, k, !truly, age_rank, at);
+            let b0 = self.procs[p].timer.now();
             self.procs[p].timer.advance(wait);
             if let Some(obs) = &self.obs {
                 obs.on_backoff(k as u32, at, wait);
+                if wait > 0 {
+                    obs.span_complete(p as u32, SpanKind::Backoff, b0, b0 + wait, 0);
+                }
             }
         }
         self.audit_state(at);

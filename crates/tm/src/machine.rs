@@ -18,7 +18,7 @@ use bulk_core::{
 };
 use bulk_live::{Checkpoint, LivenessConfig, LivenessEngine};
 use bulk_mem::{Addr, Cache, LineAddr, MsgClass, OverflowArea};
-use bulk_obs::{Obs, RuntimeObs};
+use bulk_obs::{Obs, RuntimeObs, SpanId, SpanKind, SpanOutcome};
 use bulk_sig::{Signature, SignatureConfig};
 use bulk_sim::{Bus, CoreTimer, SimConfig};
 use bulk_trace::{TmOp, TmWorkload};
@@ -66,6 +66,8 @@ struct Thread {
     /// Currently executing its transaction serialized and non-speculative
     /// (holds the machine's serial token).
     serialized: bool,
+    /// Trace span of the current transaction attempt (when observed).
+    section_span: SpanId,
     done: bool,
 }
 
@@ -111,6 +113,10 @@ pub struct TmMachine {
     audit: bool,
     auditor: Auditor,
     obs: Option<RuntimeObs>,
+    /// Trace span of the commit broadcast currently being delivered, so
+    /// receiver-side squash/invalidate spans can be causally linked to
+    /// it. [`SpanId::DROPPED`] outside the delivery loop.
+    commit_cause: SpanId,
     /// Liveness engine (watchdog + backoff + failable arbiter), armed by
     /// [`TmMachine::enable_liveness`]. `None` leaves every existing run
     /// bit-identical: no fault-stream draws, no timing changes.
@@ -228,6 +234,7 @@ impl TmMachine {
                 tx_squashes: 0,
                 escalated: false,
                 serialized: false,
+                section_span: SpanId::DROPPED,
                 done: t.ops.is_empty(),
             });
         }
@@ -251,6 +258,7 @@ impl TmMachine {
             audit: false,
             auditor: Auditor::off(),
             obs: None,
+            commit_cause: SpanId::DROPPED,
             live: None,
         })
     }
@@ -359,6 +367,23 @@ impl TmMachine {
         if let Some(plan) = &mut self.chaos {
             self.stats.chaos = plan.take_stats();
         }
+        // Fold the trace into the Fig. 13 cycle breakdown; conservation
+        // failures become audited invariant violations (they must land
+        // before the auditor is drained below).
+        if let Some(obs) = &self.obs {
+            let totals: Vec<u64> = self.threads.iter().map(|t| t.timer.now()).collect();
+            let breakdown = obs.finish_cycle_accounting(&totals);
+            if self.auditor.enabled() {
+                for v in &breakdown.violations {
+                    self.auditor.record(
+                        InvariantKind::CycleConservation,
+                        if v.actor == u32::MAX { 0 } else { v.actor as usize },
+                        v.cycle,
+                        v.detail.clone(),
+                    );
+                }
+            }
+        }
         self.stats.audit_checks = self.auditor.checks();
         self.stats.violations = self.auditor.take_violations();
         if let Some(live) = &mut self.live {
@@ -442,7 +467,13 @@ impl TmMachine {
             let release = self.threads[blocker].timer.now();
             let t = &mut self.threads[tid];
             t.stalled_on = None;
+            let pre = t.timer.now();
             t.timer.wait_until(release);
+            if release > pre {
+                if let Some(obs) = &self.obs {
+                    obs.span_complete(tid as u32, SpanKind::Stall, pre, release, blocker as u64);
+                }
+            }
         }
         if self.chaos.is_some() {
             self.chaos_perturb(tid);
@@ -474,9 +505,11 @@ impl TmMachine {
         if plan.force_context_switch() {
             let cycles = plan.config().ctx_switch_cycles;
             let t = &mut self.threads[tid];
+            let pre = t.timer.now();
             t.timer.advance(cycles);
             if let Some(obs) = &self.obs {
                 obs.on_ctx_switch(tid as u32, t.timer.now());
+                obs.span_complete(tid as u32, SpanKind::CtxSwitch, pre, t.timer.now(), 0);
             }
             if let Some(v) = t.version.take() {
                 // The OS preempts mid-transaction: signatures spill to
@@ -508,6 +541,8 @@ impl TmMachine {
                     }
                     if let Some(obs) = &self.obs {
                         obs.on_checkpoint();
+                        let now = t.timer.now();
+                        obs.span_complete(tid as u32, SpanKind::Checkpoint, now, now, 0);
                     }
                 } else {
                     let v2 = t
@@ -568,6 +603,10 @@ impl TmMachine {
             t.tx_serial += 1;
             t.tx_start_pc = t.pc;
             t.tx_start_cycle = t.timer.now();
+            if let Some(obs) = &self.obs {
+                t.section_span =
+                    obs.span_begin(tid as u32, SpanKind::Section, t.tx_start_cycle, t.tx_serial);
+            }
             t.read_set.clear();
             t.write_set.clear();
             t.sections.clear();
@@ -593,6 +632,10 @@ impl TmMachine {
             t.tx_serial += 1;
             t.tx_start_pc = t.pc;
             t.tx_start_cycle = t.timer.now();
+            if let Some(obs) = &self.obs {
+                t.section_span =
+                    obs.span_begin(tid as u32, SpanKind::Section, t.tx_start_cycle, t.tx_serial);
+            }
             t.read_set.clear();
             t.write_set.clear();
             if self.scheme.uses_signatures() {
@@ -651,6 +694,14 @@ impl TmMachine {
         let start = self.bus.acquire(now, self.cfg.commit_arb);
         let finish = start + self.cfg.commit_arb;
         self.threads[tid].timer.wait_until(finish);
+        if let Some(obs) = &self.obs {
+            let sec = self.threads[tid].section_span;
+            obs.span_end(sec, now);
+            obs.span_outcome(sec, SpanOutcome::Useful);
+            let c = obs.span_child(tid as u32, SpanKind::Commit, now, 0, sec);
+            obs.span_end(c, finish);
+            self.threads[tid].section_span = SpanId::DROPPED;
+        }
         self.stats.commits += 1;
         self.stats.serialized_commits += 1;
         self.auditor.observe_commit(tid, finish);
@@ -832,10 +883,20 @@ impl TmMachine {
             })
             .collect();
         let now = self.threads[tid].timer.now();
+        if let Some(obs) = &self.obs {
+            if !victims.is_empty() {
+                // A non-speculative store squashes via an individual
+                // invalidation rather than a commit broadcast; its span
+                // is the cause the victims' squash spans link back to.
+                let inv = obs.span_complete(tid as u32, SpanKind::Invalidate, now, now, 1);
+                self.commit_cause = inv;
+            }
+        }
         for j in victims {
             let truly = self.threads[j].exact_union_contains(line);
             self.squash_thread(j, now, truly, if truly { 1 } else { 0 }, Some(tid));
         }
+        self.commit_cause = SpanId::DROPPED;
         self.invalidate_in_others(tid, line);
         let in_neighbor = self.neighbor_has(tid, line);
         let mut bw = std::mem::take(&mut self.stats.bw);
@@ -855,6 +916,9 @@ impl TmMachine {
     fn commit(&mut self, tid: usize) -> Result<(), MachineError> {
         let exact_w: HashSet<LineAddr> = self.threads[tid].write_set.clone();
         let scheme = self.scheme;
+        // The speculative section ends here; everything from this point
+        // to bus-finish (denied-retry backoff included) is commit time.
+        let sec_end = self.threads[tid].timer.now();
 
         // Chaos: the arbiter may deny the commit request a bounded number
         // of times; the committer retries with exponential backoff.
@@ -959,6 +1023,15 @@ impl TmMachine {
         self.stats.commits += 1;
         if let Some(obs) = &self.obs {
             obs.on_commit(tid as u32, finish, payload_bytes, exact_w.len() as u64);
+            let sec = self.threads[tid].section_span;
+            obs.span_end(sec, sec_end);
+            obs.span_outcome(sec, SpanOutcome::Useful);
+            let c = obs.span_child(tid as u32, SpanKind::Commit, sec_end, exact_w.len() as u64, sec);
+            obs.span_end(c, finish);
+            self.threads[tid].section_span = SpanId::DROPPED;
+            // Receiver-side squashes and bulk invalidations triggered by
+            // this broadcast link back to its commit span.
+            self.commit_cause = c;
         }
         self.stats.rd_set_lines += self.threads[tid].read_set.len() as u64;
         self.stats.wr_set_lines += self.threads[tid].write_set.len() as u64;
@@ -1005,6 +1078,7 @@ impl TmMachine {
                 live.record_application(tk);
             }
         }
+        self.commit_cause = SpanId::DROPPED;
 
         // Committer cleanup: the paper's clear-a-signature commit.
         let t = &mut self.threads[tid];
@@ -1203,6 +1277,10 @@ impl TmMachine {
         if let Some(obs) = &self.obs {
             let lines = app.invalidated.len() as u64;
             obs.on_bulk_invalidate(j as u32, finish, lines, lines - false_inv);
+            if lines > 0 {
+                let inv = obs.span_complete(j as u32, SpanKind::BulkInvalidate, finish, finish, lines);
+                obs.span_link(self.commit_cause, inv);
+            }
         }
         debug_assert!(app.merged.is_empty(), "line-grain TM signatures never merge");
     }
@@ -1212,6 +1290,7 @@ impl TmMachine {
         if !truly {
             self.stats.false_squashes += 1;
         }
+        let pre = self.threads[j].timer.now();
         let t = &mut self.threads[j];
         self.stats.sections_rolled_back += (t.sections.depth() - sec) as u64;
         // Discard the rolled-back sections' dirty lines.
@@ -1239,6 +1318,13 @@ impl TmMachine {
         t.depth = depth_at(&t.ops, t.pc, t.tx_start_pc);
         t.timer.wait_until(at);
         t.timer.advance(self.cfg.squash_overhead);
+        if let Some(obs) = &self.obs {
+            // The section span stays open: the transaction is still live,
+            // only its tail sections re-execute.
+            let post = self.threads[j].timer.now();
+            let sq = obs.span_complete(j as u32, SpanKind::Squash, pre, post, sec as u64);
+            obs.span_link(self.commit_cause, sq);
+        }
         self.audit_state(at);
     }
 
@@ -1256,6 +1342,7 @@ impl TmMachine {
         if let Some(obs) = &self.obs {
             obs.on_squash(j as u32, at, truly, dep);
         }
+        let pre = self.threads[j].timer.now();
         let scheme = self.scheme;
         let exp = self.obs.as_ref().map(|o| o.expansion.clone());
         let t = &mut self.threads[j];
@@ -1296,15 +1383,28 @@ impl TmMachine {
         // Escalation: too many squashes of the same transaction trigger the
         // serialized fallback on its next restart.
         t.tx_squashes += 1;
+        if let Some(obs) = &self.obs {
+            let sec = self.threads[j].section_span;
+            obs.span_end(sec, pre);
+            obs.span_outcome(sec, SpanOutcome::Squashed);
+            self.threads[j].section_span = SpanId::DROPPED;
+            let post = self.threads[j].timer.now();
+            let sq = obs.span_complete(j as u32, SpanKind::Squash, pre, post, dep);
+            obs.span_link(self.commit_cause, sq);
+        }
         // Liveness: record the squash with the watchdog and apply the
         // age-weighted randomized backoff before the victim retries.
         if self.live.is_some() {
             let age_rank = self.age_rank(j);
             let live = self.live.as_mut().expect("liveness armed");
             let wait = live.on_squash(by, j, !truly, age_rank, at);
+            let b0 = self.threads[j].timer.now();
             self.threads[j].timer.advance(wait);
             if let Some(obs) = &self.obs {
                 obs.on_backoff(j as u32, at, wait);
+                if wait > 0 {
+                    obs.span_complete(j as u32, SpanKind::Backoff, b0, b0 + wait, 0);
+                }
             }
         }
         if let Some(threshold) = self.escalation {
@@ -1437,7 +1537,9 @@ impl TmMachine {
             self.stats.overflow_spills += 1;
             if let Some(obs) = &self.obs {
                 let t = &self.threads[tid];
-                obs.on_overflow_spill(tid as u32, t.timer.now(), t.overflow.len() as u64);
+                let now = t.timer.now();
+                obs.on_overflow_spill(tid as u32, now, t.overflow.len() as u64);
+                obs.span_complete(tid as u32, SpanKind::Spill, now, now, t.overflow.len() as u64);
             }
             self.stats.bw.record(MsgClass::Ub, self.cfg.msg_sizes.line_msg);
             if self.scheme.uses_signatures() {

@@ -35,4 +35,20 @@ for seed in 1 2 3; do
 done
 echo "chaos smoke: OK"
 
+# Trace determinism smoke: two same-seed runs per machine must export
+# byte-identical Chrome trace-event JSON (cycle accounting runs inside
+# each, so a conservation violation also fails here via the auditor).
+echo "== trace determinism smoke"
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+for run in a b; do
+  "$BULK" tm  --app mc   --scheme bulk --seed 7 --txs 10   --chaos \
+    --trace-out "$TRACE_DIR/tm_$run.trace.json" > /dev/null
+  "$BULK" tls --app gzip --scheme bulk --seed 7 --tasks 60 --chaos \
+    --trace-out "$TRACE_DIR/tls_$run.trace.json" > /dev/null
+done
+cmp "$TRACE_DIR/tm_a.trace.json"  "$TRACE_DIR/tm_b.trace.json"
+cmp "$TRACE_DIR/tls_a.trace.json" "$TRACE_DIR/tls_b.trace.json"
+echo "trace determinism: OK"
+
 echo "verify: OK (hermetic build, no registry dependencies)"

@@ -90,8 +90,11 @@ fn squash_attribution_sums_and_oracle_never_misses() {
 fn event_jsonl_lines_are_valid_and_ordered() {
     let obs = observed_tm_run(42);
     let jsonl = obs.events().to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    let (events, trailer) = lines.split_at(lines.len() - 1);
+    assert!(!events.is_empty(), "log must not be empty");
     let mut prev_seq = None;
-    for line in jsonl.lines() {
+    for line in events {
         assert!(line.starts_with("{\"seq\": "), "fixed field order: {line}");
         assert!(line.ends_with('}'), "one object per line: {line}");
         let seq: u64 = line["{\"seq\": ".len()..]
@@ -104,5 +107,15 @@ fn event_jsonl_lines_are_valid_and_ordered() {
         }
         prev_seq = Some(seq);
     }
-    assert!(prev_seq.is_some(), "log must not be empty");
+    // The stream ends with a trailer surfacing ring overflow, so a
+    // consumer can tell a complete log from a truncated one.
+    assert_eq!(
+        trailer[0],
+        format!(
+            "{{\"trailer\": true, \"retained\": {}, \"dropped\": {}}}",
+            obs.events().len(),
+            obs.events().dropped()
+        )
+    );
+    assert_eq!(obs.events().dropped(), 0, "scenario fits in the ring");
 }
