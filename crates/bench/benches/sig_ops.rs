@@ -8,18 +8,23 @@ use bulk_bench::BenchSuite;
 use bulk_mem::{Addr, CacheGeometry};
 use bulk_sig::{table8_spec, BitPermutation, Granularity, Signature, SignatureConfig};
 use std::hint::black_box;
+use std::sync::Arc;
 
-fn config(id: &str) -> SignatureConfig {
+/// Configurations are shared between signatures via `Arc`, exactly as the
+/// machines share them — the binary operations take the `Arc::ptr_eq`
+/// compatibility fast path instead of deep-comparing layouts per call.
+fn config(id: &str) -> Arc<SignatureConfig> {
     SignatureConfig::from_spec(
         table8_spec(id).expect("catalog id"),
         BitPermutation::paper_tm(),
         Granularity::Line,
         64,
     )
+    .into_shared()
 }
 
-fn filled(cfg: &SignatureConfig, n: u32) -> Signature {
-    let mut s = Signature::new(cfg.clone());
+fn filled(cfg: &Arc<SignatureConfig>, n: u32) -> Signature {
+    let mut s = Signature::with_shared(cfg.clone());
     for i in 0..n {
         s.insert_addr(Addr::new(i.wrapping_mul(2654435761) & 0x00ff_ffc0));
     }
@@ -29,7 +34,7 @@ fn filled(cfg: &SignatureConfig, n: u32) -> Signature {
 fn bench_insert(suite: &mut BenchSuite) {
     for id in ["S1", "S14", "S23"] {
         let cfg = config(id);
-        let mut s = Signature::new(cfg.clone());
+        let mut s = Signature::with_shared(cfg.clone());
         let mut i = 0u32;
         suite.bench("insert", id, || {
             i = i.wrapping_add(0x40);

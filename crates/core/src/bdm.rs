@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use bulk_mem::{Addr, CacheGeometry};
-use bulk_sig::{SetBitmask, Signature, SignatureConfig};
+use bulk_sig::{ConfigMismatch, SetBitmask, Signature, SignatureArena, SignatureConfig};
 
 /// Identifies one of the BDM's version slots (one speculative thread or
 /// checkpoint whose state lives in this processor).
@@ -94,13 +94,35 @@ impl Bdm {
     /// §4.3 correctness argument for bulk invalidation requires exact
     /// decoding.
     pub fn new(config: SignatureConfig, geom: CacheGeometry, num_versions: usize) -> Self {
+        Self::new_shared(config.into_shared(), geom, num_versions)
+    }
+
+    /// [`Bdm::new`] over an already-shared configuration handle.
+    ///
+    /// The machines pass the same `Arc` they hand to their signature
+    /// arenas and section stacks, so every signature in the system shares
+    /// one pointer-identical config — binary ops stay on the
+    /// pointer-equality compatibility fast path and drop/recreate cycles
+    /// stay inside the signature pool, instead of deep-comparing layouts
+    /// and re-allocating per operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_versions` is zero, or if the signature configuration
+    /// is not exactly δ-decodable for this cache geometry — the paper's
+    /// §4.3 correctness argument for bulk invalidation requires exact
+    /// decoding.
+    pub fn new_shared(
+        config: Arc<SignatureConfig>,
+        geom: CacheGeometry,
+        num_versions: usize,
+    ) -> Self {
         assert!(num_versions > 0, "at least one version slot is required");
         assert!(
             config.is_exactly_decodable(&geom),
             "signature configuration must be exactly δ-decodable for the cache geometry"
         );
         assert_eq!(config.line_bytes(), geom.line_bytes());
-        let config = config.into_shared();
         let slots = (0..num_versions)
             .map(|_| Slot {
                 r: Signature::with_shared(config.clone()),
@@ -272,6 +294,25 @@ impl Bdm {
         }
     }
 
+    /// Non-panicking [`Bdm::disambiguate`] for a `w_c` that arrived over a
+    /// wire and may have been built under a different configuration than
+    /// this BDM's — a malformed commit must be an error, not a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigMismatch`] when `w_c`'s configuration differs from the BDM's.
+    pub fn try_disambiguate(
+        &self,
+        v: VersionId,
+        w_c: &Signature,
+    ) -> Result<Disambiguation, ConfigMismatch> {
+        let slot = self.slot(v);
+        Ok(Disambiguation {
+            conflicts_read: w_c.try_intersects(&slot.r)?,
+            conflicts_write: w_c.try_intersects(&slot.w)?,
+        })
+    }
+
     /// Disambiguation of a single-address invalidation from a
     /// non-speculative thread (paper §4.2): membership of `addr` in `R ∪ W`.
     pub fn disambiguate_addr(&self, v: VersionId, addr: Addr) -> bool {
@@ -326,11 +367,39 @@ impl Bdm {
         CommitSignatures { w, w_sh }
     }
 
+    /// [`Bdm::commit`] with the broadcast copies drawn from `arena` instead
+    /// of the allocator — the commit fast path runs once per broadcast, so
+    /// the machines recycle these buffers through their arenas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arena` was built for a different configuration.
+    pub fn commit_with(&mut self, v: VersionId, arena: &mut SignatureArena) -> CommitSignatures {
+        let slot = self.slot_mut(v);
+        let mut w = arena.take();
+        w.copy_from(&slot.w);
+        let w_sh = slot.w_sh.as_ref().map(|sh| {
+            let mut s = arena.take();
+            s.copy_from(sh);
+            s
+        });
+        slot.clear();
+        self.rebuild_registers();
+        CommitSignatures { w, w_sh }
+    }
+
+    /// Clears `v`'s signatures without copying them out — the commit
+    /// cleanup when the broadcast copy was already taken (e.g. through a
+    /// [`SignatureArena`]), sparing the clone [`Bdm::commit`] would make.
+    pub fn clear_version(&mut self, v: VersionId) {
+        self.slot_mut(v).clear();
+        self.rebuild_registers();
+    }
+
     /// Clears `v`'s signatures on squash (cache-side invalidation is done
     /// by [`crate::flows`]).
     pub fn clear_on_squash(&mut self, v: VersionId) {
-        self.slot_mut(v).clear();
-        self.rebuild_registers();
+        self.clear_version(v);
     }
 
     /// Spills `v`'s signatures for an out-of-slots context switch

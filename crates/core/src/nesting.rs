@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use bulk_mem::Addr;
-use bulk_sig::{Signature, SignatureConfig};
+use bulk_sig::{ConfigMismatch, Signature, SignatureArena, SignatureConfig};
 
 /// One code section of a nested transaction, with its signature pair.
 #[derive(Debug, Clone)]
@@ -108,6 +108,21 @@ impl SectionStack {
             .position(|s| w_c.intersects(&s.r) || w_c.intersects(&s.w))
     }
 
+    /// Non-panicking [`SectionStack::disambiguate`] for a wire-derived
+    /// `w_c` whose configuration may not match this stack's.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigMismatch`] when the configurations differ.
+    pub fn try_disambiguate(&self, w_c: &Signature) -> Result<Option<usize>, ConfigMismatch> {
+        for (i, s) in self.sections.iter().enumerate() {
+            if w_c.try_intersects(&s.r)? || w_c.try_intersects(&s.w)? {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+
     /// Rolls back section `from` and all later ones, returning how many
     /// sections were discarded. Execution restarts at the beginning of
     /// section `from`, so a fresh section is reopened in its place.
@@ -133,6 +148,17 @@ impl SectionStack {
         w
     }
 
+    /// [`SectionStack::commit_union`] with the result buffer drawn from
+    /// `arena` — the outer-commit path runs once per broadcast, so the
+    /// machines recycle the union buffer instead of allocating it.
+    pub fn commit_union_with(&self, arena: &mut SignatureArena) -> Signature {
+        let mut w = arena.take();
+        for s in &self.sections {
+            w.union_assign(&s.w);
+        }
+        w
+    }
+
     /// The union of the write signatures of sections `from..` — the bulk
     /// invalidation set for a partial rollback.
     ///
@@ -142,6 +168,21 @@ impl SectionStack {
     pub fn write_union_from(&self, from: usize) -> Signature {
         assert!(from < self.sections.len(), "section index past stack depth");
         let mut w = Signature::with_shared(self.config.clone());
+        for s in &self.sections[from..] {
+            w.union_assign(&s.w);
+        }
+        w
+    }
+
+    /// [`SectionStack::write_union_from`] with the result buffer drawn from
+    /// `arena` (partial rollbacks happen on the squash hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= depth()`.
+    pub fn write_union_from_with(&self, from: usize, arena: &mut SignatureArena) -> Signature {
+        assert!(from < self.sections.len(), "section index past stack depth");
+        let mut w = arena.take();
         for s in &self.sections[from..] {
             w.union_assign(&s.w);
         }

@@ -7,6 +7,11 @@ use bulk_mem::{Addr, CacheGeometry, LineAddr, WordAddr};
 
 use crate::BitPermutation;
 
+/// Words per SIMD lane group of the flat signature buffer. Every V-field's
+/// word span is padded to a multiple of this, so the bulk-operation loops
+/// in [`crate::Signature`] are exact u64x4 lane loops with no scalar tail.
+pub const LANES: usize = 4;
+
 /// The granularity of the addresses a signature encodes (paper §4.2):
 /// line addresses for the TM experiments, word addresses for TLS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,6 +98,23 @@ pub fn table8_spec(id: &str) -> Option<SignatureSpec> {
     table8().iter().copied().find(|s| s.id == id)
 }
 
+/// Precomputed per-field constants for the signature hot paths, packed as
+/// one cache-contiguous record per C/V pair (instead of four parallel
+/// vectors that each cost a pointer chase and a bounds check per field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FieldMeta {
+    /// Right-shift applied to the permuted key to bring the C-field to the
+    /// LSB. Capped at 63: a field whose start lies past bit 31 decodes as
+    /// value 0, exactly as the hardware would wire a missing input low.
+    pub shift: u32,
+    /// `(1 << c) - 1`: the C-field's value mask.
+    pub mask: u64,
+    /// First lane block of the field's padded span.
+    pub block_start: u32,
+    /// One past the last lane block of the field's padded span.
+    pub block_end: u32,
+}
+
 /// A complete signature configuration: chunk layout, bit permutation,
 /// encoding granularity and line size.
 ///
@@ -105,10 +127,22 @@ pub fn table8_spec(id: &str) -> Option<SignatureSpec> {
 pub struct SignatureConfig {
     chunks: Vec<u32>,
     /// Cumulative V-field offsets in bits, one per chunk, plus the total.
+    /// These are the *canonical* flat-bit positions used by the RLE codec
+    /// and the sealed wire format; they are packed with no padding.
     field_offsets: Vec<u64>,
+    /// Cumulative V-field offsets in u64 words of the in-memory flat
+    /// buffer, one per chunk, plus the total. Each field's span is padded
+    /// to a multiple of [`LANES`] words so bulk operations run as exact
+    /// u64x4 lane loops; padding words are invariantly zero.
+    word_starts: Vec<usize>,
     /// Bit position (LSB-relative, in the permuted key) where each chunk
     /// starts.
     chunk_starts: Vec<u32>,
+    /// Per-field hot-path constants, derived from the three vectors above.
+    fields_meta: Vec<FieldMeta>,
+    /// Whether every V-field spans exactly one lane block (true for the
+    /// small Table 8 configs, whose chunks are ≤ 8 bits).
+    single_block: bool,
     permutation: BitPermutation,
     granularity: Granularity,
     line_bytes: u32,
@@ -135,17 +169,43 @@ impl SignatureConfig {
         );
         assert!(line_bytes.is_power_of_two() && line_bytes >= 4);
         let mut field_offsets = Vec::with_capacity(chunks.len() + 1);
+        let mut word_starts = Vec::with_capacity(chunks.len() + 1);
         let mut chunk_starts = Vec::with_capacity(chunks.len());
         let mut bit_off = 0u64;
+        let mut word_off = 0usize;
         let mut key_off = 0u32;
         for &c in &chunks {
             field_offsets.push(bit_off);
+            word_starts.push(word_off);
             chunk_starts.push(key_off);
             bit_off += 1u64 << c;
+            word_off += ((1usize << c).div_ceil(64)).next_multiple_of(LANES);
             key_off += c;
         }
         field_offsets.push(bit_off);
-        SignatureConfig { chunks, field_offsets, chunk_starts, permutation, granularity, line_bytes }
+        word_starts.push(word_off);
+        let fields_meta = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| FieldMeta {
+                shift: chunk_starts[i].min(63),
+                mask: (1u64 << c) - 1,
+                block_start: (word_starts[i] / LANES) as u32,
+                block_end: (word_starts[i + 1] / LANES) as u32,
+            })
+            .collect::<Vec<FieldMeta>>();
+        let single_block = fields_meta.iter().all(|m| m.block_end - m.block_start == 1);
+        SignatureConfig {
+            chunks,
+            field_offsets,
+            word_starts,
+            chunk_starts,
+            fields_meta,
+            single_block,
+            permutation,
+            granularity,
+            line_bytes,
+        }
     }
 
     /// Builds a configuration from a Table 8 spec.
@@ -205,9 +265,50 @@ impl SignatureConfig {
         self.field_offsets[i]..self.field_offsets[i + 1]
     }
 
+    /// Total u64 words of the in-memory flat buffer, padding included.
+    /// Always a multiple of [`LANES`].
+    pub fn total_words(&self) -> usize {
+        *self.word_starts.last().expect("word starts nonempty")
+    }
+
+    /// Word index where V-field `i`'s span starts in the flat buffer.
+    /// Always a multiple of [`LANES`].
+    #[inline]
+    pub fn field_word_start(&self, i: usize) -> usize {
+        self.word_starts[i]
+    }
+
+    /// Padded word range of V-field `i` in the flat buffer (its span up to
+    /// the next field's start; trailing padding words are always zero).
+    #[inline]
+    pub fn field_word_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.word_starts[i]..self.word_starts[i + 1]
+    }
+
+    /// Number of *logical* (non-padding) words V-field `i` occupies:
+    /// `ceil(2^cᵢ / 64)`.
+    #[inline]
+    pub fn field_words(&self, i: usize) -> usize {
+        (1usize << self.chunks[i]).div_ceil(64)
+    }
+
     /// Bit position in the permuted key where C-field `i` starts.
     pub fn chunk_start(&self, i: usize) -> u32 {
         self.chunk_starts[i]
+    }
+
+    /// The per-field hot-path constants.
+    #[inline]
+    pub(crate) fn fields_meta(&self) -> &[FieldMeta] {
+        &self.fields_meta
+    }
+
+    /// Whether every V-field spans exactly one lane block. The
+    /// disambiguation test then degenerates to one AND-test per block with
+    /// no inner loop.
+    #[inline]
+    pub(crate) fn fields_single_block(&self) -> bool {
+        self.single_block
     }
 
     /// The permutation applied before chunk extraction.

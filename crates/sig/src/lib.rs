@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod config;
 mod decode;
 mod expansion;
@@ -48,11 +49,12 @@ mod sealed;
 mod signature;
 mod word_bitmask;
 
-pub use config::{table8, table8_spec, Granularity, SignatureConfig, SignatureSpec};
+pub use arena::SignatureArena;
+pub use config::{table8, table8_spec, Granularity, SignatureConfig, SignatureSpec, LANES};
 pub use decode::SetBitmask;
 pub use expansion::ExpandedLine;
 pub use permute::{BitPermutation, InvalidPermutationError};
 pub use rle::CompressedSignature;
 pub use sealed::{crc64, Delivery, SealedSignature};
-pub use signature::Signature;
+pub use signature::{ConfigMismatch, Signature};
 pub use word_bitmask::{merge_line, WordBitmask};

@@ -25,9 +25,61 @@ use bulk_rng::Rng;
 /// assert_eq!(p.apply(0b10), 0b01);
 /// assert_eq!(p.apply(0b100), 0b100); // untouched high bit
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct BitPermutation {
     map: Vec<u8>,
+    /// Byte-indexed scatter tables: `tables[k][b]` is the permuted image of
+    /// input byte `b` at bit positions `8k..8k+8` (pass-through included
+    /// for bits at or above the permutation width). [`BitPermutation::apply`]
+    /// is then four loads and three ORs instead of a per-bit loop — the
+    /// permutation sits on the insert/membership hot path. `None` for the
+    /// identity permutation.
+    tables: Option<Box<[[u32; 256]; 4]>>,
+}
+
+impl PartialEq for BitPermutation {
+    fn eq(&self, other: &Self) -> bool {
+        self.map == other.map
+    }
+}
+
+impl Eq for BitPermutation {}
+
+impl std::hash::Hash for BitPermutation {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.map.hash(state);
+    }
+}
+
+impl std::fmt::Debug for BitPermutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BitPermutation").field("map", &self.map).finish()
+    }
+}
+
+/// Builds the byte-indexed scatter tables for a non-identity `map`.
+fn build_tables(map: &[u8]) -> Box<[[u32; 256]; 4]> {
+    // Destination of every source bit (pass-through above the width).
+    let mut dest = [0u8; 32];
+    for (i, d) in dest.iter_mut().enumerate() {
+        *d = i as u8;
+    }
+    for (dst, &src) in map.iter().enumerate() {
+        dest[src as usize] = dst as u8;
+    }
+    let mut tables = Box::new([[0u32; 256]; 4]);
+    for k in 0..4 {
+        for b in 0..256usize {
+            let mut out = 0u32;
+            for bit in 0..8 {
+                if b >> bit & 1 == 1 {
+                    out |= 1u32 << dest[k * 8 + bit];
+                }
+            }
+            tables[k][b] = out;
+        }
+    }
+    tables
 }
 
 /// Error returned when a bit-index list is not a permutation of `0..len`.
@@ -48,7 +100,13 @@ impl std::error::Error for InvalidPermutationError {}
 impl BitPermutation {
     /// The identity permutation (no reordering).
     pub fn identity() -> Self {
-        BitPermutation { map: Vec::new() }
+        BitPermutation { map: Vec::new(), tables: None }
+    }
+
+    /// Internal constructor for a map already known to be a permutation.
+    fn from_valid_map(map: Vec<u8>) -> Self {
+        let tables = if map.is_empty() { None } else { Some(build_tables(&map)) };
+        BitPermutation { map, tables }
     }
 
     /// Builds a permutation from a destination-ordered list of source bit
@@ -69,7 +127,7 @@ impl BitPermutation {
             }
             seen[b as usize] = true;
         }
-        Ok(BitPermutation { map })
+        Ok(BitPermutation::from_valid_map(map))
     }
 
     /// The paper's TM permutation (Table 5), over 26-bit line addresses:
@@ -103,7 +161,7 @@ impl BitPermutation {
         tail.shuffle(rng);
         let mut map: Vec<u8> = (0..fixed_low).collect();
         map.extend(tail);
-        BitPermutation { map }
+        BitPermutation::from_valid_map(map)
     }
 
     /// Number of bits the permutation covers.
@@ -116,19 +174,19 @@ impl BitPermutation {
         &self.map
     }
 
-    /// Applies the permutation to an address key.
+    /// Applies the permutation to an address key. Branch-free for
+    /// non-identity permutations: one table load per input byte.
     #[inline]
     pub fn apply(&self, key: u32) -> u32 {
-        if self.map.is_empty() {
-            return key;
+        match &self.tables {
+            None => key,
+            Some(t) => {
+                t[0][(key & 0xff) as usize]
+                    | t[1][(key >> 8 & 0xff) as usize]
+                    | t[2][(key >> 16 & 0xff) as usize]
+                    | t[3][(key >> 24) as usize]
+            }
         }
-        let w = self.map.len();
-        let low_mask: u32 = if w == 32 { u32::MAX } else { (1u32 << w) - 1 };
-        let mut out = key & !low_mask;
-        for (dst, &src) in self.map.iter().enumerate() {
-            out |= ((key >> src) & 1) << dst;
-        }
-        out
     }
 
     /// Where source bit `src` lands after permutation.
@@ -147,7 +205,7 @@ impl BitPermutation {
         for (dst, &src) in self.map.iter().enumerate() {
             inv[src as usize] = dst as u8;
         }
-        BitPermutation { map: inv }
+        BitPermutation::from_valid_map(inv)
     }
 }
 
@@ -225,6 +283,23 @@ mod tests {
         let a = BitPermutation::random(20, 0, &mut SmallRng::seed_from_u64(1));
         let b = BitPermutation::random(20, 0, &mut SmallRng::seed_from_u64(1));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_apply_matches_per_bit_reference() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for width in [8u8, 20, 26, 30, 32] {
+            let p = BitPermutation::random(width, 0, &mut rng);
+            for k in [0u32, 1, 0x2bad_cafe, 0x03ff_ffff, 0x1234_5678, u32::MAX] {
+                let w = p.map().len();
+                let low_mask: u32 = if w == 32 { u32::MAX } else { (1u32 << w) - 1 };
+                let mut expect = k & !low_mask;
+                for (dst, &src) in p.map().iter().enumerate() {
+                    expect |= ((k >> src) & 1) << dst;
+                }
+                assert_eq!(p.apply(k), expect, "width {width}, key {k:#x}");
+            }
+        }
     }
 
     #[test]

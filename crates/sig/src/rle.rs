@@ -10,6 +10,13 @@
 //! Layout: `gamma(popcount + 1)` followed by, per set bit, `gamma(gap + 1)`
 //! where `gap` is the distance from the previous set bit (or from position
 //! −1 for the first).
+//!
+//! Both [`Signature::compress`] and [`Signature::compressed_size_bits`]
+//! consume the same [`gap_codes`] iterator, so the accounted size cannot
+//! drift from the materialised code. Decompression validates everything —
+//! length header vs. byte buffer, gap overflow, out-of-range positions and
+//! trailing garbage — and returns `None` rather than panicking, because
+//! compressed codes arrive from the wire.
 
 use std::sync::Arc;
 
@@ -23,6 +30,15 @@ pub struct CompressedSignature {
 }
 
 impl CompressedSignature {
+    /// Reconstructs a compressed signature from raw wire bytes and the
+    /// advertised code length in bits. No validation happens here — the
+    /// buffer and length may disagree, the code may be truncated or
+    /// corrupt; [`Signature::decompress`] checks all of that and returns
+    /// `None` for any malformed code.
+    pub fn from_raw(bytes: Vec<u8>, bit_len: u64) -> CompressedSignature {
+        CompressedSignature { bits: bytes, bit_len }
+    }
+
     /// The exact compressed size in bits (what travels on the wire).
     pub fn size_bits(&self) -> u64 {
         self.bit_len
@@ -49,27 +65,37 @@ impl BitWriter {
         BitWriter { bytes: Vec::new(), bit_len: 0 }
     }
 
-    fn push_bit(&mut self, bit: bool) {
-        if self.bit_len.is_multiple_of(8) {
-            self.bytes.push(0);
-        }
-        if bit {
+    /// Appends the low `width` bits of `value`, MSB-first, packing whole
+    /// byte fragments at a time rather than looping per bit.
+    fn push_bits(&mut self, value: u64, width: u32) {
+        debug_assert!(width >= 1 && width <= 64);
+        debug_assert!(width == 64 || value >> width == 0);
+        let mut rem = width;
+        while rem > 0 {
+            let used = (self.bit_len % 8) as u32;
+            if used == 0 {
+                self.bytes.push(0);
+            }
+            let free = 8 - used;
+            let take = free.min(rem);
+            let chunk = value >> (rem - take) & ((1u64 << take) - 1);
             let last = self.bytes.last_mut().expect("byte allocated");
-            *last |= 1 << (7 - (self.bit_len % 8));
+            *last |= (chunk as u8) << (free - take);
+            self.bit_len += u64::from(take);
+            rem -= take;
         }
-        self.bit_len += 1;
     }
 
     /// Elias-gamma: for n ≥ 1, `floor(log2 n)` zeros then n in binary.
+    /// The leading zeros and the value are two `push_bits` calls (the full
+    /// `2L−1`-bit code can exceed one u64 for very large n).
     fn push_gamma(&mut self, n: u64) {
         debug_assert!(n >= 1);
-        let bits = 64 - n.leading_zeros() as u64; // floor(log2 n) + 1
-        for _ in 0..bits - 1 {
-            self.push_bit(false);
+        let bits = 64 - n.leading_zeros(); // floor(log2 n) + 1
+        if bits > 1 {
+            self.push_bits(0, bits - 1);
         }
-        for i in (0..bits).rev() {
-            self.push_bit(n >> i & 1 == 1);
-        }
+        self.push_bits(n, bits);
     }
 }
 
@@ -111,43 +137,56 @@ fn gamma_len(n: u64) -> u64 {
     2 * (64 - n.leading_zeros() as u64) - 1
 }
 
+/// The gamma-code operands of `sig`'s RLE code, in wire order: the count
+/// header (`popcount + 1`) followed by each set bit's gap-plus-one from its
+/// predecessor. The single source of truth shared by [`Signature::compress`]
+/// and [`Signature::compressed_size_bits`].
+fn gap_codes(sig: &Signature) -> impl Iterator<Item = u64> + '_ {
+    // cursor = previous position + 1, so gap-plus-one = p + 1 - cursor
+    // stays in u64 (the first "previous position" is −1).
+    std::iter::once(sig.popcount() + 1).chain(sig.iter_flat_positions().scan(
+        0u64,
+        |cursor, p| {
+            let gap = p + 1 - *cursor;
+            *cursor = p + 1;
+            Some(gap)
+        },
+    ))
+}
+
 impl Signature {
     /// Compresses the signature with run-length (Elias-gamma gap) coding.
     pub fn compress(&self) -> CompressedSignature {
         let mut w = BitWriter::new();
-        let positions = set_positions(self);
-        w.push_gamma(positions.len() as u64 + 1);
-        let mut prev: i64 = -1;
-        for p in &positions {
-            let gap = *p as i64 - prev;
-            w.push_gamma(gap as u64); // gap >= 1
-            prev = *p as i64;
+        for n in gap_codes(self) {
+            w.push_gamma(n);
         }
         CompressedSignature { bits: w.bytes, bit_len: w.bit_len }
     }
 
     /// The compressed size in bits without materialising the code — used by
-    /// bandwidth accounting on every commit.
+    /// bandwidth accounting on every commit. Sums the same gap stream
+    /// [`Signature::compress`] writes, so the two cannot disagree.
     pub fn compressed_size_bits(&self) -> u64 {
-        let positions = set_positions(self);
-        let mut total = gamma_len(positions.len() as u64 + 1);
-        let mut prev: i64 = -1;
-        for p in &positions {
-            total += gamma_len((*p as i64 - prev) as u64);
-            prev = *p as i64;
-        }
-        total
+        gap_codes(self).map(gamma_len).sum()
     }
 
     /// Decompresses a [`CompressedSignature`] produced by [`Signature::compress`]
     /// under the same configuration.
     ///
-    /// Returns `None` if the code is malformed or encodes bit positions
-    /// beyond the configuration's size.
+    /// Returns `None` — never panics — if the code is malformed in any way:
+    /// `bit_len` overstating the byte buffer, truncated or overlong gamma
+    /// codes, gap accumulation overflowing, bit positions beyond the
+    /// configuration's size, or non-zero garbage after the last gap.
     pub fn decompress(
         config: Arc<SignatureConfig>,
         compressed: &CompressedSignature,
     ) -> Option<Signature> {
+        // The length header must be covered by the byte buffer, or
+        // `read_bit` would index out of bounds.
+        if compressed.bit_len > compressed.bits.len() as u64 * 8 {
+            return None;
+        }
         let mut r = BitReader {
             bytes: &compressed.bits,
             pos: 0,
@@ -156,32 +195,28 @@ impl Signature {
         let count = r.read_gamma()?.checked_sub(1)?;
         let size = config.size_bits();
         let mut flat = vec![0u64; size.div_ceil(64) as usize];
-        let mut prev: i64 = -1;
+        // cursor = previous position + 1 (0 before the first bit), so the
+        // decoded position is cursor + gap − 1, all in u64 — no signed
+        // arithmetic to overflow on adversarial gaps.
+        let mut cursor: u64 = 0;
         for _ in 0..count {
-            let gap = r.read_gamma()? as i64;
-            let pos = prev + gap;
-            if pos < 0 || pos as u64 >= size {
+            let gap = r.read_gamma()?;
+            let pos = cursor.checked_add(gap)?.checked_sub(1)?;
+            if pos >= size {
                 return None;
             }
             flat[(pos / 64) as usize] |= 1u64 << (pos % 64);
-            prev = pos;
+            cursor = pos + 1;
+        }
+        // Anything after the last gap must be zero padding; a set bit there
+        // means the code and its advertised length disagree.
+        while let Some(bit) = r.read_bit() {
+            if bit {
+                return None;
+            }
         }
         Some(Signature::from_flat_bits(config, &flat))
     }
-}
-
-/// Ascending flat-bit positions of the signature's set bits.
-fn set_positions(sig: &Signature) -> Vec<u64> {
-    let flat = sig.flat_bits();
-    let mut out = Vec::new();
-    for (wi, &w) in flat.iter().enumerate() {
-        let mut w = w;
-        while w != 0 {
-            out.push(wi as u64 * 64 + w.trailing_zeros() as u64);
-            w &= w - 1;
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -251,9 +286,52 @@ mod tests {
     #[test]
     fn malformed_code_rejected() {
         let s = sample_signature(10);
-        let mut c = s.compress();
-        c.bit_len = c.bit_len.min(3); // truncate
-        assert!(Signature::decompress(s.config().clone(), &c).is_none());
+        let c = s.compress();
+        let truncated =
+            CompressedSignature::from_raw(c.as_bytes().to_vec(), c.size_bits().min(3));
+        assert!(Signature::decompress(s.config().clone(), &truncated).is_none());
+    }
+
+    #[test]
+    fn bit_len_beyond_buffer_rejected() {
+        // Advertised length points past the byte buffer: must be refused
+        // before any read, not crash indexing.
+        let s = sample_signature(5);
+        let c = s.compress();
+        let lying =
+            CompressedSignature::from_raw(c.as_bytes().to_vec(), c.as_bytes().len() as u64 * 8 + 64);
+        assert!(Signature::decompress(s.config().clone(), &lying).is_none());
+    }
+
+    #[test]
+    fn gap_overflow_rejected() {
+        // A hand-built code whose single gap is astronomically large: the
+        // position check (not wraparound) must reject it.
+        let mut w = BitWriter::new();
+        w.push_gamma(2); // count = 1
+        w.push_gamma(u64::MAX >> 1); // gap-plus-one ≈ 2^63
+        let c = CompressedSignature { bits: w.bytes, bit_len: w.bit_len };
+        let cfg = Arc::new(SignatureConfig::s14_tm());
+        assert!(Signature::decompress(cfg, &c).is_none());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let s = sample_signature(4);
+        let c = s.compress();
+        // Append a set bit after the genuine code.
+        let mut bytes = c.as_bytes().to_vec();
+        bytes.push(0x80);
+        let garbage = CompressedSignature::from_raw(bytes, c.size_bits() + 8);
+        assert!(Signature::decompress(s.config().clone(), &garbage).is_none());
+        // But pure zero padding after the code is legal framing.
+        let mut padded_bytes = c.as_bytes().to_vec();
+        padded_bytes.push(0x00);
+        let padded = CompressedSignature::from_raw(padded_bytes, c.size_bits() + 8);
+        assert_eq!(
+            Signature::decompress(s.config().clone(), &padded).unwrap(),
+            s
+        );
     }
 
     #[test]

@@ -1,12 +1,90 @@
 //! The signature register and the primitive bulk operations of the paper's
 //! Table 1: intersection (∩), union (∪), emptiness (= ∅) and membership (∈).
 
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::sync::Arc;
 
 use bulk_mem::{Addr, LineAddr, WordAddr};
 
+use crate::config::LANES;
 use crate::{Granularity, SignatureConfig};
+
+/// One 32-byte-aligned group of [`LANES`] u64 words — the unit the bulk
+/// operations process per loop iteration. The alignment keeps every lane
+/// load inside a single cache line and lets the compiler emit full-width
+/// vector loads/stores for the unrolled loops.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C, align(32))]
+struct LaneBlock([u64; LANES]);
+
+/// log2 of the bits per lane block: bit `v` of a field lives in block
+/// `v >> BLOCK_SHIFT` of the field's span.
+const BLOCK_SHIFT: u32 = 6 + (LANES as u32).trailing_zeros();
+
+/// At most this many parked signatures are kept per thread.
+const POOL_CAP: usize = 32;
+
+/// A parked `(config, buffer)` pair awaiting reuse.
+type Parked = (Arc<SignatureConfig>, Vec<LaneBlock>);
+
+thread_local! {
+    /// One-slot front cache of the pool: the most recently dropped
+    /// signature. `Cell` take/replace are plain moves — no borrow flags,
+    /// no scan — so the drop-then-recreate cycle of the union/intersect/
+    /// commit hot paths touches only this slot.
+    static SIG_SLOT: Cell<Option<Parked>> = const { Cell::new(None) };
+    /// Overflow free list of parked `(config, buffer)` pairs.
+    ///
+    /// Every `Signature` drop parks its config handle *and* buffer here,
+    /// and every construction for a pointer-identical config reuses a
+    /// parked pair. In steady state the hot paths therefore skip both the
+    /// (32-byte-aligned, hence slow-path) allocator and the `Arc` refcount
+    /// atomics — the two dominant fixed costs of materialising a
+    /// signature. A linear `ptr_eq` scan over at most [`POOL_CAP`] pairs
+    /// beats any map for the one-or-two-config common case.
+    static SIG_POOL: RefCell<Vec<Parked>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a parked pair for exactly this shared config (pointer identity,
+/// so the buffer length is guaranteed to match). Contents are stale.
+fn pool_take(cfg: &Arc<SignatureConfig>) -> Option<Parked> {
+    if let Some(pair) = SIG_SLOT.with(Cell::take) {
+        if Arc::ptr_eq(&pair.0, cfg) {
+            return Some(pair);
+        }
+        SIG_SLOT.with(|s| s.set(Some(pair)));
+    }
+    SIG_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        let i = pool.iter().position(|(c, _)| Arc::ptr_eq(c, cfg))?;
+        Some(pool.swap_remove(i))
+    })
+}
+
+/// Parks a pair for reuse in the front slot, displacing the previous
+/// occupant into the overflow list. When that list is full, an entry whose
+/// config is referenced by nobody else (a dead, unshared config — e.g.
+/// from [`Signature::new`]) is evicted first; otherwise the displaced pair
+/// is dropped.
+fn pool_give(cfg: Arc<SignatureConfig>, buf: Vec<LaneBlock>) {
+    if buf.is_empty() {
+        return;
+    }
+    let Some(prev) = SIG_SLOT.with(|s| s.replace(Some((cfg, buf)))) else {
+        return;
+    };
+    SIG_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < POOL_CAP {
+            pool.push(prev);
+        } else if let Some(i) =
+            pool.iter().position(|(c, _)| Arc::strong_count(c) == 1)
+        {
+            pool[i] = prev;
+        }
+    });
+}
 
 /// A hardware address signature (paper §3.1): a fixed-size register that
 /// hash-encodes a set of addresses as a superset.
@@ -20,6 +98,14 @@ use crate::{Granularity, SignatureConfig};
 /// positives, never false negatives; `intersect` yields a superset of the
 /// true intersection.
 ///
+/// # Storage
+///
+/// All V-fields live in one flat, 32-byte-aligned u64 buffer. Each field's
+/// word span is padded to a multiple of [`LANES`] words (padding words are
+/// invariantly zero), so intersection, union, clear, popcount, emptiness
+/// and the disambiguation test are exact u64x4 lane loops with no scalar
+/// tail — the word-parallel model the paper assumes of the hardware.
+///
 /// ```
 /// use bulk_sig::{Signature, SignatureConfig};
 /// use bulk_mem::Addr;
@@ -31,11 +117,87 @@ use crate::{Granularity, SignatureConfig};
 /// assert!(w.contains_addr(Addr::new(0x8000)));
 /// assert!(w.contains_addr(Addr::new(0x8004))); // same line
 /// ```
-#[derive(Clone)]
 pub struct Signature {
-    config: Arc<SignatureConfig>,
-    /// One bit vector per V-field.
-    fields: Vec<Vec<u64>>,
+    /// Always `Some` while the signature is alive; taken only inside
+    /// `Drop`, which moves the handle into the thread-local pool together
+    /// with the buffer (no refcount round trip).
+    config: Option<Arc<SignatureConfig>>,
+    /// The flat V-field buffer; see the struct docs for the layout.
+    buf: Vec<LaneBlock>,
+}
+
+impl Clone for Signature {
+    fn clone(&self) -> Self {
+        let (config, mut buf) = take_or_alloc_dirty(self.config());
+        buf.copy_from_slice(&self.buf);
+        Signature { config: Some(config), buf }
+    }
+}
+
+impl Drop for Signature {
+    fn drop(&mut self) {
+        if let Some(cfg) = self.config.take() {
+            pool_give(cfg, std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+/// An owned config handle plus a matching buffer whose contents the caller
+/// overwrites entirely — from the pool when possible (stale contents, no
+/// atomics), freshly allocated otherwise.
+#[inline]
+fn take_or_alloc_dirty(
+    cfg: &Arc<SignatureConfig>,
+) -> (Arc<SignatureConfig>, Vec<LaneBlock>) {
+    pool_take(cfg).unwrap_or_else(|| {
+        let blocks = cfg.total_words() / LANES;
+        (cfg.clone(), vec![LaneBlock::default(); blocks])
+    })
+}
+
+/// Error from the `try_*` operations: the two signatures were built from
+/// different configurations, so their bit layouts are not comparable.
+/// Signatures that arrive over a wire (sealed commit broadcasts, and soon
+/// sockets) take this path instead of the panicking operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigMismatch {
+    /// Total size in bits of the left-hand signature's configuration.
+    pub left_bits: u64,
+    /// Total size in bits of the right-hand signature's configuration.
+    pub right_bits: u64,
+}
+
+impl fmt::Display for ConfigMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "signature operation on incompatible configurations \
+             ({}-bit vs {}-bit layout)",
+            self.left_bits, self.right_bits
+        )
+    }
+}
+
+impl std::error::Error for ConfigMismatch {}
+
+/// Whether the AND of two aligned blocks is all-zero, phrased as a whole
+/// 32-byte array compare so LLVM lowers it to a single wide test
+/// (`vpand` + `vptest` on AVX2) instead of a scalar OR-reduction chain.
+#[inline(always)]
+fn block_and_is_zero(x: &LaneBlock, y: &LaneBlock) -> bool {
+    let mut m = [0u64; LANES];
+    for l in 0..LANES {
+        m[l] = x.0[l] & y.0[l];
+    }
+    m == [0u64; LANES]
+}
+
+/// Out-of-line panic for [`Signature::check_compatible`], keeping the
+/// inline fast path free of format machinery.
+#[cold]
+#[inline(never)]
+fn incompatible_panic() -> ! {
+    panic!("signature operation on incompatible configurations");
 }
 
 impl Signature {
@@ -46,35 +208,65 @@ impl Signature {
 
     /// Creates an empty signature sharing an existing configuration
     /// (preferred when many signatures use one config).
+    #[inline]
     pub fn with_shared(config: Arc<SignatureConfig>) -> Self {
-        let fields = config
-            .chunks()
-            .iter()
-            .map(|&c| vec![0u64; Self::words_for(c)])
-            .collect();
-        Signature { config, fields }
-    }
-
-    fn words_for(chunk_bits: u32) -> usize {
-        (1u64 << chunk_bits).div_ceil(64) as usize
+        match pool_take(&config) {
+            Some((cfg, mut buf)) => {
+                buf.fill(LaneBlock::default());
+                Signature { config: Some(cfg), buf }
+            }
+            None => {
+                let blocks = config.total_words() / LANES;
+                Signature { config: Some(config), buf: vec![LaneBlock::default(); blocks] }
+            }
+        }
     }
 
     /// The signature's configuration.
+    #[inline]
     pub fn config(&self) -> &Arc<SignatureConfig> {
-        &self.config
+        self.config.as_ref().expect("config taken only in Drop")
+    }
+
+    /// The configuration by reference (the hot-path accessor).
+    #[inline(always)]
+    fn cfg(&self) -> &SignatureConfig {
+        self.config.as_deref().expect("config taken only in Drop")
+    }
+
+    #[inline(always)]
+    fn word(&self, w: usize) -> u64 {
+        self.buf[w / LANES].0[w % LANES]
+    }
+
+    #[inline(always)]
+    fn word_mut(&mut self, w: usize) -> &mut u64 {
+        &mut self.buf[w / LANES].0[w % LANES]
     }
 
     /// Adds a raw key (an already granularity-converted address).
+    ///
+    /// Field spans start on block boundaries, so a C-field value `v` lands
+    /// in block `block_start + v / 256` at lane `(v / 64) % LANES` — one
+    /// bounds-checked block index per field, with the lane index provably
+    /// in range.
+    #[inline]
     pub fn insert_key(&mut self, key: u32) {
-        for (i, v) in self.config.chunk_values(key) {
-            self.fields[i][(v / 64) as usize] |= 1u64 << (v % 64);
+        let permuted = u64::from(self.cfg().permutation().apply(key));
+        let Signature { config, buf } = self;
+        let config = config.as_deref().expect("config taken only in Drop");
+        for m in config.fields_meta() {
+            let v = (permuted >> m.shift) & m.mask;
+            let blk = m.block_start as usize + (v >> BLOCK_SHIFT) as usize;
+            buf[blk].0[(v >> 6) as usize % LANES] |= 1u64 << (v & 63);
         }
     }
 
     /// Adds the line/word containing the byte address `addr`, according to
     /// the config's granularity.
+    #[inline]
     pub fn insert_addr(&mut self, addr: Addr) {
-        self.insert_key(self.config.key_of_addr(addr));
+        self.insert_key(self.cfg().key_of_addr(addr));
     }
 
     /// Adds a line address (line-granularity configs only).
@@ -82,8 +274,9 @@ impl Signature {
     /// # Panics
     ///
     /// Panics in debug builds if the config encodes word addresses.
+    #[inline]
     pub fn insert_line(&mut self, line: LineAddr) {
-        self.insert_key(self.config.key_of_line(line));
+        self.insert_key(self.cfg().key_of_line(line));
     }
 
     /// Adds a word address (word-granularity configs only).
@@ -91,31 +284,46 @@ impl Signature {
     /// # Panics
     ///
     /// Panics in debug builds if the config encodes line addresses.
+    #[inline]
     pub fn insert_word(&mut self, word: WordAddr) {
-        self.insert_key(self.config.key_of_word(word));
+        self.insert_key(self.cfg().key_of_word(word));
     }
 
     /// Membership test for a raw key (∈ of Table 1). May return false
-    /// positives, never false negatives.
+    /// positives, never false negatives. Short-circuits on the first clear
+    /// field bit — with realistic occupancies most misses are settled by
+    /// field 0, so the early exit wins over the branch-free AND reduction.
+    #[inline]
     pub fn contains_key(&self, key: u32) -> bool {
-        self.config
-            .chunk_values(key)
-            .all(|(i, v)| self.fields[i][(v / 64) as usize] >> (v % 64) & 1 == 1)
+        let cfg = self.cfg();
+        let permuted = u64::from(cfg.permutation().apply(key));
+        let buf = self.buf.as_slice();
+        for m in cfg.fields_meta() {
+            let v = (permuted >> m.shift) & m.mask;
+            let blk = m.block_start as usize + (v >> BLOCK_SHIFT) as usize;
+            if buf[blk].0[(v >> 6) as usize % LANES] >> (v & 63) & 1 == 0 {
+                return false;
+            }
+        }
+        true
     }
 
     /// Membership test for a byte address at the config's granularity.
+    #[inline]
     pub fn contains_addr(&self, addr: Addr) -> bool {
-        self.contains_key(self.config.key_of_addr(addr))
+        self.contains_key(self.cfg().key_of_addr(addr))
     }
 
     /// Membership test for a line address (line-granularity configs).
+    #[inline]
     pub fn contains_line(&self, line: LineAddr) -> bool {
-        self.contains_key(self.config.key_of_line(line))
+        self.contains_key(self.cfg().key_of_line(line))
     }
 
     /// Membership test for a word address (word-granularity configs).
+    #[inline]
     pub fn contains_word(&self, word: WordAddr) -> bool {
-        self.contains_key(self.config.key_of_word(word))
+        self.contains_key(self.cfg().key_of_word(word))
     }
 
     /// Whether any word of `line` may be in the signature. This is how a
@@ -123,20 +331,45 @@ impl Signature {
     /// invalidation walks cache lines). For line-granularity configs this
     /// is the plain line membership test.
     pub fn contains_any_word_of_line(&self, line: LineAddr) -> bool {
-        match self.config.granularity() {
+        match self.cfg().granularity() {
             Granularity::Line => self.contains_line(line),
             Granularity::Word => line
-                .words(self.config.line_bytes())
+                .words(self.cfg().line_bytes())
                 .any(|w| self.contains_word(w)),
         }
+    }
+
+    /// OR-reduction of V-field `i`'s words (nonzero iff the field holds any
+    /// bit), as a four-accumulator lane loop.
+    #[inline]
+    fn field_or_reduce(&self, i: usize) -> u64 {
+        let r = self.cfg().field_word_range(i);
+        let mut acc = [0u64; LANES];
+        for blk in &self.buf[r.start / LANES..r.end / LANES] {
+            for l in 0..LANES {
+                acc[l] |= blk.0[l];
+            }
+        }
+        acc.iter().fold(0, |a, &x| a | x)
+    }
+
+    /// Number of set bits in V-field `i`, as a lane loop.
+    #[inline]
+    fn field_popcount(&self, i: usize) -> u64 {
+        let r = self.cfg().field_word_range(i);
+        let mut acc = [0u64; LANES];
+        for blk in &self.buf[r.start / LANES..r.end / LANES] {
+            for l in 0..LANES {
+                acc[l] += blk.0[l].count_ones() as u64;
+            }
+        }
+        acc.iter().sum()
     }
 
     /// The emptiness test of Table 1: true iff at least one V-field is
     /// all-zero, in which case the signature encodes no address.
     pub fn is_empty(&self) -> bool {
-        self.fields
-            .iter()
-            .any(|f| f.iter().all(|&w| w == 0))
+        (0..self.cfg().num_fields()).any(|i| self.field_or_reduce(i) == 0)
     }
 
     /// Signature intersection (∩ of Table 1): bit-wise AND.
@@ -144,29 +377,76 @@ impl Signature {
     /// # Panics
     ///
     /// Panics if the two signatures have different configurations.
+    #[inline]
     pub fn intersect(&self, other: &Signature) -> Signature {
         self.check_compatible(other);
-        let fields = self
-            .fields
-            .iter()
-            .zip(&other.fields)
-            .map(|(a, b)| a.iter().zip(b).map(|(x, y)| x & y).collect())
-            .collect();
-        Signature { config: self.config.clone(), fields }
+        let (config, mut buf) = take_or_alloc_dirty(self.config());
+        for ((o, a), b) in buf.iter_mut().zip(&self.buf).zip(&other.buf) {
+            for l in 0..LANES {
+                o.0[l] = a.0[l] & b.0[l];
+            }
+        }
+        Signature { config: Some(config), buf }
     }
 
     /// Whether `self ∩ other ≠ ∅`, without materialising the intersection.
     /// This is the core of bulk address disambiguation (paper Eq. 1).
     ///
+    /// The scan short-circuits at lane-block granularity in both
+    /// directions: a field is proven nonempty by its first intersecting
+    /// block, and the whole test is settled the moment any field's AND
+    /// comes up all-zero. Semantically identical to the full reduction
+    /// (the equivalence suite pins it), but the common disambiguation
+    /// probe touches only a block or two per field.
+    ///
     /// # Panics
     ///
     /// Panics if the two signatures have different configurations.
+    #[inline]
     pub fn intersects(&self, other: &Signature) -> bool {
         self.check_compatible(other);
-        self.fields
-            .iter()
-            .zip(&other.fields)
-            .all(|(a, b)| a.iter().zip(b).any(|(x, y)| x & y != 0))
+        let cfg = self.cfg();
+        let a = self.buf.as_slice();
+        let b = other.buf.as_slice();
+        // Fields that each span exactly one block need no inner loop or
+        // slicing: block i *is* field i.
+        if cfg.fields_single_block() {
+            let mut hit = true;
+            for (x, y) in a.iter().zip(b) {
+                hit &= !block_and_is_zero(x, y);
+            }
+            return hit;
+        }
+        // Clamping every block index to the shorter buffer lets the
+        // optimiser drop the per-field slice bounds checks; the clamps
+        // never bind for compatible signatures (field spans cover the
+        // buffer exactly).
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        'fields: for m in cfg.fields_meta() {
+            let e = (m.block_end as usize).min(n);
+            let mut blk = (m.block_start as usize).min(e);
+            while blk < e {
+                if !block_and_is_zero(&a[blk], &b[blk]) {
+                    continue 'fields;
+                }
+                blk += 1;
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Non-panicking [`Signature::intersects`]: the safe surface for
+    /// signatures that arrived over a wire and may not share this
+    /// signature's configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigMismatch`] when the configurations differ.
+    pub fn try_intersects(&self, other: &Signature) -> Result<bool, ConfigMismatch> {
+        self.try_check_compatible(other)?;
+        Ok(self.intersects(other))
     }
 
     /// Signature union (∪ of Table 1): bit-wise OR. Used e.g. to combine
@@ -175,10 +455,26 @@ impl Signature {
     /// # Panics
     ///
     /// Panics if the two signatures have different configurations.
+    #[inline]
     pub fn union(&self, other: &Signature) -> Signature {
-        let mut out = self.clone();
-        out.union_assign(other);
-        out
+        self.check_compatible(other);
+        let (config, mut buf) = take_or_alloc_dirty(self.config());
+        for ((o, a), b) in buf.iter_mut().zip(&self.buf).zip(&other.buf) {
+            for l in 0..LANES {
+                o.0[l] = a.0[l] | b.0[l];
+            }
+        }
+        Signature { config: Some(config), buf }
+    }
+
+    /// Non-panicking [`Signature::union`] for wire-derived signatures.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigMismatch`] when the configurations differ.
+    pub fn try_union(&self, other: &Signature) -> Result<Signature, ConfigMismatch> {
+        self.try_check_compatible(other)?;
+        Ok(self.union(other))
     }
 
     /// In-place union.
@@ -186,20 +482,42 @@ impl Signature {
     /// # Panics
     ///
     /// Panics if the two signatures have different configurations.
+    #[inline]
     pub fn union_assign(&mut self, other: &Signature) {
         self.check_compatible(other);
-        for (a, b) in self.fields.iter_mut().zip(&other.fields) {
-            for (x, y) in a.iter_mut().zip(b) {
-                *x |= y;
+        for (a, b) in self.buf.iter_mut().zip(&other.buf) {
+            for l in 0..LANES {
+                a.0[l] |= b.0[l];
             }
         }
     }
 
+    /// Non-panicking [`Signature::union_assign`] for wire-derived
+    /// signatures.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigMismatch`] when the configurations differ.
+    pub fn try_union_assign(&mut self, other: &Signature) -> Result<(), ConfigMismatch> {
+        self.try_check_compatible(other)?;
+        self.union_assign(other);
+        Ok(())
+    }
+
+    /// Overwrites this signature's bits with `other`'s (one lane-width
+    /// memcpy; used by the arena to recycle buffers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two signatures have different configurations.
+    pub fn copy_from(&mut self, other: &Signature) {
+        self.check_compatible(other);
+        self.buf.copy_from_slice(&other.buf);
+    }
+
     /// Clears the signature — the paper's one-instruction commit (§5.1).
     pub fn clear(&mut self) {
-        for f in &mut self.fields {
-            f.iter_mut().for_each(|w| *w = 0);
-        }
+        self.buf.fill(LaneBlock::default());
     }
 
     /// Fraction of the signature's bits that are set (its "fill ratio"),
@@ -211,7 +529,7 @@ impl Signature {
     /// assert_eq!(s.fill_ratio(), 0.0);
     /// ```
     pub fn fill_ratio(&self) -> f64 {
-        self.popcount() as f64 / self.config.size_bits() as f64
+        self.popcount() as f64 / self.cfg().size_bits() as f64
     }
 
     /// Analytic estimate of the probability that `self ∩ other ≠ ∅` for
@@ -222,12 +540,11 @@ impl Signature {
     pub fn estimated_collision_rate(&self, other: &Signature) -> f64 {
         self.check_compatible(other);
         let mut p = 1.0;
-        for i in 0..self.config.num_fields() {
-            let range = self.config.field_range(i);
+        for i in 0..self.cfg().num_fields() {
+            let range = self.cfg().field_range(i);
             let bits = (range.end - range.start) as f64;
-            let mine = self.fields[i].iter().map(|w| w.count_ones() as u64).sum::<u64>() as f64;
-            let theirs =
-                other.fields[i].iter().map(|w| w.count_ones() as u64).sum::<u64>() as f64;
+            let mine = self.field_popcount(i) as f64;
+            let theirs = other.field_popcount(i) as f64;
             p *= 1.0 - (1.0 - mine / bits).powf(theirs);
         }
         p
@@ -235,11 +552,13 @@ impl Signature {
 
     /// Total number of set bits across all V-fields.
     pub fn popcount(&self) -> u64 {
-        self.fields
-            .iter()
-            .flat_map(|f| f.iter())
-            .map(|w| w.count_ones() as u64)
-            .sum()
+        let mut acc = [0u64; LANES];
+        for blk in &self.buf {
+            for l in 0..LANES {
+                acc[l] += blk.0[l].count_ones() as u64;
+            }
+        }
+        acc.iter().sum()
     }
 
     /// The set bit positions (C-field values) of V-field `i`, ascending.
@@ -248,80 +567,154 @@ impl Signature {
     ///
     /// Panics if `i` is out of range.
     pub fn field_values(&self, i: usize) -> impl Iterator<Item = u32> + '_ {
-        self.fields[i].iter().enumerate().flat_map(|(wi, &w)| {
-            let base = wi as u32 * 64;
-            BitIter { word: w, base }
+        let w0 = self.cfg().field_word_start(i);
+        (0..self.cfg().field_words(i)).flat_map(move |j| {
+            BitIter { word: self.word(w0 + j), base: j as u64 * 64 }.map(|p| p as u32)
+        })
+    }
+
+    /// The set bit positions of the whole signature in canonical flat-bit
+    /// order (fields concatenated with no padding), ascending. This walks
+    /// the words directly — it is what the RLE codec and the bandwidth
+    /// accounting iterate on every commit, without materialising a flat
+    /// copy of the signature.
+    pub fn iter_flat_positions(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.cfg().num_fields()).flat_map(move |i| {
+            let base = self.cfg().field_range(i).start;
+            let w0 = self.cfg().field_word_start(i);
+            (0..self.cfg().field_words(i)).flat_map(move |j| BitIter {
+                word: self.word(w0 + j),
+                base: base + j as u64 * 64,
+            })
         })
     }
 
     /// The signature's bits as one flat, LSB-first vector (fields
-    /// concatenated in order). Canonical form used by the RLE codec.
+    /// concatenated in order). Canonical form used by the RLE codec and the
+    /// sealed wire framing. Word-level: each field's words are funnel-
+    /// shifted into place rather than copied bit by bit.
     pub fn flat_bits(&self) -> Vec<u64> {
-        let total = self.config.size_bits();
+        let total = self.cfg().size_bits();
         let mut out = vec![0u64; total.div_ceil(64) as usize];
-        for (i, f) in self.fields.iter().enumerate() {
-            let range = self.config.field_range(i);
-            let field_bits = range.end - range.start;
-            for bit_in_field in 0..field_bits {
-                if f[(bit_in_field / 64) as usize] >> (bit_in_field % 64) & 1 == 1 {
-                    let pos = range.start + bit_in_field;
-                    out[(pos / 64) as usize] |= 1u64 << (pos % 64);
+        for i in 0..self.cfg().num_fields() {
+            let start = self.cfg().field_range(i).start;
+            let sh = (start % 64) as u32;
+            let base = (start / 64) as usize;
+            let w0 = self.cfg().field_word_start(i);
+            for j in 0..self.cfg().field_words(i) {
+                let w = self.word(w0 + j);
+                if w == 0 {
+                    continue;
+                }
+                out[base + j] |= w << sh;
+                if sh > 0 {
+                    let hi = w >> (64 - sh);
+                    // Any spilled bit is still inside this field's range,
+                    // so the next output word exists.
+                    if hi != 0 {
+                        out[base + j + 1] |= hi;
+                    }
                 }
             }
         }
         out
     }
 
-    /// Rebuilds a signature from its flat bit vector.
+    /// Rebuilds a signature from its flat bit vector, word-by-word.
     ///
     /// # Panics
     ///
     /// Panics if `bits` is shorter than the config requires.
     pub fn from_flat_bits(config: Arc<SignatureConfig>, bits: &[u64]) -> Signature {
         let mut sig = Signature::with_shared(config);
-        let total = sig.config.size_bits();
+        let total = sig.cfg().size_bits();
         assert!(bits.len() as u64 * 64 >= total, "flat bit vector too short");
-        for i in 0..sig.config.num_fields() {
-            let range = sig.config.field_range(i);
-            for bit_in_field in 0..(range.end - range.start) {
-                let pos = range.start + bit_in_field;
-                if bits[(pos / 64) as usize] >> (pos % 64) & 1 == 1 {
-                    sig.fields[i][(bit_in_field / 64) as usize] |= 1u64 << (bit_in_field % 64);
+        let config = sig.config().clone();
+        for i in 0..config.num_fields() {
+            let range = config.field_range(i);
+            let field_bits = range.end - range.start;
+            let sh = (range.start % 64) as u32;
+            let base = (range.start / 64) as usize;
+            let w0 = config.field_word_start(i);
+            let words = config.field_words(i);
+            for j in 0..words {
+                let lo = bits[base + j] >> sh;
+                let hi = if sh > 0 && base + j + 1 < bits.len() {
+                    bits[base + j + 1] << (64 - sh)
+                } else {
+                    0
+                };
+                let mut w = lo | hi;
+                // Mask the final word down to the field's width so bits
+                // belonging to the next field (or vector slack) never leak
+                // into this field's buffer.
+                let rem = field_bits - j as u64 * 64;
+                if rem < 64 {
+                    w &= (1u64 << rem) - 1;
                 }
+                *sig.word_mut(w0 + j) = w;
             }
         }
         sig
     }
 
+    /// Whether `other` shares this signature's configuration, making the
+    /// binary operations well-defined. The pointer-identity test stays
+    /// inline (machines share one `Arc` per signature kind, so it is the
+    /// only test the hot paths ever run); the layout deep-compare for
+    /// unshared configs lives out of line as the cold fallback.
+    #[inline]
+    pub fn compatible(&self, other: &Signature) -> bool {
+        Arc::ptr_eq(self.config(), other.config()) || self.compatible_slow(other)
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn compatible_slow(&self, other: &Signature) -> bool {
+        *self.cfg() == *other.cfg()
+    }
+
+    #[inline]
+    fn try_check_compatible(&self, other: &Signature) -> Result<(), ConfigMismatch> {
+        if self.compatible(other) {
+            Ok(())
+        } else {
+            Err(ConfigMismatch {
+                left_bits: self.cfg().size_bits(),
+                right_bits: other.cfg().size_bits(),
+            })
+        }
+    }
+
+    #[inline]
     fn check_compatible(&self, other: &Signature) {
-        assert!(
-            Arc::ptr_eq(&self.config, &other.config) || self.config == other.config,
-            "signature operation on incompatible configurations"
-        );
+        if !self.compatible(other) {
+            incompatible_panic();
+        }
     }
 }
 
 struct BitIter {
     word: u64,
-    base: u32,
+    base: u64,
 }
 
 impl Iterator for BitIter {
-    type Item = u32;
+    type Item = u64;
 
-    fn next(&mut self) -> Option<u32> {
+    fn next(&mut self) -> Option<u64> {
         if self.word == 0 {
             return None;
         }
         let tz = self.word.trailing_zeros();
         self.word &= self.word - 1;
-        Some(self.base + tz)
+        Some(self.base + tz as u64)
     }
 }
 
 impl PartialEq for Signature {
     fn eq(&self, other: &Signature) -> bool {
-        *self.config == *other.config && self.fields == other.fields
+        *self.cfg() == *other.cfg() && self.buf == other.buf
     }
 }
 
@@ -330,8 +723,8 @@ impl Eq for Signature {}
 impl fmt::Debug for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Signature")
-            .field("size_bits", &self.config.size_bits())
-            .field("granularity", &self.config.granularity())
+            .field("size_bits", &self.cfg().size_bits())
+            .field("granularity", &self.cfg().granularity())
             .field("popcount", &self.popcount())
             .finish()
     }
@@ -437,11 +830,49 @@ mod tests {
     }
 
     #[test]
+    fn copy_from_overwrites() {
+        let cfg = SignatureConfig::s14_tm().into_shared();
+        let mut a = Signature::with_shared(cfg.clone());
+        let mut b = Signature::with_shared(cfg);
+        a.insert_key(11);
+        b.insert_key(77);
+        a.copy_from(&b);
+        assert_eq!(a, b);
+        assert!(a.contains_key(77));
+    }
+
+    #[test]
     fn field_values_report_set_positions() {
         let mut s = Signature::new(small());
         s.insert_key(0x31); // C1 = 1, C2 = 3
         assert_eq!(s.field_values(0).collect::<Vec<_>>(), vec![1]);
         assert_eq!(s.field_values(1).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn flat_positions_match_flat_bits() {
+        let cfg = SignatureConfig::new(
+            vec![3, 5, 10],
+            BitPermutation::identity(),
+            Granularity::Line,
+            64,
+        )
+        .into_shared();
+        let mut s = Signature::with_shared(cfg);
+        for k in 0..60u32 {
+            s.insert_key(k.wrapping_mul(2654435761));
+        }
+        let from_iter: Vec<u64> = s.iter_flat_positions().collect();
+        let mut from_flat = Vec::new();
+        for (wi, &w) in s.flat_bits().iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                from_flat.push(wi as u64 * 64 + w.trailing_zeros() as u64);
+                w &= w - 1;
+            }
+        }
+        assert_eq!(from_iter, from_flat);
+        assert_eq!(from_iter.len() as u64, s.popcount());
     }
 
     #[test]
@@ -475,6 +906,24 @@ mod tests {
     }
 
     #[test]
+    fn from_flat_bits_masks_foreign_bits() {
+        // A flat vector with bits set beyond the total size must not leak
+        // into any field's buffer (the extra words are vector slack).
+        let cfg = SignatureConfig::new(
+            vec![3, 5],
+            BitPermutation::identity(),
+            Granularity::Line,
+            64,
+        )
+        .into_shared();
+        let bits = vec![u64::MAX; 4]; // config needs only 40 bits
+        let s = Signature::from_flat_bits(cfg, &bits);
+        assert_eq!(s.popcount(), 40);
+        let t = Signature::from_flat_bits(s.config().clone(), &s.flat_bits());
+        assert_eq!(s, t);
+    }
+
+    #[test]
     fn word_granularity_line_probe() {
         let mut s = Signature::new(SignatureConfig::s14_tls());
         let line = LineAddr::new(100);
@@ -489,6 +938,27 @@ mod tests {
         let a = Signature::new(SignatureConfig::s14_tm());
         let b = Signature::new(small());
         let _ = a.intersects(&b);
+    }
+
+    #[test]
+    fn try_ops_reject_mixed_configs_without_panicking() {
+        let a = Signature::new(SignatureConfig::s14_tm());
+        let b = Signature::new(small());
+        let err = a.try_intersects(&b).unwrap_err();
+        assert_eq!(err.left_bits, 2048);
+        assert_eq!(err.right_bits, 32);
+        assert!(err.to_string().contains("incompatible"));
+        assert!(a.try_union(&b).is_err());
+        let mut c = Signature::new(SignatureConfig::s14_tm());
+        assert!(c.try_union_assign(&b).is_err());
+
+        // Matching configs behave like the panicking operators.
+        let mut d = Signature::new(SignatureConfig::s14_tm());
+        d.insert_key(42);
+        assert_eq!(a.try_intersects(&d).unwrap(), a.intersects(&d));
+        assert_eq!(a.try_union(&d).unwrap(), a.union(&d));
+        assert!(c.try_union_assign(&d).is_ok());
+        assert_eq!(c, d);
     }
 
     #[test]

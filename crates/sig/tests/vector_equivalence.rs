@@ -1,0 +1,236 @@
+//! The scalar-vs-vector oracle for the flat lane-loop signature engine.
+//!
+//! The bulk operations are implemented as unrolled u64x4 lane loops over a
+//! padded flat buffer. These tests pin them to an independent scalar
+//! reference model — a `BTreeSet` of flat bit positions driven only by
+//! [`SignatureConfig::chunk_values`] — so a layout or lane bug shows up as
+//! a semantic divergence, not just a perf anomaly. A second suite proves
+//! [`Signature::decompress`] returns `None` (never panics) under random
+//! byte mutations, truncations and length-field lies applied to valid
+//! codes.
+//!
+//! Cases come from the seeded `bulk_rng::check` harness; failures print a
+//! `BULK_PROP_SEED` that replays the exact case.
+
+use std::collections::BTreeSet;
+
+use bulk_rng::check::{run, Gen};
+use bulk_rng::prop_assert_eq;
+use bulk_sig::{
+    table8, BitPermutation, CompressedSignature, Granularity, Signature, SignatureConfig,
+};
+
+/// Any Table 8 spec, line or word granularity, identity or the matching
+/// paper permutation — same envelope as the main property suite.
+fn arb_config(g: &mut Gen) -> SignatureConfig {
+    let spec = table8()[g.in_range(0..table8().len())];
+    let (gran, perm) = if g.bool() {
+        (
+            Granularity::Word,
+            if g.bool() { BitPermutation::paper_tls() } else { BitPermutation::identity() },
+        )
+    } else {
+        (
+            Granularity::Line,
+            if g.bool() { BitPermutation::paper_tm() } else { BitPermutation::identity() },
+        )
+    };
+    SignatureConfig::from_spec(spec, perm, gran, 64)
+}
+
+fn arb_keys(g: &mut Gen) -> Vec<u32> {
+    g.vec_u32(0..120, 0..0x0400_0000)
+}
+
+/// Scalar reference: the set of flat bit positions a key sets, derived
+/// from the config alone (per field: field start + decoded chunk value).
+fn ref_positions_of_key(config: &SignatureConfig, key: u32) -> Vec<u64> {
+    config
+        .chunk_values(key)
+        .map(|(i, v)| config.field_range(i).start + u64::from(v))
+        .collect()
+}
+
+/// Scalar reference signature: flat positions of a whole key set.
+fn ref_signature(config: &SignatureConfig, keys: &[u32]) -> BTreeSet<u64> {
+    keys.iter().flat_map(|&k| ref_positions_of_key(config, k)).collect()
+}
+
+/// Scalar reference membership: every one of the key's per-field bits set.
+fn ref_contains(config: &SignatureConfig, model: &BTreeSet<u64>, key: u32) -> bool {
+    ref_positions_of_key(config, key).iter().all(|p| model.contains(p))
+}
+
+/// Scalar reference emptiness: at least one V-field holds no bit.
+fn ref_is_empty(config: &SignatureConfig, model: &BTreeSet<u64>) -> bool {
+    (0..config.num_fields()).any(|i| {
+        let r = config.field_range(i);
+        !model.range(r.start..r.end).any(|_| true)
+    })
+}
+
+fn vec_signature(config: &SignatureConfig, keys: &[u32]) -> Signature {
+    let mut s = Signature::new(config.clone());
+    for &k in keys {
+        s.insert_key(k);
+    }
+    s
+}
+
+fn positions_of(sig: &Signature) -> BTreeSet<u64> {
+    sig.iter_flat_positions().collect()
+}
+
+/// Insert + membership: the lane-loop signature and the scalar model set
+/// identical bits and return identical membership verdicts — for inserted
+/// keys and for arbitrary probes.
+#[test]
+fn scalar_vector_agree_on_insert_and_membership() {
+    run("scalar_vector_agree_on_insert_and_membership", 96, |g| {
+        let config = arb_config(g);
+        let keys = arb_keys(g);
+        let probes = arb_keys(g);
+        let model = ref_signature(&config, &keys);
+        let sig = vec_signature(&config, &keys);
+        prop_assert_eq!(positions_of(&sig), model.clone());
+        prop_assert_eq!(sig.popcount(), model.len() as u64);
+        for &k in keys.iter().chain(&probes) {
+            prop_assert_eq!(
+                sig.contains_key(k),
+                ref_contains(&config, &model, k),
+                "membership diverged for key {k:#x}"
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Intersect / union / emptiness: AND and OR on the lane loops equal set
+/// intersection and union on the scalar model, and both sides agree on
+/// the any-field-empty rule.
+#[test]
+fn scalar_vector_agree_on_set_ops_and_emptiness() {
+    run("scalar_vector_agree_on_set_ops_and_emptiness", 96, |g| {
+        let config = arb_config(g);
+        let k1 = arb_keys(g);
+        let k2 = arb_keys(g);
+        let m1 = ref_signature(&config, &k1);
+        let m2 = ref_signature(&config, &k2);
+        let s1 = vec_signature(&config, &k1);
+        let s2 = vec_signature(&config, &k2);
+
+        let inter = s1.intersect(&s2);
+        let ref_inter: BTreeSet<u64> = m1.intersection(&m2).copied().collect();
+        prop_assert_eq!(positions_of(&inter), ref_inter.clone());
+
+        let uni = s1.union(&s2);
+        let ref_uni: BTreeSet<u64> = m1.union(&m2).copied().collect();
+        prop_assert_eq!(positions_of(&uni), ref_uni.clone());
+
+        let mut acc = s1.clone();
+        acc.union_assign(&s2);
+        prop_assert_eq!(acc, uni.clone());
+
+        prop_assert_eq!(s1.is_empty(), ref_is_empty(&config, &m1));
+        prop_assert_eq!(inter.is_empty(), ref_is_empty(&config, &ref_inter));
+        prop_assert_eq!(uni.is_empty(), ref_is_empty(&config, &ref_uni));
+        prop_assert_eq!(s1.intersects(&s2), !inter.is_empty());
+        prop_assert_eq!(s1.try_intersects(&s2).unwrap(), !inter.is_empty());
+        Ok(())
+    });
+}
+
+/// Flat-bits round trip: the word-level funnel-shift export/import is the
+/// identity, and the exported words carry exactly the model's positions.
+#[test]
+fn scalar_vector_agree_on_flat_bits() {
+    run("scalar_vector_agree_on_flat_bits", 96, |g| {
+        let config = arb_config(g);
+        let keys = arb_keys(g);
+        let model = ref_signature(&config, &keys);
+        let sig = vec_signature(&config, &keys);
+        let flat = sig.flat_bits();
+        let mut from_flat = BTreeSet::new();
+        for (wi, &w) in flat.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                from_flat.insert(wi as u64 * 64 + u64::from(w.trailing_zeros()));
+                w &= w - 1;
+            }
+        }
+        prop_assert_eq!(from_flat, model);
+        let back = Signature::from_flat_bits(sig.config().clone(), &flat);
+        prop_assert_eq!(back, sig);
+        Ok(())
+    });
+}
+
+/// Decompress must return `None` — never panic, never index out of bounds,
+/// never overflow — for every mutation of a valid code: random bit flips,
+/// truncated buffers, appended garbage, and length fields that lie in both
+/// directions (including absurdly large values). A panic anywhere in here
+/// fails the harness, which is the proof.
+#[test]
+fn decompress_never_panics_on_mutated_codes() {
+    run("decompress_never_panics_on_mutated_codes", 192, |g| {
+        let config = arb_config(g).into_shared();
+        let keys = arb_keys(g);
+        let sig = vec_signature(&config, &keys);
+        let valid = sig.compress();
+
+        let mut bytes = valid.as_bytes().to_vec();
+        let mut bit_len = valid.size_bits();
+        match g.in_range(0u32..5) {
+            // Flip up to 8 random bits anywhere in the code.
+            0 => {
+                if !bytes.is_empty() {
+                    for _ in 0..g.in_range(1usize..9) {
+                        let i = g.in_range(0..bytes.len());
+                        bytes[i] ^= 1 << g.in_range(0u32..8);
+                    }
+                }
+            }
+            // Truncate the byte buffer but keep the advertised bit length
+            // (exercises the bit_len > bytes guard).
+            1 => {
+                let keep = g.in_range(0..bytes.len() + 1);
+                bytes.truncate(keep);
+            }
+            // Replace the buffer wholesale with random bytes.
+            2 => {
+                bytes = g
+                    .vec_u32(0..64, 0..256)
+                    .into_iter()
+                    .map(|b| b as u8)
+                    .collect();
+                bit_len = bytes.len() as u64 * 8;
+            }
+            // Lie about the length: anything from 0 to absurd (overflow
+            // bait for position arithmetic).
+            3 => {
+                bit_len = if g.bool() {
+                    g.u64() // arbitrary, possibly astronomically large
+                } else {
+                    g.in_range(0u32..4096).into()
+                };
+            }
+            // Append garbage bytes and extend the length over them.
+            _ => {
+                for _ in 0..g.in_range(1usize..9) {
+                    bytes.push(g.in_range(0u32..256) as u8);
+                }
+                bit_len = bytes.len() as u64 * 8;
+            }
+        }
+        let mutated = CompressedSignature::from_raw(bytes, bit_len);
+        // The only requirement: no panic. `Some` is allowed (a mutation
+        // can still be a well-formed code), but it must decode to a
+        // signature of this config that re-compresses cleanly.
+        if let Some(d) = Signature::decompress(config.clone(), &mutated) {
+            prop_assert_eq!(d.config().size_bits(), config.size_bits());
+            let rt = Signature::decompress(config.clone(), &d.compress());
+            prop_assert_eq!(rt.expect("re-compressed code is valid"), d);
+        }
+        Ok(())
+    });
+}

@@ -20,7 +20,7 @@ use bulk_core::{check_speculative_store, flows, Bdm, CommitMsg, StoreCheck, Vers
 use bulk_live::{LivenessConfig, LivenessEngine};
 use bulk_obs::{Obs, RuntimeObs, SpanId, SpanKind, SpanOutcome};
 use bulk_mem::{Addr, Cache, LineAddr, MsgClass, WordAddr};
-use bulk_sig::{Signature, SignatureConfig};
+use bulk_sig::{Signature, SignatureArena, SignatureConfig};
 use bulk_sim::{Bus, CoreTimer, SimConfig};
 use bulk_trace::{TlsOp, TlsWorkload};
 
@@ -90,6 +90,10 @@ pub struct TlsMachine {
     cfg: SimConfig,
     scheme: TlsScheme,
     sig_config: Arc<SignatureConfig>,
+    /// Recycling pool for per-broadcast signature buffers (commit copies
+    /// and wire-delivered signatures) so the commit path stays off the
+    /// allocator.
+    sig_arena: SignatureArena,
     procs: Vec<Proc>,
     tasks: Vec<Task>,
     oldest_uncommitted: usize,
@@ -215,7 +219,7 @@ impl TlsMachine {
             .map(|_| Proc {
                 timer: CoreTimer::new(),
                 cache: Cache::new(cfg.geom),
-                bdm: Bdm::new((*sig_config).clone(), cfg.geom, VERSIONS_PER_PROC),
+                bdm: Bdm::new_shared(sig_config.clone(), cfg.geom, VERSIONS_PER_PROC),
                 running: None,
             })
             .collect();
@@ -243,6 +247,7 @@ impl TlsMachine {
         let mut m = TlsMachine {
             cfg: cfg.clone(),
             scheme,
+            sig_arena: SignatureArena::new(sig_config.clone()),
             sig_config,
             procs,
             tasks,
@@ -777,7 +782,7 @@ impl TlsMachine {
                     pc: self.tasks[i].pc,
                     context: "tls commit",
                 })?;
-                let sigs = self.procs[p].bdm.commit(v);
+                let sigs = self.procs[p].bdm.commit_with(v, &mut self.sig_arena);
                 let mut payload = sigs.w.compressed_size_bits().div_ceil(8);
                 if let Some(sh) = &sigs.w_sh {
                     payload += sh.compressed_size_bits().div_ceil(8);
@@ -948,7 +953,16 @@ impl TlsMachine {
                         pc: self.tasks[j].pc,
                         context: "tls commit disambiguation",
                     })?;
-                    let squash = self.procs[q].bdm.disambiguate(v, sig).squash();
+                    // The signature came off the wire: a config mismatch is
+                    // a malformed commit, not a machine panic.
+                    let squash = self.procs[q]
+                        .bdm
+                        .try_disambiguate(v, sig)
+                        .map_err(|_| MachineError::MalformedCommit {
+                            scheme: "TLS-Bulk",
+                            payload: "mismatched-signature-config",
+                        })?
+                        .squash();
                     if let Some(obs) = &self.obs {
                         obs.verdicts.record(squash, exact_conflict);
                     }
@@ -1067,6 +1081,15 @@ impl TlsMachine {
             self.squash_cascade(j, finish, truly, dep, Some(i));
         }
         self.commit_cause = SpanId::DROPPED;
+
+        // The delivered (wire) signatures are dead now — recycle their
+        // buffers for the next broadcast.
+        if let Some(d) = delivered {
+            self.sig_arena.give(d.w);
+            if let Some(sh) = d.w_sh {
+                self.sig_arena.give(sh);
+            }
+        }
 
         // Committer cleanup.
         if self.scheme.uses_signatures() {

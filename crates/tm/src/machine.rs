@@ -19,7 +19,7 @@ use bulk_core::{
 use bulk_live::{Checkpoint, LivenessConfig, LivenessEngine};
 use bulk_mem::{Addr, Cache, LineAddr, MsgClass, OverflowArea};
 use bulk_obs::{Obs, RuntimeObs, SpanId, SpanKind, SpanOutcome};
-use bulk_sig::{Signature, SignatureConfig};
+use bulk_sig::{Signature, SignatureArena, SignatureConfig};
 use bulk_sim::{Bus, CoreTimer, SimConfig};
 use bulk_trace::{TmOp, TmWorkload};
 
@@ -97,6 +97,10 @@ pub struct TmMachine {
     cfg: SimConfig,
     scheme: Scheme,
     sig_config: Arc<SignatureConfig>,
+    /// Recycling pool for per-broadcast signature buffers (commit copies,
+    /// section unions, membership probes) so the commit path stays off the
+    /// allocator.
+    sig_arena: SignatureArena,
     threads: Vec<Thread>,
     bus: Bus,
     stats: TmStats,
@@ -224,7 +228,7 @@ impl TmMachine {
                 tx_serial: 0,
                 read_set: HashSet::new(),
                 write_set: HashSet::new(),
-                bdm: Bdm::new((*sig_config).clone(), cfg.geom, 2),
+                bdm: Bdm::new_shared(sig_config.clone(), cfg.geom, 2),
                 version: None,
                 sections: SectionStack::new(sig_config.clone()),
                 section_starts: Vec::new(),
@@ -241,6 +245,7 @@ impl TmMachine {
         Ok(TmMachine {
             cfg: cfg.clone(),
             scheme,
+            sig_arena: SignatureArena::new(sig_config.clone()),
             sig_config,
             threads,
             bus: Bus::new(),
@@ -265,6 +270,11 @@ impl TmMachine {
 
     /// Overrides the livelock safety cap (total squashes before the run is
     /// declared livelocked and stopped). Useful to demonstrate Fig. 12(a).
+    /// The shared signature configuration of this machine.
+    pub fn signature_config(&self) -> &Arc<SignatureConfig> {
+        &self.sig_config
+    }
+
     pub fn set_squash_cap(&mut self, cap: u64) {
         self.squash_cap = cap;
     }
@@ -860,19 +870,24 @@ impl TmMachine {
     fn non_tx_write(&mut self, tid: usize, a: Addr, line: LineAddr) {
         self.stats.individual_invalidations += 1;
         self.stats.bw.record(MsgClass::Inv, self.cfg.msg_sizes.addr_msg);
+        // Single-address probe signature, recycled through the arena (this
+        // runs once per non-transactional store, not per receiver).
+        let probe = if self.scheme == Scheme::BulkPartial {
+            let mut p = self.sig_arena.take();
+            p.insert_addr(a);
+            Some(p)
+        } else {
+            None
+        };
         let victims: Vec<usize> = self
             .other_tx_threads(tid)
             .into_iter()
             .filter(|&j| {
                 let o = &self.threads[j];
                 if self.scheme.uses_signatures() {
-                    match self.scheme {
-                        Scheme::BulkPartial => {
-                            let mut probe = Signature::with_shared(self.sig_config.clone());
-                            probe.insert_addr(a);
-                            o.sections.disambiguate(&probe).is_some()
-                        }
-                        _ => match o.version {
+                    match &probe {
+                        Some(p) => o.sections.disambiguate(p).is_some(),
+                        None => match o.version {
                             Some(v) => o.bdm.disambiguate_addr(v, a),
                             None => false,
                         },
@@ -882,6 +897,9 @@ impl TmMachine {
                 }
             })
             .collect();
+        if let Some(p) = probe {
+            self.sig_arena.give(p);
+        }
         let now = self.threads[tid].timer.now();
         if let Some(obs) = &self.obs {
             if !victims.is_empty() {
@@ -939,11 +957,11 @@ impl TmMachine {
             }
             Scheme::Bulk => {
                 let v = self.version_of(tid, "bulk commit")?;
-                let w = self.threads[tid].bdm.write_signature(v).clone();
+                let w = self.sig_arena.clone_of(self.threads[tid].bdm.write_signature(v));
                 (w.compressed_size_bits().div_ceil(8), CommitMsg::signatures(w))
             }
             Scheme::BulkPartial => {
-                let w = self.threads[tid].sections.commit_union();
+                let w = self.threads[tid].sections.commit_union_with(&mut self.sig_arena);
                 (w.compressed_size_bits().div_ceil(8), CommitMsg::signatures(w))
             }
         };
@@ -1080,10 +1098,20 @@ impl TmMachine {
         }
         self.commit_cause = SpanId::DROPPED;
 
-        // Committer cleanup: the paper's clear-a-signature commit.
+        // The delivered (wire) signatures are dead now — recycle their
+        // buffers for the next broadcast.
+        if let Some(d) = delivered {
+            self.sig_arena.give(d.w);
+            if let Some(sh) = d.w_sh {
+                self.sig_arena.give(sh);
+            }
+        }
+
+        // Committer cleanup: the paper's clear-a-signature commit. The
+        // broadcast copy was already taken above, so just clear the slot.
         let t = &mut self.threads[tid];
         if let Some(v) = t.version.take() {
-            let _ = t.bdm.commit(v);
+            t.bdm.clear_version(v);
             t.bdm.free_version(v);
         }
         t.sections.clear();
@@ -1183,12 +1211,23 @@ impl TmMachine {
                     });
                 };
                 let w = &d.w;
-                let sig_conflict = in_tx && {
+                // The signature came off the wire: a config mismatch is a
+                // malformed commit, not a machine panic.
+                let sig_conflict = if in_tx {
                     let o = &self.threads[j];
                     match o.version {
-                        Some(v) => o.bdm.disambiguate(v, w).squash(),
+                        Some(v) => o
+                            .bdm
+                            .try_disambiguate(v, w)
+                            .map_err(|_| MachineError::MalformedCommit {
+                                scheme: "Bulk",
+                                payload: "mismatched-signature-config",
+                            })?
+                            .squash(),
                         None => false,
                     }
+                } else {
+                    false
                 };
                 self.check_no_false_negative(j, exact_conflict, sig_conflict, finish);
                 if in_tx {
@@ -1211,7 +1250,16 @@ impl TmMachine {
                     });
                 };
                 let w = &d.w;
-                let violated = if in_tx { self.threads[j].sections.disambiguate(w) } else { None };
+                let violated = if in_tx {
+                    self.threads[j].sections.try_disambiguate(w).map_err(|_| {
+                        MachineError::MalformedCommit {
+                            scheme: "Bulk-Partial",
+                            payload: "mismatched-signature-config",
+                        }
+                    })?
+                } else {
+                    None
+                };
                 self.check_no_false_negative(j, exact_conflict, violated.is_some(), finish);
                 if in_tx {
                     if let Some(obs) = &self.obs {
@@ -1293,13 +1341,17 @@ impl TmMachine {
         let pre = self.threads[j].timer.now();
         let t = &mut self.threads[j];
         self.stats.sections_rolled_back += (t.sections.depth() - sec) as u64;
-        // Discard the rolled-back sections' dirty lines.
-        let w_rolled = t.sections.write_union_from(sec);
+        // Discard the rolled-back sections' dirty lines. The union buffer
+        // comes from (and returns to) the arena — rollbacks ride the same
+        // hot broadcast path as commits.
+        let w_rolled = t.sections.write_union_from_with(sec, &mut self.sig_arena);
         for e in w_rolled.expand(&t.cache) {
             if e.state == bulk_mem::LineState::Dirty {
                 t.cache.invalidate(e.addr);
             }
         }
+        self.sig_arena.give(w_rolled);
+        let t = &mut self.threads[j];
         t.sections.rollback_to(sec);
         t.section_starts.truncate(sec + 1);
         // Rebuild the exact oracle sets from the surviving sections.

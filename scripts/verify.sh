@@ -18,6 +18,13 @@ cargo build --release --offline --locked --workspace --all-targets
 echo "== cargo test -q --offline --locked --workspace"
 cargo test -q --offline --locked --workspace "$@"
 
+# The signature crate parses attacker-controlled compressed bytes and
+# does position arithmetic on them; run its tests with debug_assertions
+# AND overflow checks forced on, so any wrap in gap accumulation or bit
+# cursors is a hard failure even if a profile ever disables the default.
+echo "== cargo test -q -p bulk-sig (overflow checks forced on)"
+RUSTFLAGS="$RUSTFLAGS -Coverflow-checks=on" cargo test -q --offline --locked -p bulk-sig
+
 echo "== cargo doc --no-deps --offline --locked (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --no-deps --offline --locked --workspace
 
