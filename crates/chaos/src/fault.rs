@@ -49,6 +49,12 @@ pub struct ChaosConfig {
     /// Cycles one arbiter re-election costs (lease timeout + election
     /// round), charged before the replay.
     pub reelect_cycles: u64,
+    /// Hard bound on arbiter crashes within one broadcast (the first
+    /// crash hits the original transmission, later ones hit the replays —
+    /// crash-during-replay). The machines stop consulting
+    /// [`FaultPlan::arbiter_crash`] once a broadcast has absorbed this
+    /// many, so recovery always terminates.
+    pub max_crashes_per_broadcast: u32,
 }
 
 impl ChaosConfig {
@@ -71,6 +77,7 @@ impl ChaosConfig {
             retransmit_cycles: 80,
             arbiter_crash_prob: 0.0,
             reelect_cycles: 120,
+            max_crashes_per_broadcast: 4,
         }
     }
 
@@ -164,18 +171,40 @@ pub struct FaultPlan {
     cfg: ChaosConfig,
     rng: SmallRng,
     stats: FaultStats,
+    script: Option<crate::schedule::ScriptState>,
 }
 
 impl FaultPlan {
     /// A plan drawing its decisions from `cfg.seed`.
     pub fn new(cfg: ChaosConfig) -> Self {
         let rng = SmallRng::seed_from_u64(cfg.seed ^ 0xC4A0_5Fau64);
-        FaultPlan { cfg, rng, stats: FaultStats::default() }
+        FaultPlan { cfg, rng, stats: FaultStats::default(), script: None }
     }
 
     /// A plan with the default fault mix for `seed`.
     pub fn seeded(seed: u64) -> Self {
         FaultPlan::new(ChaosConfig::new(seed))
+    }
+
+    /// A plan that injects exactly `script` and nothing else: every
+    /// probabilistic fault is disabled and each hook answers from the
+    /// script's per-broadcast bundles, consumed in commit order. This is
+    /// how the `bulk-mc` conformance layer replays a model-checked
+    /// interleaving class onto a real machine.
+    pub fn scripted(script: crate::schedule::ScheduleScript) -> Self {
+        let cfg = crate::schedule::scripted_config();
+        let rng = SmallRng::seed_from_u64(0);
+        FaultPlan {
+            cfg,
+            rng,
+            stats: FaultStats::default(),
+            script: Some(crate::schedule::ScriptState::new(script)),
+        }
+    }
+
+    /// The schedule driving this plan, if it is scripted.
+    pub fn script(&self) -> Option<&crate::schedule::ScheduleScript> {
+        self.script.as_ref().map(|s| s.script())
     }
 
     /// The replay seed.
@@ -194,7 +223,18 @@ impl FaultPlan {
     /// through. Denials are bounded: attempt `max_denials` is always
     /// granted, so arbitration cannot livelock.
     pub fn deny_commit(&mut self, attempt: u32) -> Option<u64> {
-        if attempt >= self.cfg.max_denials || self.rng.random::<f64>() >= self.cfg.denial_prob {
+        if let Some(script) = &mut self.script {
+            // The first arbitration attempt is the first hook a machine
+            // consults for a broadcast: advance the script's cursor here.
+            if attempt == 0 {
+                script.begin_broadcast();
+            }
+            if !script.deny(attempt) {
+                return None;
+            }
+        } else if attempt >= self.cfg.max_denials
+            || self.rng.random::<f64>() >= self.cfg.denial_prob
+        {
             return None;
         }
         let backoff = self
@@ -211,12 +251,17 @@ impl FaultPlan {
     /// Cycles of interconnect delay to add to the current commit
     /// broadcast (0 = delivered on time).
     pub fn broadcast_delay(&mut self) -> u64 {
-        if self.rng.random::<f64>() >= self.cfg.delay_prob || self.cfg.delay_max == 0 {
-            return 0;
+        let d = if let Some(script) = &mut self.script {
+            script.take_delay()
+        } else if self.rng.random::<f64>() >= self.cfg.delay_prob || self.cfg.delay_max == 0 {
+            0
+        } else {
+            self.rng.random_range(1..self.cfg.delay_max + 1)
+        };
+        if d > 0 {
+            self.stats.broadcast_delays += 1;
+            self.stats.delay_cycles += d;
         }
-        let d = self.rng.random_range(1..self.cfg.delay_max + 1);
-        self.stats.broadcast_delays += 1;
-        self.stats.delay_cycles += d;
         d
     }
 
@@ -224,7 +269,11 @@ impl FaultPlan {
     /// (receivers must tolerate the duplicate — the protocol is
     /// idempotent for already-squashed and committed receivers).
     pub fn duplicate_broadcast(&mut self) -> bool {
-        let dup = self.rng.random::<f64>() < self.cfg.dup_prob;
+        let dup = if let Some(script) = &mut self.script {
+            script.take_duplicate()
+        } else {
+            self.rng.random::<f64>() < self.cfg.dup_prob
+        };
         if dup {
             self.stats.duplicated_broadcasts += 1;
         }
@@ -234,7 +283,10 @@ impl FaultPlan {
     /// Possibly flips one in-flight bit of a signature-carrying commit
     /// message. Returns `true` if a corruption was injected.
     pub fn maybe_corrupt(&mut self, msg: &mut CommitMsg) -> bool {
-        if !msg.carries_signatures() || self.rng.random::<f64>() >= self.cfg.flip_prob {
+        if self.script.is_some()
+            || !msg.carries_signatures()
+            || self.rng.random::<f64>() >= self.cfg.flip_prob
+        {
             return false;
         }
         let bit = self.rng.random::<u64>();
@@ -261,10 +313,13 @@ impl FaultPlan {
     /// liveness engine must not call this (they could not recover), which
     /// also keeps the fault stream of engine-less runs unchanged.
     pub fn arbiter_crash(&mut self) -> bool {
-        if self.cfg.arbiter_crash_prob <= 0.0 {
+        let hit = if let Some(script) = &mut self.script {
+            script.take_crash()
+        } else if self.cfg.arbiter_crash_prob <= 0.0 {
             return false;
-        }
-        let hit = self.rng.random::<f64>() < self.cfg.arbiter_crash_prob;
+        } else {
+            self.rng.random::<f64>() < self.cfg.arbiter_crash_prob
+        };
         if hit {
             self.stats.arbiter_crashes += 1;
         }
@@ -274,6 +329,9 @@ impl FaultPlan {
     /// Consulted once per executed operation: force a context switch on
     /// this processor now?
     pub fn force_context_switch(&mut self) -> bool {
+        if self.script.is_some() {
+            return false;
+        }
         let hit = self.rng.random::<f64>() < self.cfg.ctx_switch_prob;
         if hit {
             self.stats.forced_context_switches += 1;
@@ -283,6 +341,9 @@ impl FaultPlan {
 
     /// Consulted once per executed operation: evict a resident line now?
     pub fn force_eviction(&mut self) -> bool {
+        if self.script.is_some() {
+            return false;
+        }
         let hit = self.rng.random::<f64>() < self.cfg.evict_prob;
         if hit {
             self.stats.forced_evictions += 1;
@@ -295,6 +356,9 @@ impl FaultPlan {
     /// order).
     pub fn pick(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
+        if self.script.is_some() {
+            return 0;
+        }
         self.rng.random_range(0..n)
     }
 

@@ -25,11 +25,19 @@
 //! * [`MachineError`] — typed errors for machine construction and
 //!   execution (malformed traces, missing versions, deadlock, lost
 //!   progress), replacing `expect()` on trace- and message-shaped paths.
+//! * [`ScheduleScript`] — the deterministic alternative to the seeded
+//!   injector: an explicit per-broadcast fault schedule (denials, delay,
+//!   duplication, arbiter crashes) that `FaultPlan::scripted` replays
+//!   verbatim. The `bulk-mc` model checker serializes every interleaving
+//!   class it explores as one of these, and the conformance tests drive
+//!   the machines through each class.
 
 mod audit;
 mod error;
 mod fault;
+mod schedule;
 
 pub use audit::{Auditor, InvariantKind, InvariantViolation};
 pub use error::MachineError;
 pub use fault::{ChaosConfig, FaultPlan, FaultStats};
+pub use schedule::{BroadcastSchedule, ScheduleScript};

@@ -156,6 +156,15 @@ impl DedupFilter {
     pub fn duplicate_applications(&self) -> u64 {
         self.duplicate_applications
     }
+
+    /// Distinct tickets the filter currently tracks (admitted or applied)
+    /// — its memory footprint. Bounded by the number of *distinct*
+    /// `(committer, serial)` pairs ever seen, not by delivery count:
+    /// duplicated and replayed deliveries are dropped without growing the
+    /// filter. The property suite asserts this bound directly.
+    pub fn tracked(&self) -> usize {
+        self.admitted.union(&self.applied).count()
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +218,54 @@ mod tests {
         assert!(f.admit(a.ticket(1, 1)));
         assert_eq!(f.drops(), 0);
         assert_eq!(f.applications(), 0);
+    }
+
+    #[test]
+    fn double_crash_during_one_broadcast_still_dedups_the_replays() {
+        // Crash-during-replay: the arbiter dies mid-broadcast, its
+        // successor dies again while replaying the same in-flight commit.
+        // Each replay is re-stamped with the newest epoch; dedup still
+        // drops both because the identity is (committer, serial).
+        let mut a = Arbiter::new(3, 120);
+        let mut f = DedupFilter::new();
+        let original = a.ticket(2, 5);
+        assert!(f.admit(original));
+        assert!(!f.record_application(original));
+        a.fail_over(); // crash mid-broadcast
+        let replay1 = a.ticket(2, 5);
+        a.fail_over(); // crash during the replay of the same commit
+        let replay2 = a.ticket(2, 5);
+        assert_eq!((replay1.epoch, replay2.epoch), (1, 2));
+        assert_eq!((a.epoch(), a.leader(), a.crashes()), (2, 2, 2));
+        assert!(!f.admit(replay1));
+        assert!(!f.admit(replay2));
+        assert_eq!(f.drops(), 2);
+        assert_eq!(f.duplicate_applications(), 0);
+        // Two replays did not grow the filter past the one real commit.
+        assert_eq!(f.tracked(), 1);
+    }
+
+    #[test]
+    fn crash_between_two_committers_keeps_their_tickets_distinct() {
+        // Crash while the bus is contended: committer 0's broadcast is
+        // interrupted, committer 1 is granted afterwards under the new
+        // epoch. Both commits survive with distinct identities; the
+        // replayed copy of 0's commit is the only drop.
+        let mut a = Arbiter::new(2, 50);
+        let mut f = DedupFilter::new();
+        let first = a.ticket(0, 0);
+        assert!(f.admit(first));
+        assert!(!f.record_application(first));
+        a.fail_over();
+        let replay = a.ticket(0, 0);
+        assert!(!f.admit(replay));
+        let second = a.ticket(1, 0);
+        assert_eq!(second.epoch, 1);
+        assert!(f.admit(second));
+        assert!(!f.record_application(second));
+        assert_eq!(f.applications(), 2);
+        assert_eq!(f.drops(), 1);
+        assert_eq!(f.tracked(), 2);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! paper performs the same save "in memory" on a context switch); the
 //! checkpoint adds the overflow-area snapshot and the equality proof.
 
-use bulk_core::SpilledVersion;
+use bulk_core::{Bdm, SpilledVersion, VersionId};
 use bulk_mem::LineAddr;
 
 /// A crash-consistent snapshot of one thread's speculative state.
@@ -38,6 +38,8 @@ pub enum CheckpointError {
     OverflowBit,
     /// The overflow area's resident line set differs.
     OverflowLines,
+    /// No free BDM version slot to reload the spilled signatures into.
+    SlotExhausted,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -48,6 +50,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::ShadowSignature => "shadow signature mismatch",
             CheckpointError::OverflowBit => "overflow bit mismatch",
             CheckpointError::OverflowLines => "overflow line set mismatch",
+            CheckpointError::SlotExhausted => "no free BDM slot for reload",
         };
         write!(f, "checkpoint restore not faithful: {what}")
     }
@@ -96,6 +99,31 @@ impl Checkpoint {
             return Err(CheckpointError::OverflowLines);
         }
         Ok(())
+    }
+
+    /// Restores this checkpoint into `bdm` and *proves* the restore
+    /// byte-faithful before handing the version back: reload the spill,
+    /// re-spill what actually landed, [`verify`](Checkpoint::verify) it
+    /// against the checkpoint (with `restored_overflow` as the overflow
+    /// area's post-restore snapshot), then reload for keeps.
+    ///
+    /// Every failure is typed: slot exhaustion surfaces as
+    /// [`CheckpointError::SlotExhausted`] instead of a panic, and a torn
+    /// restore surfaces as the mismatching component. On any error the
+    /// BDM is left without the restored version (the probe spill freed
+    /// it), so the caller can surface a
+    /// [`LivenessViolation`](crate::LivenessViolation) and stop cleanly.
+    pub fn restore_into(
+        &self,
+        bdm: &mut Bdm,
+        restored_overflow: &[LineAddr],
+    ) -> Result<VersionId, CheckpointError> {
+        let probe = bdm
+            .reload_version(self.spilled.clone())
+            .map_err(|_| CheckpointError::SlotExhausted)?;
+        let respilled = bdm.spill_version(probe);
+        self.verify(&respilled, restored_overflow)?;
+        bdm.reload_version(respilled).map_err(|_| CheckpointError::SlotExhausted)
     }
 }
 
@@ -155,6 +183,45 @@ mod tests {
             ckpt.verify(&torn, &[]),
             Err(CheckpointError::WriteSignature)
         );
+    }
+
+    #[test]
+    fn restore_into_round_trips_and_returns_a_live_version() {
+        let (mut bdm, v) = loaded_bdm();
+        let lines = vec![Addr::new(0x9000).line(64)];
+        let ckpt = Checkpoint::capture(bdm.spill_version(v), lines.clone());
+        let restored = ckpt.restore_into(&mut bdm, &lines).expect("faithful restore");
+        // The restored version is usable: its spill matches the checkpoint.
+        let respilled = bdm.spill_version(restored);
+        assert_eq!(ckpt.verify(&respilled, &lines), Ok(()));
+    }
+
+    #[test]
+    fn restore_into_reports_slot_exhaustion_as_a_typed_error() {
+        // A 1-slot BDM whose only slot is occupied cannot reload the
+        // checkpoint: the typed SlotExhausted error replaces what used to
+        // be an `unreachable!` panic at the machine's restore site.
+        let (mut bdm, v) = loaded_bdm();
+        let ckpt = Checkpoint::capture(bdm.spill_version(v), Vec::new());
+        let _occupant = bdm.alloc_version().unwrap();
+        assert_eq!(
+            ckpt.restore_into(&mut bdm, &[]),
+            Err(CheckpointError::SlotExhausted)
+        );
+    }
+
+    #[test]
+    fn restore_into_detects_a_divergent_overflow_snapshot() {
+        let (mut bdm, v) = loaded_bdm();
+        let line = Addr::new(0x7000).line(64);
+        let ckpt = Checkpoint::capture(bdm.spill_version(v), vec![line]);
+        // The overflow area lost a line between capture and restore.
+        assert_eq!(
+            ckpt.restore_into(&mut bdm, &[]),
+            Err(CheckpointError::OverflowLines)
+        );
+        // The failed restore did not leak the slot: a fresh alloc works.
+        assert!(bdm.alloc_version().is_some());
     }
 
     #[test]

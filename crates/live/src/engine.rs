@@ -211,6 +211,21 @@ impl LivenessEngine {
         }
     }
 
+    /// Records a failed crash-consistent checkpoint restore as a typed
+    /// [`LivenessKind::CheckpointRestore`](crate::LivenessKind) violation
+    /// carrying the scheme label and replay seed, instead of the machine
+    /// panicking at the restore site. Counts the checkpoint as captured
+    /// and its restore as failed.
+    pub fn report_checkpoint_failure(&mut self, thread: usize, cycle: u64, detail: String) {
+        self.note_checkpoint(false);
+        self.watchdog.report(
+            crate::LivenessKind::CheckpointRestore,
+            Some(thread),
+            cycle,
+            detail,
+        );
+    }
+
     /// Snapshot of the engine's counters.
     pub fn stats(&self) -> LiveStats {
         LiveStats {

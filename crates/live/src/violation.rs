@@ -24,6 +24,12 @@ pub enum LivenessKind {
     /// The machine as a whole stops committing: no thread commits for a
     /// configured number of cycles even though work remains.
     GlobalStall,
+    /// A crash-consistent checkpoint could not be restored faithfully:
+    /// the spill/reload round trip failed (no free BDM slot) or the
+    /// restored state failed the byte-faithfulness proof. The thread
+    /// cannot safely resume, so the run surfaces a typed violation with
+    /// replay context instead of panicking.
+    CheckpointRestore,
 }
 
 impl LivenessKind {
@@ -33,6 +39,7 @@ impl LivenessKind {
             LivenessKind::Livelock => "livelock",
             LivenessKind::Starvation => "starvation",
             LivenessKind::GlobalStall => "global-stall",
+            LivenessKind::CheckpointRestore => "checkpoint-restore",
         }
     }
 }
@@ -108,5 +115,6 @@ mod tests {
         assert_eq!(LivenessKind::Livelock.to_string(), "livelock");
         assert_eq!(LivenessKind::Starvation.to_string(), "starvation");
         assert_eq!(LivenessKind::GlobalStall.to_string(), "global-stall");
+        assert_eq!(LivenessKind::CheckpointRestore.to_string(), "checkpoint-restore");
     }
 }

@@ -124,6 +124,20 @@ impl Watchdog {
         });
     }
 
+    /// Records an externally-detected liveness violation (e.g. a failed
+    /// crash-consistent checkpoint restore) with the watchdog's scheme
+    /// label and replay seed attached. Trips the watchdog: the thread in
+    /// question cannot make further progress safely.
+    pub fn report(
+        &mut self,
+        kind: LivenessKind,
+        thread: Option<usize>,
+        cycle: u64,
+        detail: String,
+    ) {
+        self.trip(kind, thread, cycle, detail);
+    }
+
     /// Records that `by` squashed `victim` at `cycle`.
     ///
     /// `by` is `None` when the squash has no identifiable peer (e.g. a

@@ -1,0 +1,122 @@
+//! Property tests for the receiver-side [`DedupFilter`] under seeded
+//! duplicated and reordered `CommitTicket` streams (bulk-rng `check`
+//! harness; replay any failing case with `BULK_PROP_SEED=<seed>`).
+//!
+//! The two properties the model checker's exactly-once proof leans on:
+//!
+//! * **Insertion-order insensitivity** — however a delivery stream is
+//!   interleaved, shuffled, or re-stamped by failover epochs, the set of
+//!   admitted tickets, the applications, and the final filter footprint
+//!   depend only on the *multiset* of deliveries, and each distinct
+//!   `(committer, serial)` is admitted exactly once.
+//! * **Memory boundedness** — the filter's footprint is bounded by the
+//!   number of distinct tickets, never by the delivery count: an
+//!   adversary replaying the same commit a thousand times cannot grow it.
+
+use bulk_live::{Arbiter, CommitTicket, DedupFilter};
+use bulk_rng::check::{run, Gen};
+use bulk_rng::{prop_assert, prop_assert_eq};
+
+/// A seeded delivery stream: distinct tickets, duplicated (possibly under
+/// re-stamped epochs, as failover replays are) and then reordered.
+fn delivery_stream(g: &mut Gen) -> (Vec<CommitTicket>, usize) {
+    let committers = g.in_range(1usize..5);
+    let serials = g.in_range(1u64..6);
+    let mut arbiter = Arbiter::new(committers, 120);
+    let mut stream = Vec::new();
+    let mut distinct = 0usize;
+    for c in 0..committers {
+        for s in 0..serials {
+            distinct += 1;
+            stream.push(arbiter.ticket(c, s));
+            // Each ticket is re-delivered 0..4 extra times; a coin flip
+            // decides whether a re-delivery is a failover replay (epoch
+            // re-stamped after a crash) or a plain interconnect duplicate.
+            for _ in 0..g.in_range(0usize..4) {
+                if g.bool() {
+                    arbiter.fail_over();
+                }
+                stream.push(arbiter.ticket(c, s));
+            }
+        }
+    }
+    // Fisher–Yates reorder: deliveries arrive in adversarial order.
+    for i in (1..stream.len()).rev() {
+        let j = g.in_range(0usize..i + 1);
+        stream.swap(i, j);
+    }
+    (stream, distinct)
+}
+
+fn feed(stream: &[CommitTicket]) -> (DedupFilter, u64) {
+    let mut filter = DedupFilter::new();
+    let mut admitted = 0u64;
+    for &t in stream {
+        if filter.admit(t) {
+            filter.record_application(t);
+            admitted += 1;
+        }
+    }
+    (filter, admitted)
+}
+
+#[test]
+fn admission_is_insensitive_to_delivery_order() {
+    run("dedup_order_insensitive", 128, |g| {
+        let (stream, distinct) = delivery_stream(g);
+        let (filter, admitted) = feed(&stream);
+        // Every distinct ticket admitted exactly once, regardless of the
+        // interleaving; everything else dropped.
+        prop_assert_eq!(admitted, distinct as u64);
+        prop_assert_eq!(filter.applications(), distinct as u64);
+        prop_assert_eq!(filter.drops(), (stream.len() - distinct) as u64);
+        prop_assert_eq!(filter.duplicate_applications(), 0);
+
+        // A second, differently-ordered pass over the same multiset lands
+        // in exactly the same final state.
+        let mut reordered = stream.clone();
+        reordered.reverse();
+        let (refilter, readmitted) = feed(&reordered);
+        prop_assert_eq!(readmitted, admitted);
+        prop_assert_eq!(refilter.applications(), filter.applications());
+        prop_assert_eq!(refilter.drops(), filter.drops());
+        prop_assert_eq!(refilter.tracked(), filter.tracked());
+        Ok(())
+    });
+}
+
+#[test]
+fn filter_memory_is_bounded_by_distinct_tickets_not_deliveries() {
+    run("dedup_memory_bounded", 128, |g| {
+        let (stream, distinct) = delivery_stream(g);
+        let (filter, _) = feed(&stream);
+        prop_assert_eq!(filter.tracked(), distinct);
+        prop_assert!(
+            filter.tracked() <= stream.len(),
+            "footprint {} exceeds deliveries {}",
+            filter.tracked(),
+            stream.len()
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn replay_storm_on_one_ticket_never_grows_the_filter() {
+    run("dedup_replay_storm", 64, |g| {
+        let mut arbiter = Arbiter::new(4, 120);
+        let mut filter = DedupFilter::new();
+        let first = arbiter.ticket(0, 0);
+        prop_assert!(filter.admit(first));
+        prop_assert!(!filter.record_application(first));
+        let storms = g.in_range(1usize..1000);
+        for _ in 0..storms {
+            arbiter.fail_over();
+            prop_assert!(!filter.admit(arbiter.ticket(0, 0)));
+        }
+        prop_assert_eq!(filter.tracked(), 1);
+        prop_assert_eq!(filter.drops(), storms as u64);
+        prop_assert_eq!(filter.duplicate_applications(), 0);
+        Ok(())
+    });
+}

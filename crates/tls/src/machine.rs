@@ -874,14 +874,24 @@ impl TlsMachine {
             .as_ref()
             .map(|l| l.ticket(i, u64::from(self.tasks[i].restarts)));
         let mut replay_rounds = 0u32;
-        if self.live.is_some() && self.chaos.as_mut().is_some_and(|plan| plan.arbiter_crash()) {
-            let live = self.live.as_mut().expect("liveness armed");
-            let reelect = live.arbiter_crash();
-            let restart = self.bus.acquire(finish, reelect);
-            finish = restart + reelect;
-            replay_rounds = 1;
-            if let Some(obs) = &self.obs {
-                obs.on_arbiter_failover(i as u32, finish, live.epoch());
+        if self.live.is_some() {
+            // Crash-during-replay: each crash re-elects and adds one more
+            // replay round, bounded per broadcast so recovery terminates.
+            let crash_cap = self
+                .chaos
+                .as_ref()
+                .map_or(0, |plan| plan.config().max_crashes_per_broadcast);
+            while replay_rounds < crash_cap
+                && self.chaos.as_mut().is_some_and(|plan| plan.arbiter_crash())
+            {
+                let live = self.live.as_mut().expect("liveness armed");
+                let reelect = live.arbiter_crash();
+                let restart = self.bus.acquire(finish, reelect);
+                finish = restart + reelect;
+                replay_rounds += 1;
+                if let Some(obs) = &self.obs {
+                    obs.on_arbiter_failover(i as u32, finish, live.epoch());
+                }
             }
         }
         self.last_commit_finish = finish;
@@ -1654,6 +1664,40 @@ mod tests {
         assert!(a.violations.is_empty(), "{:?}", a.violations);
         assert!(a.liveness_violations.is_empty(), "{:?}", a.liveness_violations);
         assert_eq!(a.commits as usize, p.tasks, "every task commits despite crashes");
+    }
+
+    #[test]
+    fn scripted_double_crash_during_replay_is_survived_in_tls() {
+        // Crash-during-replay on the TLS side: the schedule kills the
+        // arbiter twice during the first task's commit broadcast. Both
+        // re-elections and both replay rounds happen; receiver dedup drops
+        // every extra round and no task's W_C is applied twice or lost.
+        use bulk_chaos::{BroadcastSchedule, ScheduleScript};
+        let p = profiles::tls_profile("vpr").unwrap();
+        let wl = p.generate(2);
+        let script = ScheduleScript::from_pattern(vec![BroadcastSchedule {
+            crashes: 2,
+            ..BroadcastSchedule::QUIET
+        }]);
+        let run = || {
+            let mut m = TlsMachine::new(&wl, TlsScheme::Bulk, &cfg());
+            m.set_chaos(script.clone().into_plan());
+            m.enable_audit();
+            m.enable_liveness(bulk_live::LivenessConfig::default());
+            m.try_run().expect("double crash is survived")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles, "scripted runs are deterministic");
+        assert_eq!(a.liveness, b.liveness);
+        assert_eq!(a.liveness.arbiter_crashes, 2, "{:?}", a.liveness);
+        assert_eq!(a.liveness.arbiter_epoch, 2);
+        assert_eq!(a.liveness.replayed_commits, 2);
+        assert_eq!(a.liveness.dedup_drops, script.expected_dedup_drops());
+        assert_eq!(a.liveness.duplicate_applications, 0);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert!(a.liveness_violations.is_empty(), "{:?}", a.liveness_violations);
+        assert_eq!(a.commits as usize, p.tasks);
     }
 
     #[test]

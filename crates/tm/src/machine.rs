@@ -533,21 +533,27 @@ impl TmMachine {
                     // longer cover the thread's footprint (Set Restriction
                     // hazard).
                     let ckpt = Checkpoint::capture(spilled, t.overflow.snapshot_lines());
-                    let v2 = t
-                        .bdm
-                        .reload_version(ckpt.spilled.clone())
-                        .unwrap_or_else(|_| unreachable!("slot was just freed"));
-                    let respilled = t.bdm.spill_version(v2);
-                    let restore_ok =
-                        ckpt.verify(&respilled, &t.overflow.snapshot_lines()).is_ok();
-                    let v3 = t
-                        .bdm
-                        .reload_version(respilled)
-                        .unwrap_or_else(|_| unreachable!("slot was just freed"));
-                    t.bdm.set_running(Some(v3));
-                    t.version = Some(v3);
-                    if let Some(live) = &mut self.live {
-                        live.note_checkpoint(restore_ok);
+                    match ckpt.restore_into(&mut t.bdm, &t.overflow.snapshot_lines()) {
+                        Ok(v3) => {
+                            t.bdm.set_running(Some(v3));
+                            t.version = Some(v3);
+                            if let Some(live) = &mut self.live {
+                                live.note_checkpoint(true);
+                            }
+                        }
+                        Err(e) => {
+                            // The thread cannot resume against torn or
+                            // unreloadable state: surface a typed
+                            // checkpoint-restore violation (with replay
+                            // seed) and leave the thread without a running
+                            // version — the next operation that needs one
+                            // yields a typed MissingVersion error instead
+                            // of this site panicking.
+                            let now = t.timer.now();
+                            if let Some(live) = &mut self.live {
+                                live.report_checkpoint_failure(tid, now, e.to_string());
+                            }
+                        }
                     }
                     if let Some(obs) = &self.obs {
                         obs.on_checkpoint();
@@ -555,12 +561,17 @@ impl TmMachine {
                         obs.span_complete(tid as u32, SpanKind::Checkpoint, now, now, 0);
                     }
                 } else {
-                    let v2 = t
-                        .bdm
-                        .reload_version(spilled)
-                        .unwrap_or_else(|_| unreachable!("slot was just freed"));
-                    t.bdm.set_running(Some(v2));
-                    t.version = Some(v2);
+                    match t.bdm.reload_version(spilled) {
+                        Ok(v2) => {
+                            t.bdm.set_running(Some(v2));
+                            t.version = Some(v2);
+                        }
+                        // No free slot to reload into (cannot happen — the
+                        // spill just freed one — but a typed dead thread
+                        // beats a panic): the next operation that needs the
+                        // version reports MissingVersion.
+                        Err(_) => t.version = None,
+                    }
                 }
             }
         }
@@ -1022,18 +1033,28 @@ impl TmMachine {
             .as_ref()
             .map(|l| l.ticket(tid, self.threads[tid].tx_serial));
         let mut replay_rounds = 0u32;
-        if self.live.is_some()
-            && self.chaos.as_mut().is_some_and(|plan| plan.arbiter_crash())
-        {
-            let live = self.live.as_mut().expect("liveness armed");
-            let reelect = live.arbiter_crash();
-            // Re-election occupies the bus (no broadcast can proceed while
-            // the arbiter lease times out), keeping commit order total.
-            let restart = self.bus.acquire(finish, reelect);
-            finish = restart + reelect;
-            replay_rounds = 1;
-            if let Some(obs) = &self.obs {
-                obs.on_arbiter_failover(tid as u32, finish, live.epoch());
+        if self.live.is_some() {
+            // The replay itself can be hit by another crash
+            // (crash-during-replay): keep consulting the fault plan, one
+            // re-election and one extra replay round per crash, up to the
+            // plan's per-broadcast bound so recovery always terminates.
+            let crash_cap = self
+                .chaos
+                .as_ref()
+                .map_or(0, |plan| plan.config().max_crashes_per_broadcast);
+            while replay_rounds < crash_cap
+                && self.chaos.as_mut().is_some_and(|plan| plan.arbiter_crash())
+            {
+                let live = self.live.as_mut().expect("liveness armed");
+                let reelect = live.arbiter_crash();
+                // Re-election occupies the bus (no broadcast can proceed while
+                // the arbiter lease times out), keeping commit order total.
+                let restart = self.bus.acquire(finish, reelect);
+                finish = restart + reelect;
+                replay_rounds += 1;
+                if let Some(obs) = &self.obs {
+                    obs.on_arbiter_failover(tid as u32, finish, live.epoch());
+                }
             }
         }
         self.threads[tid].timer.wait_until(finish);
@@ -2229,6 +2250,77 @@ mod tests {
         assert_eq!(a.liveness.duplicate_applications, 0);
         assert!(a.violations.is_empty(), "{:?}", a.violations);
         assert_eq!(a.commits, (p.threads * p.txs_per_thread) as u64);
+    }
+
+    #[test]
+    fn scripted_double_crash_hits_the_replay_and_is_survived() {
+        // Crash-during-replay, deterministically: the schedule crashes the
+        // arbiter twice during the first commit broadcast — the second
+        // crash lands while the new epoch is replaying the in-flight
+        // message. Both re-elections happen, both replays are deduped, and
+        // nothing is applied twice or lost.
+        use bulk_chaos::{BroadcastSchedule, ScheduleScript};
+        let p = profiles::tm_profile("lu").unwrap();
+        let w = p.generate(2);
+        let script = ScheduleScript::from_pattern(vec![BroadcastSchedule {
+            crashes: 2,
+            ..BroadcastSchedule::QUIET
+        }]);
+        let run = || {
+            let mut m = TmMachine::new(&w, Scheme::Bulk, &cfg());
+            m.set_chaos(script.clone().into_plan());
+            m.enable_audit();
+            m.enable_liveness(bulk_live::LivenessConfig::default());
+            m.try_run().expect("double crash is survived")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles, "scripted runs are deterministic");
+        assert_eq!(a.liveness.arbiter_crashes, 2, "{:?}", a.liveness);
+        assert_eq!(a.liveness.arbiter_epoch, 2);
+        assert_eq!(a.liveness.replayed_commits, 2);
+        assert_eq!(a.liveness.dedup_drops, script.expected_dedup_drops());
+        assert_eq!(a.liveness.duplicate_applications, 0);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert!(a.liveness_violations.is_empty(), "{:?}", a.liveness_violations);
+        assert_eq!(a.commits, (p.threads * p.txs_per_thread) as u64);
+    }
+
+    #[test]
+    fn scripted_crash_while_bus_is_contended_serializes_the_reelection() {
+        // Crash-while-bus-occupied: the arbiter dies during thread A's
+        // broadcast while other threads are racing to commit. Re-election
+        // occupies the bus (bus.acquire serializes it against every other
+        // broadcast), so the crash visibly perturbs the machine's timing —
+        // but commit order stays total (auditor-checked), every
+        // transaction still commits, and nothing is applied twice.
+        use bulk_chaos::{BroadcastSchedule, ScheduleScript};
+        let p = profiles::tm_profile("lu").unwrap();
+        let w = p.generate(2);
+        let run = |script: ScheduleScript| {
+            let mut m = TmMachine::new(&w, Scheme::Bulk, &cfg());
+            m.set_chaos(script.into_plan());
+            m.enable_audit();
+            m.enable_liveness(bulk_live::LivenessConfig::default());
+            m.try_run().expect("run completes")
+        };
+        let quiet = run(ScheduleScript::quiet("quiet"));
+        let crashed = run(ScheduleScript::from_pattern(vec![BroadcastSchedule {
+            crashes: 1,
+            ..BroadcastSchedule::QUIET
+        }]));
+        assert_eq!(quiet.liveness.arbiter_crashes, 0);
+        assert_eq!(crashed.liveness.arbiter_crashes, 1);
+        assert_eq!(crashed.liveness.replayed_commits, 1);
+        assert_ne!(
+            crashed.cycles, quiet.cycles,
+            "holding the bus through re-election must perturb global timing"
+        );
+        for out in [&quiet, &crashed] {
+            assert_eq!(out.commits, (p.threads * p.txs_per_thread) as u64);
+            assert_eq!(out.liveness.duplicate_applications, 0);
+            assert!(out.violations.is_empty(), "{:?}", out.violations);
+        }
     }
 
     #[test]

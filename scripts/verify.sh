@@ -58,4 +58,13 @@ cmp "$TRACE_DIR/tm_a.trace.json"  "$TRACE_DIR/tm_b.trace.json"
 cmp "$TRACE_DIR/tls_a.trace.json" "$TRACE_DIR/tls_b.trace.json"
 echo "trace determinism: OK"
 
+# Protocol model-check smoke: bounded-depth BFS over the commit/
+# failover model plus one seeded bug that must die with a
+# counterexample. The exhaustive + full mutation suite runs in the CI
+# model-check job; this keeps a protocol regression inside the
+# hermetic gate at ~tens of milliseconds.
+echo "== model-check smoke (bounded depth)"
+cargo run --release -q --offline --locked -p bulk-mc --bin mc_explore -- --smoke
+echo "model-check smoke: OK"
+
 echo "verify: OK (hermetic build, no registry dependencies)"

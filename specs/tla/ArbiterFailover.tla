@@ -1,0 +1,173 @@
+---------------------------- MODULE ArbiterFailover ----------------------------
+(***************************************************************************)
+(* Arbiter failover layered over the Bulk commit broadcast (DESIGN.md     *)
+(* sections 9 and 12; crates/live arbiter + crates/mc model).             *)
+(*                                                                         *)
+(* The commit arbiter can crash while a broadcast is in flight.  The      *)
+(* surviving processors re-elect: the epoch counter increments, the       *)
+(* leader rotates, and the new arbiter REPLAYS every in-flight CommitMsg  *)
+(* re-stamped with the new epoch (it cannot know which receivers          *)
+(* already consumed the original).  Receivers therefore see the same      *)
+(* (committer, serial) ticket up to 1 + crashes times; the DedupFilter    *)
+(* — keyed on (committer, serial), NOT on the epoch — must admit it       *)
+(* exactly once.  An epoch fence additionally drops messages stamped      *)
+(* with a stale epoch; the Rust explorer's `no-fencing` mutation shows    *)
+(* the fence is redundant at these bounds (bus serialization + dedup      *)
+(* already discharge it), and its `stale-epoch-apply` mutation shows      *)
+(* that folding the epoch INTO the dedup key is a real bug: a replay      *)
+(* re-stamped to a new epoch would be admitted twice (4-step             *)
+(* counterexample, see specs/tla/README.md).                              *)
+(*                                                                         *)
+(* Invariants: exactly-once W_C application across crashes, committed-    *)
+(* order serializability, and no lost commit during re-election (every    *)
+(* granted commit eventually reaches every receiver, crashes              *)
+(* notwithstanding).                                                       *)
+(***************************************************************************)
+
+EXTENDS Naturals, Sequences, FiniteSets
+
+CONSTANTS
+    Procs,          \* processor ids; the arbiter leader is one of them
+    CommitsPerProc, \* commits each processor performs, e.g. 1
+    MaxCrashes,     \* arbiter-crash budget, e.g. 2 (allows double-crash)
+    MaxDups         \* interconnect duplication budget, e.g. 1
+
+ASSUME Cardinality(Procs) >= 2 /\ CommitsPerProc >= 1
+       /\ MaxCrashes >= 0 /\ MaxDups >= 0
+
+Serials == 0 .. CommitsPerProc - 1
+Tickets == Procs \X Serials
+
+VARIABLES
+    remaining,  \* [Procs -> Nat]
+    busFree,    \* no broadcast in flight
+    inflight,   \* set of [msg : Tickets, epoch : Nat, pending : SUBSET Procs]
+    epoch,      \* current arbiter epoch
+    crashes,    \* crashes spent
+    dups,       \* duplications spent
+    applied,    \* [Procs -> Seq(Tickets)]
+    granted     \* Seq(Tickets): bus-grant order
+
+vars == <<remaining, busFree, inflight, epoch, crashes, dups, applied, granted>>
+
+Init ==
+    /\ remaining = [p \in Procs |-> CommitsPerProc]
+    /\ busFree = TRUE
+    /\ inflight = {}
+    /\ epoch = 0
+    /\ crashes = 0
+    /\ dups = 0
+    /\ applied = [p \in Procs |-> <<>>]
+    /\ granted = <<>>
+
+Grant(p) ==
+    /\ busFree
+    /\ remaining[p] > 0
+    /\ LET t == <<p, CommitsPerProc - remaining[p]>> IN
+       /\ inflight' = inflight \cup
+            {[msg |-> t, epoch |-> epoch, pending |-> Procs \ {p}]}
+       /\ remaining' = [remaining EXCEPT ![p] = @ - 1]
+       /\ busFree' = FALSE
+       /\ granted' = Append(granted, t)
+       /\ UNCHANGED <<epoch, crashes, dups, applied>>
+
+\* Receiver-side dedup on (committer, serial): the ticket is admitted
+\* only if this receiver has not applied it under ANY epoch.  This is
+\* exactly the property the stale-epoch-apply mutation breaks.
+Fresh(r, t) == \A i \in 1..Len(applied[r]) : applied[r][i] /= t
+
+Consume(e, r) ==
+    LET e2 == [e EXCEPT !.pending = @ \ {r}] IN
+    /\ applied' = IF Fresh(r, e.msg)
+                  THEN [applied EXCEPT ![r] = Append(@, e.msg)]
+                  ELSE applied
+    /\ inflight' = IF e2.pending = {}
+                   THEN inflight \ {e}
+                   ELSE (inflight \ {e}) \cup {e2}
+    /\ busFree' = IF e2.pending = {} THEN TRUE ELSE busFree
+
+\* The epoch fence: receivers drop messages from a dead epoch.  The
+\* fence is modelled as an enabling condition; removing it (the
+\* no-fencing mutation) must not introduce a violation because dedup
+\* subsumes it — the Rust explorer confirms this at the bounds below.
+Deliver(e, r) ==
+    /\ e \in inflight
+    /\ r \in e.pending
+    /\ e.epoch = epoch          \* epoch fence
+    /\ Consume(e, r)
+    /\ UNCHANGED <<remaining, epoch, crashes, dups, granted>>
+
+Duplicate(e, r) ==
+    /\ e \in inflight
+    /\ r \in (Procs \ {e.msg[1]}) \ e.pending
+    /\ e.epoch = epoch
+    /\ dups < MaxDups
+    /\ dups' = dups + 1
+    /\ applied' = IF Fresh(r, e.msg)
+                  THEN [applied EXCEPT ![r] = Append(@, e.msg)]
+                  ELSE applied
+    /\ UNCHANGED <<remaining, busFree, inflight, epoch, crashes, granted>>
+
+(***************************************************************************)
+(* Crash: the arbiter dies mid-protocol.  Epoch increments (the leader    *)
+(* rotation is epoch MOD N and is immaterial to the invariants) and       *)
+(* every in-flight message is replayed RE-STAMPED with the new epoch to   *)
+(* its full original audience — the new arbiter does not know who         *)
+(* already consumed the original, so the pending set resets to every     *)
+(* receiver that has not yet applied the ticket... conservatively, to    *)
+(* ALL foreign receivers; dedup absorbs the overshoot.  The              *)
+(* replay-without-restamp mutation keeps the OLD epoch on the replay:    *)
+(* the epoch fence then drops it forever and the commit is lost          *)
+(* (12-step counterexample).  The skip-replay mutation drops the         *)
+(* in-flight set entirely: lost commit in 10 steps.                      *)
+(***************************************************************************)
+
+Crash ==
+    /\ crashes < MaxCrashes
+    /\ inflight /= {}          \* a crash with nothing in flight is a no-op
+    /\ crashes' = crashes + 1
+    /\ epoch' = epoch + 1
+    /\ inflight' = { [msg |-> e.msg,
+                      epoch |-> epoch + 1,
+                      pending |-> Procs \ {e.msg[1]}] : e \in inflight }
+    /\ UNCHANGED <<remaining, busFree, dups, applied, granted>>
+
+Next ==
+    \/ \E p \in Procs : Grant(p)
+    \/ \E e \in inflight, r \in Procs : Deliver(e, r)
+    \/ \E e \in inflight, r \in Procs : Duplicate(e, r)
+    \/ Crash
+
+Spec == Init /\ [][Next]_vars /\ WF_vars(Next)
+
+(***************************************************************************)
+(* Invariants — checked by TLC and, executably, by `bulk-mc`.             *)
+(***************************************************************************)
+
+ExactlyOnce ==
+    \A p \in Procs :
+        \A i, j \in 1..Len(applied[p]) :
+            (i /= j) => applied[p][i] /= applied[p][j]
+
+IsSubseqOf(s, t) ==
+    \E f \in [1..Len(s) -> 1..Len(t)] :
+        /\ \A i, j \in 1..Len(s) : (i < j) => f[i] < f[j]
+        /\ \A i \in 1..Len(s) : t[f[i]] = s[i]
+
+SerializableOrder ==
+    \A p \in Procs : IsSubseqOf(applied[p], granted)
+
+Quiescent ==
+    /\ \A p \in Procs : remaining[p] = 0
+    /\ inflight = {}
+
+\* No lost commit during re-election: at quiescence every receiver has
+\* applied every foreign commit despite up to MaxCrashes failovers.
+NoLostCommit ==
+    Quiescent =>
+        \A p \in Procs :
+            Len(applied[p]) = CommitsPerProc * (Cardinality(Procs) - 1)
+
+EventuallyQuiescent == <>Quiescent
+
+================================================================================

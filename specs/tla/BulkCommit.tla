@@ -1,0 +1,147 @@
+------------------------------ MODULE BulkCommit ------------------------------
+(***************************************************************************)
+(* Bulk commit broadcast with receiver-side dedup (paper sections 4.2 and  *)
+(* 6; DESIGN.md sections 7, 9 and 12).                                     *)
+(*                                                                         *)
+(* A committer that wins the bus broadcasts one CommitMsg carrying its     *)
+(* write signature W_C.  Every other processor must apply that W_C to its  *)
+(* local speculative state EXACTLY ONCE, even when the interconnect        *)
+(* duplicates the message: the receiver-side DedupFilter keyed on          *)
+(* (committer, serial) drops re-deliveries.  The committed order is the    *)
+(* bus-grant order, and every receiver must observe committed writes in    *)
+(* an order consistent with it (serializability of the committed           *)
+(* prefix).                                                                *)
+(*                                                                         *)
+(* This spec is the crash-free core; ArbiterFailover.tla layers arbiter    *)
+(* crashes, epoch re-election and in-flight replay on top of the same      *)
+(* state shape.  The executable twin of both specs is crates/mc            *)
+(* (`bulk-mc`), whose explicit-state BFS explorer checks the same          *)
+(* invariants at the documented bounds and certifies every                 *)
+(* counterexample by replay; see specs/tla/README.md for the measured      *)
+(* state-space sizes.                                                      *)
+(***************************************************************************)
+
+EXTENDS Naturals, Sequences, FiniteSets
+
+CONSTANTS
+    Procs,          \* set of processor ids, e.g. 0..2
+    CommitsPerProc, \* transactions each processor commits, e.g. 1
+    MaxDups         \* interconnect duplications budget, e.g. 1
+
+ASSUME Cardinality(Procs) >= 2 /\ CommitsPerProc >= 1 /\ MaxDups >= 0
+
+Serials == 0 .. CommitsPerProc - 1
+
+\* A CommitMsg is identified by its ticket (committer, serial).
+Msgs == Procs \X Serials
+
+VARIABLES
+    remaining,  \* [Procs -> Nat]: commits each processor still has to win
+    busFree,    \* TRUE when no broadcast is in flight
+    inflight,   \* set of [msg : Msgs, pending : SUBSET Procs]
+    dups,       \* interconnect duplications spent so far
+    applied,    \* [Procs -> Seq(Msgs)]: per-receiver applied W_C order
+    granted     \* Seq(Msgs): the bus-grant (committed) order
+
+vars == <<remaining, busFree, inflight, dups, applied, granted>>
+
+Init ==
+    /\ remaining = [p \in Procs |-> CommitsPerProc]
+    /\ busFree = TRUE
+    /\ inflight = {}
+    /\ dups = 0
+    /\ applied = [p \in Procs |-> <<>>]
+    /\ granted = <<>>
+
+(***************************************************************************)
+(* Actions.  Grant models the arbiter handing the bus to one committer;   *)
+(* Deliver models one receiver consuming the broadcast; Duplicate models  *)
+(* the interconnect re-delivering an already-delivered copy.  A message   *)
+(* retires (leaves `inflight`) when every receiver has consumed it,       *)
+(* which frees the bus for the next grant.                                *)
+(***************************************************************************)
+
+Grant(p) ==
+    /\ busFree
+    /\ remaining[p] > 0
+    /\ LET m == <<p, CommitsPerProc - remaining[p]>> IN
+       /\ inflight' = inflight \cup
+            {[msg |-> m, pending |-> Procs \ {p}]}
+       /\ remaining' = [remaining EXCEPT ![p] = @ - 1]
+       /\ busFree' = FALSE
+       /\ granted' = Append(granted, m)
+       /\ UNCHANGED <<dups, applied>>
+
+Deliver(e, r) ==
+    /\ e \in inflight
+    /\ r \in e.pending
+    \* The DedupFilter admits a ticket at most once: a (committer,
+    \* serial) already in the receiver's applied sequence is dropped.
+    /\ LET fresh == \A i \in 1..Len(applied[r]) : applied[r][i] /= e.msg
+           e2 == [e EXCEPT !.pending = @ \ {r}]
+       IN
+       /\ applied' = IF fresh
+                     THEN [applied EXCEPT ![r] = Append(@, e.msg)]
+                     ELSE applied
+       /\ inflight' = IF e2.pending = {}
+                      THEN (inflight \ {e}) \* fully delivered: retire
+                      ELSE (inflight \ {e}) \cup {e2}
+       /\ busFree' = IF e2.pending = {} THEN TRUE ELSE busFree
+       /\ UNCHANGED <<remaining, dups, granted>>
+
+\* The interconnect re-delivers a copy to a receiver that already
+\* consumed it.  The dedup filter must drop it (fresh is FALSE by
+\* construction), so `applied` is unchanged; only the budget is spent.
+Duplicate(e, r) ==
+    /\ e \in inflight
+    /\ r \in (Procs \ {e.msg[1]}) \ e.pending
+    /\ dups < MaxDups
+    /\ dups' = dups + 1
+    /\ LET fresh == \A i \in 1..Len(applied[r]) : applied[r][i] /= e.msg
+       IN applied' = IF fresh
+                     THEN [applied EXCEPT ![r] = Append(@, e.msg)]
+                     ELSE applied
+    /\ UNCHANGED <<remaining, busFree, inflight, granted>>
+
+Next ==
+    \/ \E p \in Procs : Grant(p)
+    \/ \E e \in inflight, r \in Procs : Deliver(e, r)
+    \/ \E e \in inflight, r \in Procs : Duplicate(e, r)
+
+Spec == Init /\ [][Next]_vars /\ WF_vars(Next)
+
+(***************************************************************************)
+(* Invariants — the same three the Rust explorer checks.                  *)
+(***************************************************************************)
+
+\* Exactly-once: no receiver's applied sequence contains a ticket twice.
+ExactlyOnce ==
+    \A p \in Procs :
+        \A i, j \in 1..Len(applied[p]) :
+            (i /= j) => applied[p][i] /= applied[p][j]
+
+\* Serializability of the committed prefix: every receiver applies W_C
+\* sets in a subsequence of the bus-grant order.
+IsSubseqOf(s, t) ==
+    \E f \in [1..Len(s) -> 1..Len(t)] :
+        /\ \A i, j \in 1..Len(s) : (i < j) => f[i] < f[j]
+        /\ \A i \in 1..Len(s) : t[f[i]] = s[i]
+
+SerializableOrder ==
+    \A p \in Procs : IsSubseqOf(applied[p], granted)
+
+\* Quiescent completeness: once all commits are granted and delivered,
+\* every receiver has applied every foreign commit.
+Quiescent ==
+    /\ \A p \in Procs : remaining[p] = 0
+    /\ inflight = {}
+
+NoLostCommit ==
+    Quiescent =>
+        \A p \in Procs :
+            Len(applied[p]) = CommitsPerProc * (Cardinality(Procs) - 1)
+
+\* Liveness: the protocol drains.
+EventuallyQuiescent == <>Quiescent
+
+================================================================================

@@ -24,7 +24,10 @@
 //!   false-positive attribution against the exact oracle (DESIGN.md §8),
 //! * [`live`] — liveness engine: forward-progress watchdog, age-based
 //!   backoff arbitration, commit-arbiter failover and crash-consistent
-//!   checkpoints (DESIGN.md §9).
+//!   checkpoints (DESIGN.md §9),
+//! * [`mc`] — explicit-state model checker for the commit/squash/failover
+//!   protocol, with mutation testing and interleaving-class conformance
+//!   replay onto the real machines (DESIGN.md §12).
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@
 pub use bulk_chaos as chaos;
 pub use bulk_core as bulk;
 pub use bulk_live as live;
+pub use bulk_mc as mc;
 pub use bulk_mem as mem;
 pub use bulk_obs as obs;
 pub use bulk_rng as rng;
