@@ -6,6 +6,7 @@
 //! Results land in `BENCH_machines.json` (see `bulk_bench::timer`).
 
 use bulk_bench::BenchSuite;
+use bulk_par::{conflict_light_tm, run_par_tm, ParConfig};
 use bulk_sim::SimConfig;
 use bulk_tls::{run_tls, TlsScheme};
 use bulk_tm::{run_tm, Scheme};
@@ -32,6 +33,25 @@ fn bench_tls(suite: &mut BenchSuite) {
     }
 }
 
+/// Parallel-runtime commit throughput vs. thread count (strong scaling:
+/// the transaction total is fixed, threads split it). Each transaction
+/// dwells ~100 µs (100k cycles at 1000 ns/kcycle), so the run is
+/// latency-bound and the dwells overlap across OS threads the way memory
+/// latency overlaps across real processors — total time shrinks with
+/// thread count even on a single-core host, and what the bench measures
+/// is the protocol's concurrency, not the host's core count. The
+/// workload is conflict-light (private address regions), so squashes
+/// would be pure signature aliasing.
+fn bench_par(suite: &mut BenchSuite) {
+    for threads in [1usize, 2, 4, 8, 16] {
+        let wl = conflict_light_tm(threads, 64, 4, 100_000);
+        let cfg = ParConfig { compute_ns_per_kcycle: 1_000, seed: 42, ..ParConfig::default() };
+        suite.bench("par_tm_throughput", format!("t{threads}"), || {
+            black_box(run_par_tm(&wl, Scheme::Bulk, &cfg).expect("bulk is par-supported"))
+        });
+    }
+}
+
 /// Runs the shared instrumented scenario pair once, untimed, so
 /// `BENCH_machines.json` carries squash attribution, invalidation
 /// overshoot and the cycle-accounting breakdown next to the timings.
@@ -44,6 +64,7 @@ fn main() {
     let mut suite = BenchSuite::from_args("machines");
     bench_tm(&mut suite);
     bench_tls(&mut suite);
+    bench_par(&mut suite);
     collect_metrics(&mut suite);
     suite.finish();
 }

@@ -32,6 +32,8 @@
 //!   class it explores as one of these, and the conformance tests drive
 //!   the machines through each class.
 
+#![warn(missing_docs)]
+
 mod audit;
 mod error;
 mod fault;

@@ -27,6 +27,10 @@ pub enum Command {
 pub struct TmArgs {
     /// Application profile name (Table 4).
     pub app: String,
+    /// Execution substrate: `"sim"` (deterministic discrete-event
+    /// simulator) or `"par"` (real OS threads over the lock-free
+    /// broadcast log).
+    pub runtime: String,
     /// Conflict-detection scheme.
     pub scheme: Scheme,
     /// Workload seed.
@@ -60,6 +64,10 @@ pub struct TmArgs {
 pub struct TlsArgs {
     /// Application profile name (SPECint stand-in).
     pub app: String,
+    /// Execution substrate: `"sim"` (deterministic discrete-event
+    /// simulator) or `"par"` (real OS threads over the lock-free
+    /// broadcast log).
+    pub runtime: String,
     /// Conflict-detection scheme.
     pub scheme: TlsScheme,
     /// Workload seed.
@@ -102,17 +110,31 @@ bulk — run the Bulk Disambiguation reproduction
 
 USAGE:
   bulk list
-  bulk tm  --app <name> [--scheme <eager-naive|eager|lazy|bulk|bulk-partial>]
+  bulk tm  --app <name> [--runtime <sim|par>]
+           [--scheme <eager-naive|eager|lazy|bulk|bulk-partial>]
            [--seed <n>] [--txs <n>] [--sig <S1..S23>] [--dump-trace <file>]
            [--chaos] [--audit] [--metrics] [--events-out <file>]
            [--metrics-out <file>] [--trace-out <file>] [--watchdog-ticks <n>]
-  bulk tls --app <name> [--scheme <eager|lazy|bulk|bulk-no-overlap>]
+  bulk tls --app <name> [--runtime <sim|par>]
+           [--scheme <eager|lazy|bulk|bulk-no-overlap>]
            [--seed <n>] [--tasks <n>] [--dump-trace <file>]
            [--chaos] [--audit] [--metrics] [--events-out <file>]
            [--metrics-out <file>] [--trace-out <file>] [--watchdog-ticks <n>]
   bulk replay --file <trace> --scheme <name>
   bulk sweep-sig --app <name> [--seed <n>]
   bulk help
+
+RUNTIMES:
+  --runtime selects the execution substrate. `sim` (the default) is the
+  deterministic discrete-event simulator: same trace + same seed is
+  byte-identical across runs, and it models Table 5 timing. `par` runs
+  the same commit/squash protocol on real OS threads over a lock-free
+  broadcast log with epoch-ticketed exactly-once delivery; it supports
+  the schemes whose disambiguation is timing-independent (TM: bulk,
+  lazy; TLS: bulk, bulk-no-overlap, lazy), audits its committed history
+  after every run, and reports wall time instead of simulated cycles.
+  The simulator-only fault and timing flags (--chaos, --watchdog-ticks,
+  --events-out, --trace-out) are rejected under --runtime par.
 
 CHAOS:
   --chaos injects deterministic faults (commit denials, delayed/duplicated
@@ -152,6 +174,15 @@ LIVENESS:
   (including the detected squash cycle) and exits nonzero; try
   `bulk tm --app mc --scheme eager-naive --watchdog-ticks 1000000`.
 ";
+
+/// Parses a `--runtime` value (defaulting to the simulator).
+pub fn parse_runtime(v: Option<String>) -> Result<String, String> {
+    let name = v.unwrap_or_else(|| "sim".into());
+    match name.as_str() {
+        "sim" | "par" => Ok(name),
+        other => Err(format!("unknown runtime `{other}` (expected sim|par)")),
+    }
+}
 
 /// Parses a TM scheme name.
 pub fn parse_tm_scheme(s: &str) -> Result<Scheme, String> {
@@ -241,6 +272,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "tm" => {
             let mut f = Flags::parse(rest)?;
             let app = f.take("app").ok_or("tm: --app is required")?;
+            let runtime = parse_runtime(f.take("runtime"))?;
             let scheme = parse_tm_scheme(&f.take("scheme").unwrap_or_else(|| "bulk".into()))?;
             let seed = parse_num(f.take("seed"), 42, "--seed")?;
             let txs = match f.take("txs") {
@@ -261,6 +293,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             f.finish()?;
             Ok(Command::Tm(TmArgs {
                 app,
+                runtime,
                 scheme,
                 seed,
                 txs,
@@ -278,6 +311,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "tls" => {
             let mut f = Flags::parse(rest)?;
             let app = f.take("app").ok_or("tls: --app is required")?;
+            let runtime = parse_runtime(f.take("runtime"))?;
             let scheme =
                 parse_tls_scheme(&f.take("scheme").unwrap_or_else(|| "bulk".into()))?;
             let seed = parse_num(f.take("seed"), 42, "--seed")?;
@@ -298,6 +332,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             f.finish()?;
             Ok(Command::Tls(TlsArgs {
                 app,
+                runtime,
                 scheme,
                 seed,
                 tasks,
@@ -361,6 +396,7 @@ mod tests {
             c,
             Command::Tm(TmArgs {
                 app: "mc".into(),
+                runtime: "sim".into(),
                 scheme: Scheme::Bulk,
                 seed: 42,
                 txs: None,
@@ -375,6 +411,27 @@ mod tests {
                 watchdog_ticks: None,
             })
         );
+    }
+
+    #[test]
+    fn parses_runtime() {
+        match parse(&args("tm --app mc --runtime par")).unwrap() {
+            Command::Tm(a) => assert_eq!(a.runtime, "par"),
+            other => panic!("{other:?}"),
+        }
+        match parse(&args("tls --app gzip --runtime par --seed 3")).unwrap() {
+            Command::Tls(a) => {
+                assert_eq!(a.runtime, "par");
+                assert_eq!(a.seed, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&args("tls --app gzip")).unwrap() {
+            Command::Tls(a) => assert_eq!(a.runtime, "sim", "sim is the default"),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("tm --app mc --runtime hw")).is_err());
+        assert!(parse(&args("tm --app mc --runtime")).is_err());
     }
 
     #[test]

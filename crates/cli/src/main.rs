@@ -14,6 +14,7 @@ use args::{parse, Command, ReplayArgs, TlsArgs, TmArgs, USAGE};
 use bulk_chaos::FaultPlan;
 use bulk_live::{BackoffConfig, LivenessConfig, WatchdogConfig};
 use bulk_obs::Obs;
+use bulk_par::{ParConfig, ParRuntime, Runtime};
 use bulk_sig::{table8, table8_spec, BitPermutation, Granularity, SignatureConfig};
 use bulk_sim::SimConfig;
 use bulk_tls::TlsMachine;
@@ -151,6 +152,14 @@ fn run_tm(a: TmArgs) -> Result<(), String> {
         std::fs::write(path, io::tm_to_string(&wl)).map_err(|e| e.to_string())?;
         println!("trace written to {path}");
     }
+    if a.runtime == "par" {
+        reject_sim_only_flags("tm", a.chaos, a.watchdog_ticks, &a.events_out, &a.trace_out)?;
+        let rt = ParRuntime::new(par_config(a.seed));
+        let r = rt.run_tm(&wl, a.scheme, &SimConfig::tm_default()).map_err(|e| e.to_string())?;
+        report::print_par("TM", &a.app, &a.scheme.to_string(), &r);
+        write_par_metrics(&a.metrics_out, &r)?;
+        return check_violations(&r.violations, None);
+    }
     let sig = signature(&a.sig)?;
     let cfg = SimConfig::tm_default();
     let mut m =
@@ -162,9 +171,57 @@ fn run_tm(a: TmArgs) -> Result<(), String> {
     }
     let stats = m.try_run().map_err(|e| e.to_string())?;
     report::print_tm(&a.app, a.scheme, &stats, a.chaos);
-    finish_obs(&obs, "tm.", a.metrics, &a.events_out, &a.metrics_out, &a.trace_out)?;
+    finish_obs(&obs, "tm.", &a.runtime, a.metrics, &a.events_out, &a.metrics_out, &a.trace_out)?;
     check_violations(&stats.violations, seed)?;
     check_liveness(&stats.liveness_violations)
+}
+
+/// The parallel runtime's configuration for a CLI run: the workload seed
+/// doubles as the backoff-jitter seed, everything else stays at the
+/// defaults (`--runtime par` is about substrate semantics, not tuning).
+fn par_config(seed: u64) -> ParConfig {
+    ParConfig { seed, ..ParConfig::default() }
+}
+
+/// Rejects the simulator-only flags under `--runtime par`: fault plans,
+/// watchdogs and the event/span pipelines all hook the simulated clock,
+/// which real threads do not have. Failing loudly beats silently
+/// dropping what the user asked for.
+fn reject_sim_only_flags(
+    cmd: &str,
+    chaos: bool,
+    watchdog_ticks: Option<u64>,
+    events_out: &Option<String>,
+    trace_out: &Option<String>,
+) -> Result<(), String> {
+    let offending = if chaos {
+        Some("--chaos")
+    } else if watchdog_ticks.is_some() {
+        Some("--watchdog-ticks")
+    } else if events_out.is_some() {
+        Some("--events-out")
+    } else if trace_out.is_some() {
+        Some("--trace-out")
+    } else {
+        None
+    };
+    match offending {
+        Some(flag) => Err(format!(
+            "{cmd}: {flag} needs the simulated clock and is sim-only; \
+             drop it or use --runtime sim"
+        )),
+        None => Ok(()),
+    }
+}
+
+/// Writes the parallel runtime's self-describing metrics JSON when
+/// `--metrics-out` asked for one.
+fn write_par_metrics(path: &Option<String>, r: &bulk_par::RunReport) -> Result<(), String> {
+    if let Some(path) = path {
+        std::fs::write(path, report::par_metrics_json(r)).map_err(|e| e.to_string())?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
 }
 
 /// Builds the shared observability bundle when `--metrics`,
@@ -180,10 +237,13 @@ fn make_obs(
 }
 
 /// Prints the metrics section and/or writes the event JSONL, the
-/// registry JSON and the Chrome trace-event JSON, as requested.
+/// registry JSON and the Chrome trace-event JSON, as requested. The
+/// registry JSON is wrapped as `{"runtime": ..., "metrics": {...}}` so
+/// every metrics artifact names the substrate that produced it.
 fn finish_obs(
     obs: &Option<Arc<Obs>>,
     prefix: &str,
+    runtime: &str,
     metrics: bool,
     events_out: &Option<String>,
     metrics_out: &Option<String>,
@@ -191,7 +251,7 @@ fn finish_obs(
 ) -> Result<(), String> {
     let Some(o) = obs else { return Ok(()) };
     if metrics {
-        report::print_metrics(o.registry(), prefix);
+        report::print_metrics(o.registry(), prefix, runtime);
         report::print_cycle_breakdown(o.registry(), prefix);
         report::print_event_drops(o.events());
     }
@@ -204,7 +264,11 @@ fn finish_obs(
         );
     }
     if let Some(path) = metrics_out {
-        std::fs::write(path, o.registry().to_json()).map_err(|e| e.to_string())?;
+        let wrapped = format!(
+            "{{\n  \"runtime\": \"{runtime}\",\n  \"metrics\": {}\n}}\n",
+            o.registry().to_json_indented("  ")
+        );
+        std::fs::write(path, wrapped).map_err(|e| e.to_string())?;
         println!("metrics written to {path}");
     }
     if let Some(path) = trace_out {
@@ -247,6 +311,14 @@ fn run_tls(a: TlsArgs) -> Result<(), String> {
         println!("trace written to {path}");
     }
     let cfg = SimConfig::tls_default();
+    if a.runtime == "par" {
+        reject_sim_only_flags("tls", a.chaos, a.watchdog_ticks, &a.events_out, &a.trace_out)?;
+        let rt = ParRuntime::new(par_config(a.seed));
+        let r = rt.run_tls(&wl, a.scheme, &cfg).map_err(|e| e.to_string())?;
+        report::print_par("TLS", &a.app, &a.scheme.to_string(), &r);
+        write_par_metrics(&a.metrics_out, &r)?;
+        return check_violations(&r.violations, None);
+    }
     let seq = bulk_tls::run_tls_sequential(&wl, &cfg);
     let mut m = TlsMachine::try_new(&wl, a.scheme, &cfg).map_err(|e| e.to_string())?;
     let seed = configure_tls(&mut m, &a)?;
@@ -256,7 +328,7 @@ fn run_tls(a: TlsArgs) -> Result<(), String> {
     }
     let stats = m.try_run().map_err(|e| e.to_string())?;
     report::print_tls(&a.app, a.scheme, seq, &stats, a.chaos);
-    finish_obs(&obs, "tls.", a.metrics, &a.events_out, &a.metrics_out, &a.trace_out)?;
+    finish_obs(&obs, "tls.", &a.runtime, a.metrics, &a.events_out, &a.metrics_out, &a.trace_out)?;
     check_violations(&stats.violations, seed)?;
     check_liveness(&stats.liveness_violations)
 }

@@ -3,13 +3,14 @@
 use bulk_chaos::FaultStats;
 use bulk_live::LiveStats;
 use bulk_mem::MsgClass;
+use bulk_par::{RunDetail, RunReport};
 use bulk_tls::{TlsScheme, TlsStats};
 use bulk_tm::{Scheme, TmStats};
 
 /// Prints a TM run summary. `chaos_active` tells whether a fault plan was
 /// armed; the resilience section is omitted otherwise.
 pub fn print_tm(app: &str, scheme: Scheme, s: &TmStats, chaos_active: bool) {
-    println!("TM run: app={app} scheme={scheme}");
+    println!("TM run: app={app} scheme={scheme} runtime=sim");
     println!("  commits            {}", s.commits);
     println!(
         "  squashes           {} ({} from aliasing, {:.1}%)",
@@ -60,7 +61,7 @@ pub fn print_tm(app: &str, scheme: Scheme, s: &TmStats, chaos_active: bool) {
 /// Prints a TLS run summary. `chaos_active` tells whether a fault plan was
 /// armed; the resilience section is omitted otherwise.
 pub fn print_tls(app: &str, scheme: TlsScheme, seq_cycles: u64, s: &TlsStats, chaos_active: bool) {
-    println!("TLS run: app={app} scheme={scheme}");
+    println!("TLS run: app={app} scheme={scheme} runtime=sim");
     println!("  commits            {}", s.commits);
     println!(
         "  squashes           {} ({} from aliasing, {:.1}%)",
@@ -96,6 +97,76 @@ pub fn print_tls(app: &str, scheme: TlsScheme, seq_cycles: u64, s: &TlsStats, ch
         s.violations.len(),
     );
     print_liveness(&s.liveness, s.liveness_violations.len());
+}
+
+/// Prints a parallel-runtime run summary for either machine
+/// (`machine` is `"TM"` or `"TLS"`). Wall time replaces simulated
+/// cycles; the exactly-once line shows the `crates/live` dedup machinery
+/// at work (drops are nonzero only under stress injection, duplicate
+/// applications must always be zero).
+pub fn print_par(machine: &str, app: &str, scheme: &str, r: &RunReport) {
+    println!("{machine} run: app={app} scheme={scheme} runtime={}", r.runtime);
+    let RunDetail::Par(s) = &r.detail else {
+        println!("  commits            {}", r.commits);
+        println!("  squashes           {}", r.squashes);
+        return;
+    };
+    println!("  commits            {}", s.commits);
+    println!(
+        "  squashes           {} ({} from aliasing, {:.1}%)",
+        s.squashes,
+        s.false_squashes,
+        if s.squashes > 0 { 100.0 * s.false_squashes as f64 / s.squashes as f64 } else { 0.0 }
+    );
+    println!(
+        "  bus log            {} records ({} non-tx stores), {} claim retries",
+        s.records, s.non_tx_stores, s.claim_retries
+    );
+    println!(
+        "  exactly-once       {} dedup drops, {} duplicate applications, epoch {}",
+        s.dedup_drops, s.duplicate_applications, s.epoch
+    );
+    let per: Vec<String> = s.per_thread_commits.iter().map(u64::to_string).collect();
+    println!("  commits per thread {}", per.join(" "));
+    println!("  wall time          {:.3} ms", s.wall_ns as f64 / 1e6);
+    println!("  audit              {} checks, {} violations", s.audit_checks, s.violations.len());
+}
+
+/// Serializes a parallel-runtime report as a self-describing metrics
+/// JSON: the `runtime` field tells artifact consumers which substrate
+/// produced the numbers, mirroring the wrapped registry JSON the sim
+/// path writes.
+pub fn par_metrics_json(r: &RunReport) -> String {
+    let RunDetail::Par(s) = &r.detail else {
+        return format!("{{\n  \"runtime\": \"{}\"\n}}\n", r.runtime);
+    };
+    let counters = [
+        ("commits", s.commits),
+        ("squashes", s.squashes),
+        ("false_squashes", s.false_squashes),
+        ("claim_retries", s.claim_retries),
+        ("non_tx_stores", s.non_tx_stores),
+        ("records", s.records),
+        ("dedup_drops", s.dedup_drops),
+        ("duplicate_applications", s.duplicate_applications),
+        ("epoch", s.epoch),
+        ("audit_checks", s.audit_checks),
+        ("violations", s.violations.len() as u64),
+        ("wall_ns", s.wall_ns),
+    ];
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"runtime\": \"{}\",\n", r.runtime));
+    out.push_str("  \"metrics\": {\n    \"counters\": {\n");
+    for (i, (k, v)) in counters.iter().enumerate() {
+        let sep = if i + 1 == counters.len() { "" } else { "," };
+        out.push_str(&format!("      \"{k}\": {v}{sep}\n"));
+    }
+    out.push_str("    },\n");
+    let per: Vec<String> = s.per_thread_commits.iter().map(u64::to_string).collect();
+    out.push_str(&format!("    \"per_thread_commits\": [{}]\n", per.join(", ")));
+    out.push_str("  }\n}\n");
+    out
 }
 
 /// Liveness-engine section: printed only when the engine recorded
@@ -192,13 +263,14 @@ fn human_bytes(b: u64) -> String {
 
 /// Prints the `--metrics` section: squash attribution, invalidation
 /// overshoot and the full registry contents, for the machine under
-/// `prefix` (`"tm."` or `"tls."`).
-pub fn print_metrics(reg: &bulk_obs::Registry, prefix: &str) {
+/// `prefix` (`"tm."` or `"tls."`). `runtime` names the substrate that
+/// produced the block, so mixed-runtime transcripts stay unambiguous.
+pub fn print_metrics(reg: &bulk_obs::Registry, prefix: &str, runtime: &str) {
     let c = |name: &str| reg.counter_value(&format!("{prefix}{name}"));
     let total = c("squashes");
     let tc = c("squash.true_conflict");
     let aliasing = c("squash.aliasing");
-    println!("metrics ({}):", prefix.trim_end_matches('.'));
+    println!("metrics ({}, runtime={runtime}):", prefix.trim_end_matches('.'));
     let share = if total > 0 { 100.0 * aliasing as f64 / total as f64 } else { 0.0 };
     println!(
         "  squash attribution {total} total = {tc} true-conflict + {aliasing} aliasing ({share:.1}%)"
@@ -305,7 +377,24 @@ mod tests {
         reg.counter("tm.squashes").add(3);
         reg.counter("tm.squash.true_conflict").add(2);
         reg.counter("tm.squash.aliasing").add(1);
-        print_metrics(&reg, "tm.");
+        print_metrics(&reg, "tm.", "sim");
+    }
+
+    #[test]
+    fn par_report_prints_and_serializes() {
+        use bulk_par::{conflict_light_tm, ParRuntime, Runtime};
+        use bulk_sim::SimConfig;
+
+        let wl = conflict_light_tm(2, 4, 1, 0);
+        let r = ParRuntime::default()
+            .run_tm(&wl, Scheme::Bulk, &SimConfig::tm_default())
+            .unwrap();
+        print_par("TM", "conflict_light", "bulk", &r);
+        let json = par_metrics_json(&r);
+        assert!(json.contains("\"runtime\": \"par\""), "{json}");
+        assert!(json.contains("\"commits\": 4"), "{json}");
+        assert!(json.contains("\"duplicate_applications\": 0"), "{json}");
+        assert!(json.contains("\"per_thread_commits\": [2, 2]"), "{json}");
     }
 
     #[test]

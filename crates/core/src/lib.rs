@@ -49,7 +49,7 @@ mod nesting;
 pub mod set_restriction;
 
 pub use bdm::{Bdm, CommitSignatures, Disambiguation, SpilledVersion, VersionId};
-pub use msg::{CommitMsg, DeliveredSignatures};
+pub use msg::{CommitEvent, CommitMsg, DeliveredSignatures};
 pub use flows::{
     apply_remote_commit, invalidate_clean_matching, squash, CommitApplication,
     SquashInvalidation,

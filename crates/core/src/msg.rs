@@ -97,6 +97,38 @@ impl CommitMsg {
     }
 }
 
+/// One entry of a run's committed history: which thread (TM) or task
+/// (TLS) committed, its per-thread commit ordinal, and the finish time.
+///
+/// Both execution substrates — the deterministic sim and the parallel
+/// runtime — emit the same event type, which is what makes the
+/// cross-runtime conformance check possible: two runs land in the same
+/// *committed-order class* when their histories contain the same multiset
+/// of `(thread, ordinal)` pairs and both histories pass the
+/// serializability auditor. The `at` field is substrate-local time
+/// (simulated cycles for the sim, a monotonic bus position for the
+/// parallel runtime) and is deliberately excluded from the equivalence
+/// relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CommitEvent {
+    /// Committing thread (TM) or task index (TLS).
+    pub thread: u32,
+    /// This thread's commit ordinal (0 for its first commit, 1 for its
+    /// second, ...). TLS tasks commit exactly once, so this is 0 there.
+    pub ordinal: u64,
+    /// Substrate-local completion time: cycles (sim) or bus log position
+    /// (parallel runtime). Not part of the committed-order class.
+    pub at: u64,
+}
+
+impl CommitEvent {
+    /// The `(thread, ordinal)` identity used by the committed-order-class
+    /// comparison (drops the substrate-local timestamp).
+    pub fn identity(&self) -> (u32, u64) {
+        (self.thread, self.ordinal)
+    }
+}
+
 impl fmt::Display for CommitMsg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

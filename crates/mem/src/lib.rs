@@ -26,6 +26,8 @@
 //! assert!(cache.contains(line));
 //! ```
 
+#![warn(missing_docs)]
+
 mod addr;
 mod cache;
 mod geometry;

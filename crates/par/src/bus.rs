@@ -1,0 +1,223 @@
+//! The lock-free broadcast bus of the parallel runtime.
+//!
+//! The sim models the snoopy bus as a serializing resource inside one
+//! discrete-event loop; here the bus is a *shared append-only log* that
+//! genuinely concurrent OS threads publish to and poll from:
+//!
+//! * publishing is a `compare_exchange` on the tail — the committer may
+//!   claim slot `n` only while its local view of the log is exactly the
+//!   first `n` records, which makes validate-then-publish one atomic
+//!   step (see [`BusLog::try_claim`]);
+//! * every record carries a [`CommitTicket`] stamped from a shared
+//!   [`AtomicU64`] epoch, and each receiver runs its own
+//!   [`DedupFilter`](bulk_live::DedupFilter), so re-deliveries (which
+//!   the stress mode injects on purpose) are dropped instead of applied
+//!   twice — the same exactly-once machinery `crates/live` built for
+//!   arbiter failover;
+//! * readers never block writers: a claimed-but-unpublished slot is an
+//!   empty [`OnceLock`] the reader spins on with `yield_now`, and the
+//!   winner of a tail race always publishes, so the system as a whole
+//!   is lock-free (some thread always makes progress).
+//!
+//! Memory ordering: the tail CAS is `AcqRel` and `OnceLock::set/get`
+//! give release/acquire on the record payload, so a reader that
+//! observes slot `n` published also observes every record before it
+//! and the full payload of record `n` itself.
+
+use bulk_live::CommitTicket;
+use bulk_mem::LineAddr;
+use bulk_sig::Signature;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// What kind of store a bus record broadcasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A committed outer transaction's write set (`W_C`).
+    Commit,
+    /// A single non-transactional store (the paper's individual
+    /// invalidation path).
+    NonTxStore,
+}
+
+/// One broadcast on the bus: the write signature plus the exact oracle
+/// sets the auditor replays after the run.
+#[derive(Debug)]
+pub struct BusRecord {
+    /// Exactly-once identity: `(committer, serial)` under the epoch the
+    /// broadcast was stamped in.
+    pub ticket: CommitTicket,
+    /// Publishing thread (TM) or task (TLS).
+    pub thread: u32,
+    /// The publisher's commit ordinal (0 for non-transactional stores'
+    /// position-independent records this is the store count).
+    pub ordinal: u64,
+    /// Transaction commit or individual store.
+    pub kind: RecordKind,
+    /// The broadcast write signature (`None` for exact-set schemes).
+    pub w_sig: Option<Signature>,
+    /// Exact written lines — the oracle the auditor replays.
+    pub exact_w: Vec<LineAddr>,
+    /// Exact read lines of the committed transaction (audit only; the
+    /// paper never broadcasts `R`).
+    pub exact_r: Vec<LineAddr>,
+    /// Log length the publisher had fully validated against when its
+    /// claim succeeded. The claim protocol guarantees this equals the
+    /// record's own slot index; the auditor asserts it.
+    pub validated_to: usize,
+}
+
+/// The shared append-only broadcast log.
+#[derive(Debug)]
+pub struct BusLog {
+    slots: Box<[OnceLock<BusRecord>]>,
+    tail: AtomicUsize,
+    epoch: AtomicU64,
+}
+
+impl BusLog {
+    /// Creates a log with capacity for exactly `capacity` broadcasts.
+    /// The parallel runtime computes the capacity statically from the
+    /// workload (each outer transaction and each non-transactional
+    /// store publishes exactly once), so a full log is a protocol bug.
+    pub fn new(capacity: usize) -> Self {
+        BusLog {
+            slots: (0..capacity).map(|_| OnceLock::new()).collect(),
+            tail: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current log length (slots claimed; the last one may still be
+    /// publishing).
+    pub fn tail(&self) -> usize {
+        self.tail.load(Ordering::Acquire)
+    }
+
+    /// Current bus epoch (advanced only by stress-mode failover
+    /// injection; tickets are stamped with it).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advances the epoch, simulating an arbiter re-election. Dedup is
+    /// keyed on `(committer, serial)`, so records stamped before and
+    /// after the bump stay distinct and exactly-once delivery holds
+    /// across the churn — the property the stress smoke asserts.
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Attempts to claim slot `seen`: succeeds only if the log still has
+    /// exactly `seen` records, i.e. the caller has validated against
+    /// every record that will ever be ordered before its own. On failure
+    /// the caller must poll the new records and retry — this CAS *is*
+    /// the commit arbitration.
+    pub fn try_claim(&self, seen: usize) -> bool {
+        assert!(seen < self.slots.len(), "bus log capacity miscomputed");
+        self.tail
+            .compare_exchange(seen, seen + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Publishes the record into a previously claimed slot.
+    pub fn publish(&self, slot: usize, record: BusRecord) {
+        if self.slots[slot].set(record).is_err() {
+            panic!("bus slot {slot} published twice");
+        }
+    }
+
+    /// Returns slot `i`, spinning (with `yield_now`) through the short
+    /// claim-to-publish window if the writer hasn't stored it yet.
+    /// Callers must only ask for `i < tail()`.
+    pub fn wait_for(&self, i: usize) -> &BusRecord {
+        loop {
+            if let Some(r) = self.slots[i].get() {
+                return r;
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Returns slot `i` if it is already published.
+    pub fn get(&self, i: usize) -> Option<&BusRecord> {
+        self.slots[i].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(thread: u32, serial: u64, to: usize) -> BusRecord {
+        BusRecord {
+            ticket: CommitTicket { epoch: 0, committer: thread as usize, serial },
+            thread,
+            ordinal: serial,
+            kind: RecordKind::Commit,
+            w_sig: None,
+            exact_w: Vec::new(),
+            exact_r: Vec::new(),
+            validated_to: to,
+        }
+    }
+
+    #[test]
+    fn claim_is_exclusive_and_ordered() {
+        let log = BusLog::new(2);
+        assert!(log.try_claim(0));
+        assert!(!log.try_claim(0), "stale view must not claim");
+        assert_eq!(log.tail(), 1);
+        log.publish(0, record(0, 0, 0));
+        assert!(log.try_claim(1));
+        log.publish(1, record(1, 0, 1));
+        assert_eq!(log.tail(), 2);
+        assert_eq!(log.wait_for(0).thread, 0);
+        assert_eq!(log.wait_for(1).thread, 1);
+    }
+
+    #[test]
+    fn epoch_bumps_are_visible() {
+        let log = BusLog::new(1);
+        assert_eq!(log.epoch(), 0);
+        assert_eq!(log.bump_epoch(), 1);
+        assert_eq!(log.epoch(), 1);
+    }
+
+    #[test]
+    fn concurrent_claims_produce_a_dense_log() {
+        let log = BusLog::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let log = &log;
+                s.spawn(move || {
+                    for n in 0..16u64 {
+                        loop {
+                            let seen = log.tail();
+                            // Writers may be mid-publish; wait so the
+                            // validated prefix is fully visible.
+                            for i in 0..seen {
+                                let _ = log.wait_for(i);
+                            }
+                            if log.try_claim(seen) {
+                                log.publish(seen, record(t, n, seen));
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(log.tail(), 64);
+        for i in 0..64 {
+            let r = log.get(i).expect("dense");
+            assert_eq!(r.validated_to, i, "claim == validated prefix");
+        }
+    }
+}

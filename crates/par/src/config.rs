@@ -1,0 +1,60 @@
+//! Tuning knobs of the parallel runtime.
+
+/// Fault-injection plan for the stress smoke (`--cfg bulk_stress` runs
+/// arm it; ordinary runs leave it off). Both knobs are percentages in
+/// `0..=100`, drawn from a deterministic per-thread RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StressConfig {
+    /// Chance that an applied record is delivered to the same receiver a
+    /// second time. The dedup filter must drop every such re-delivery;
+    /// `duplicate_applications` staying 0 is the asserted property.
+    pub redeliver_percent: u8,
+    /// Chance that a committer bumps the bus epoch before stamping its
+    /// ticket, simulating an arbiter re-election mid-run.
+    pub epoch_bump_percent: u8,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig { redeliver_percent: 25, epoch_bump_percent: 10 }
+    }
+}
+
+/// Configuration of the [`ParRuntime`](crate::ParRuntime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Worker threads for TLS runs (TM runs spawn one OS thread per
+    /// workload thread). Tasks are dealt round-robin to workers.
+    pub tls_workers: usize,
+    /// Wall-clock nanoseconds one `Compute(1000)` op dwells for. The
+    /// discrete-event sim charges compute to a simulated clock; real
+    /// threads have to *spend* the time for thread-count scaling to be
+    /// observable, especially on hosts with fewer cores than workload
+    /// threads (compute dwell is sleep-based, so it overlaps across
+    /// threads regardless of core count). `0` disables dwell — right
+    /// for conformance tests, wrong for throughput benches.
+    pub compute_ns_per_kcycle: u64,
+    /// Seed for squash-backoff jitter and the stress plan.
+    pub seed: u64,
+    /// Duplicate-delivery / epoch-churn injection, when armed.
+    pub stress: Option<StressConfig>,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig { tls_workers: 4, compute_ns_per_kcycle: 0, seed: 0, stress: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_quiet() {
+        let c = ParConfig::default();
+        assert_eq!(c.tls_workers, 4);
+        assert_eq!(c.compute_ns_per_kcycle, 0);
+        assert!(c.stress.is_none());
+    }
+}

@@ -1,0 +1,487 @@
+//! The parallel TLS engine: ordered speculative tasks dealt round-robin
+//! to a pool of OS-thread workers, with in-order commit.
+//!
+//! TLS semantics differ from TM in one essential way: tasks have a
+//! *total* predefined order, and task `i` may only commit after task
+//! `i-1`. The engine encodes that directly: bus slot `i` belongs to task
+//! `i`, an atomic `next_commit` counter is the commit token, and a
+//! worker publishes its task only when the token reaches it. Conflict
+//! detection is the paper's RAW rule — a predecessor's committed `W`
+//! intersecting the speculative task's `R` restarts the task — checked
+//! with signatures (Bulk) or exact sets (Lazy), with the exact oracle
+//! always run alongside to classify aliasing restarts.
+//!
+//! `Spawn` ops are no-ops here: the task list is fully materialized by
+//! the trace, and the round-robin deal hands every worker its next task
+//! eagerly — the paper's spawn tree is already flattened into task
+//! order by `bulk-trace`.
+
+use crate::bus::{BusLog, BusRecord, RecordKind};
+use crate::config::ParConfig;
+use crate::runtime::RuntimeError;
+use crate::stats::{audit_log, history_of, ParStats, WorkerStats};
+use bulk_chaos::{Auditor, InvariantKind};
+use bulk_live::{CommitTicket, DedupFilter};
+use bulk_mem::LineAddr;
+use bulk_rng::{Rng, SeedableRng, SmallRng};
+use bulk_sig::{Signature, SignatureConfig};
+use bulk_tls::TlsScheme;
+use bulk_trace::{TlsOp, TlsWorkload};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const DWELL_FLUSH_NS: u64 = 50_000;
+
+/// Runs `workload` under the parallel runtime. `Bulk`, `BulkNoOverlap`
+/// (identical here: Partial Overlap is a cache-warmup optimization with
+/// no analogue on real threads) and `Lazy` are supported; `Eager`
+/// disambiguates against uncommitted remote state and is not.
+pub fn run_par_tls(
+    workload: &TlsWorkload,
+    scheme: TlsScheme,
+    cfg: &ParConfig,
+) -> Result<ParStats, RuntimeError> {
+    let use_sigs = match scheme {
+        TlsScheme::Bulk | TlsScheme::BulkNoOverlap => true,
+        TlsScheme::Lazy => false,
+        TlsScheme::Eager => {
+            return Err(RuntimeError::UnsupportedScheme {
+                runtime: "par",
+                scheme: "Eager".into(),
+                why: "eager TLS squashes at remote store time; the broadcast-log \
+                      substrate only orders commits",
+            })
+        }
+    };
+    for (i, t) in workload.tasks.iter().enumerate() {
+        t.validate().map_err(|e| RuntimeError::InvalidWorkload(format!("task {i}: {e}")))?;
+    }
+
+    let sig_config = SignatureConfig::s14_tm().into_shared();
+    let line_bytes = sig_config.line_bytes();
+    let tasks = workload.tasks.len();
+    let workers = cfg.tls_workers.max(1).min(tasks.max(1));
+    let log = BusLog::new(tasks.max(1));
+    let next_commit = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+
+    let start = Instant::now();
+    let worker_stats: Vec<WorkerStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let log = &log;
+                let next_commit = &next_commit;
+                let poisoned = &poisoned;
+                let sig_config = sig_config.clone();
+                let tasks = &workload.tasks;
+                s.spawn(move || {
+                    let mut worker =
+                        TlsWorker::new(w, use_sigs, scheme, sig_config, line_bytes, cfg);
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut i = w;
+                        while i < tasks.len() {
+                            worker.run_task(i, &tasks[i].ops, log, next_commit, poisoned);
+                            i += workers;
+                        }
+                    }));
+                    if r.is_err() {
+                        poisoned.store(true, Ordering::Release);
+                    }
+                    r.map(|()| {
+                        worker.stats.dedup_drops = worker.dedup.drops();
+                        worker.stats.duplicate_applications =
+                            worker.dedup.duplicate_applications();
+                        worker.stats
+                    })
+                    .unwrap_or_else(|p| std::panic::resume_unwind(p))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("par TLS worker panicked")).collect()
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    let mut stats = ParStats {
+        wall_ns,
+        epoch: log.epoch(),
+        records: log.tail() as u64,
+        per_thread_commits: vec![0; workers],
+        ..ParStats::default()
+    };
+    for (w, ws) in worker_stats.into_iter().enumerate() {
+        stats.per_thread_commits[w] = ws.commits;
+        stats.fold(ws);
+    }
+    stats.history = history_of(&log);
+
+    let mut auditor = Auditor::new(format!("par/tls/{scheme:?}"), workers, Some(cfg.seed));
+    let mut checks = 0;
+    audit_log(&log, &mut auditor, &mut checks);
+    for i in 0..log.tail() {
+        checks += 1;
+        if let Some(rec) = log.get(i) {
+            if rec.thread as usize != i {
+                auditor.record(
+                    InvariantKind::Serializability,
+                    rec.thread as usize,
+                    i as u64,
+                    format!("task {} committed at log position {i}: in-order commit broken",
+                        rec.thread),
+                );
+            }
+        }
+    }
+    checks += 1;
+    if log.tail() != tasks {
+        auditor.record(
+            InvariantKind::TokenProtocol,
+            0,
+            log.tail() as u64,
+            format!("{} of {tasks} tasks committed", log.tail()),
+        );
+    }
+    stats.audit_checks += checks;
+    stats.violations.extend(auditor.take_violations());
+    Ok(stats)
+}
+
+struct TlsWorker {
+    worker: usize,
+    use_sigs: bool,
+    scheme: TlsScheme,
+    sig_config: Arc<SignatureConfig>,
+    line_bytes: u32,
+    compute_ns_per_kcycle: u64,
+    stress: Option<crate::config::StressConfig>,
+    rng: SmallRng,
+
+    r_sig: Signature,
+    w_sig: Signature,
+    exact_r: HashSet<LineAddr>,
+    exact_w: HashSet<LineAddr>,
+    cursor: usize,
+    dedup: DedupFilter,
+    restart_streak: u32,
+    pending_dwell_ns: u64,
+
+    stats: WorkerStats,
+}
+
+impl TlsWorker {
+    fn new(
+        worker: usize,
+        use_sigs: bool,
+        scheme: TlsScheme,
+        sig_config: Arc<SignatureConfig>,
+        line_bytes: u32,
+        cfg: &ParConfig,
+    ) -> Self {
+        TlsWorker {
+            worker,
+            use_sigs,
+            scheme,
+            r_sig: Signature::with_shared(sig_config.clone()),
+            w_sig: Signature::with_shared(sig_config.clone()),
+            sig_config,
+            line_bytes,
+            compute_ns_per_kcycle: cfg.compute_ns_per_kcycle,
+            stress: cfg.stress,
+            rng: SmallRng::seed_from_u64(cfg.seed ^ (0xd1b5_4a32_d192_ed03u64 ^ worker as u64)),
+            exact_r: HashSet::new(),
+            exact_w: HashSet::new(),
+            cursor: 0,
+            dedup: DedupFilter::new(),
+            restart_streak: 0,
+            pending_dwell_ns: 0,
+            stats: WorkerStats::default(),
+        }
+    }
+
+    fn run_task(
+        &mut self,
+        task: usize,
+        ops: &[TlsOp],
+        log: &BusLog,
+        next_commit: &AtomicUsize,
+        poisoned: &AtomicBool,
+    ) {
+        'attempt: loop {
+            self.clear_speculative_state();
+            for op in ops {
+                if self.poll(log, poisoned) {
+                    self.restart(task);
+                    continue 'attempt;
+                }
+                match *op {
+                    TlsOp::Read(a) => {
+                        let line = a.line(self.line_bytes);
+                        self.exact_r.insert(line);
+                        if self.use_sigs {
+                            self.r_sig.insert_line(line);
+                        }
+                    }
+                    TlsOp::Write(a) => {
+                        let line = a.line(self.line_bytes);
+                        self.exact_w.insert(line);
+                        if self.use_sigs {
+                            self.w_sig.insert_line(line);
+                        }
+                    }
+                    TlsOp::Compute(n) => self.dwell(n),
+                    TlsOp::Spawn => {}
+                }
+            }
+            self.flush_dwell();
+            // Wait for the in-order commit token, still vulnerable to
+            // predecessor commits while waiting.
+            loop {
+                if self.poll(log, poisoned) {
+                    self.restart(task);
+                    continue 'attempt;
+                }
+                if next_commit.load(Ordering::Acquire) == task {
+                    break;
+                }
+                if poisoned.load(Ordering::Acquire) {
+                    panic!("peer worker died; aborting");
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+            // Drain anything committed between the token check and now:
+            // the token is ours, so after this poll the log is exactly
+            // our `task` predecessors and can no longer grow under us.
+            if self.poll(log, poisoned) {
+                self.restart(task);
+                continue 'attempt;
+            }
+            assert_eq!(self.cursor, task, "commit token granted out of order");
+            let claimed = log.try_claim(task);
+            assert!(claimed, "task {task} lost an uncontended claim");
+            let ticket = self.stamp_ticket(log);
+            let mut exact_w: Vec<LineAddr> = self.exact_w.iter().copied().collect();
+            exact_w.sort_unstable();
+            let mut exact_r: Vec<LineAddr> = self.exact_r.iter().copied().collect();
+            exact_r.sort_unstable();
+            let w_sig = self.use_sigs.then(|| {
+                let mut s = Signature::with_shared(self.sig_config.clone());
+                std::mem::swap(&mut s, &mut self.w_sig);
+                s
+            });
+            log.publish(
+                task,
+                BusRecord {
+                    ticket,
+                    thread: task as u32,
+                    ordinal: 0,
+                    kind: RecordKind::Commit,
+                    w_sig,
+                    exact_w,
+                    exact_r,
+                    validated_to: task,
+                },
+            );
+            self.dedup.admit(ticket);
+            self.dedup.record_application(ticket);
+            self.cursor = task + 1;
+            next_commit.store(task + 1, Ordering::Release);
+            self.stats.commits += 1;
+            self.restart_streak = 0;
+            self.clear_speculative_state();
+            return;
+        }
+    }
+
+    /// Applies predecessor commits; returns `true` when one of them hit
+    /// the running task's read set (RAW dependence — restart).
+    fn poll(&mut self, log: &BusLog, poisoned: &AtomicBool) -> bool {
+        let mut restarted = false;
+        let tail = log.tail();
+        while self.cursor < tail {
+            let rec = loop {
+                if let Some(r) = log.get(self.cursor) {
+                    break r;
+                }
+                if poisoned.load(Ordering::Acquire) {
+                    panic!("peer worker died mid-publish; aborting");
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            };
+            self.apply(rec, &mut restarted);
+            self.cursor += 1;
+        }
+        restarted
+    }
+
+    fn apply(&mut self, rec: &BusRecord, restarted: &mut bool) {
+        if !self.dedup.admit(rec.ticket) {
+            return;
+        }
+        self.dedup.record_application(rec.ticket);
+        if !*restarted {
+            let exact_hit = rec.exact_w.iter().any(|l| self.exact_r.contains(l));
+            let hit = match &rec.w_sig {
+                Some(w) => {
+                    let sig_hit = w.intersects(&self.r_sig);
+                    self.stats.audit_checks += 1;
+                    if exact_hit && !sig_hit {
+                        self.stats.violations.push(bulk_chaos::InvariantViolation {
+                            kind: InvariantKind::SignatureContainment,
+                            scheme: format!("par/tls/{:?}", self.scheme),
+                            thread: self.worker,
+                            cycle: rec.ticket.serial,
+                            seed: None,
+                            detail: "broadcast W_C missed an exact RAW dependence".into(),
+                        });
+                        true
+                    } else {
+                        sig_hit
+                    }
+                }
+                None => exact_hit,
+            };
+            if hit {
+                self.stats.squashes += 1;
+                if !exact_hit {
+                    self.stats.false_squashes += 1;
+                }
+                *restarted = true;
+            }
+        }
+        self.maybe_redeliver(rec.ticket);
+    }
+
+    fn maybe_redeliver(&mut self, ticket: CommitTicket) {
+        let Some(stress) = self.stress else { return };
+        if self.rng.random_range(0..100u32) < stress.redeliver_percent as u32 {
+            self.stats.stress_redeliveries += 1;
+            if self.dedup.admit(ticket) {
+                self.dedup.record_application(ticket);
+            }
+        }
+    }
+
+    fn restart(&mut self, _task: usize) {
+        self.restart_streak += 1;
+        let yields = (1u32 << self.restart_streak.min(6)) + self.rng.random_range(0..4u32);
+        for _ in 0..yields {
+            std::thread::yield_now();
+        }
+    }
+
+    fn clear_speculative_state(&mut self) {
+        self.exact_r.clear();
+        self.exact_w.clear();
+        if self.use_sigs {
+            self.r_sig.clear();
+            self.w_sig.clear();
+        }
+        self.pending_dwell_ns = 0;
+    }
+
+    fn stamp_ticket(&mut self, log: &BusLog) -> CommitTicket {
+        if let Some(stress) = self.stress {
+            if self.rng.random_range(0..100u32) < stress.epoch_bump_percent as u32 {
+                log.bump_epoch();
+                self.stats.stress_epoch_bumps += 1;
+            }
+        }
+        // `(committer, serial)` must be globally unique: the worker index
+        // plus the task index (a task commits exactly once) is.
+        CommitTicket { epoch: log.epoch(), committer: self.worker, serial: self.cursor as u64 }
+    }
+
+    fn dwell(&mut self, cycles: u32) {
+        if self.compute_ns_per_kcycle == 0 {
+            return;
+        }
+        self.pending_dwell_ns += cycles as u64 * self.compute_ns_per_kcycle / 1000;
+        if self.pending_dwell_ns >= DWELL_FLUSH_NS {
+            self.flush_dwell();
+        }
+    }
+
+    fn flush_dwell(&mut self) {
+        if self.pending_dwell_ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(self.pending_dwell_ns));
+            self.pending_dwell_ns = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulk_mem::Addr;
+    use bulk_trace::TaskTrace;
+
+    fn task(ops: Vec<TlsOp>) -> TaskTrace {
+        TaskTrace { ops }
+    }
+
+    fn workload(tasks: Vec<TaskTrace>) -> TlsWorkload {
+        TlsWorkload { name: "unit".into(), tasks }
+    }
+
+    #[test]
+    fn tasks_commit_in_order() {
+        let wl = workload(
+            (0..8u32)
+                .map(|i| {
+                    task(vec![
+                        TlsOp::Read(Addr::new(0x1000 + i * 0x100)),
+                        TlsOp::Write(Addr::new(0x2000 + i * 0x100)),
+                    ])
+                })
+                .collect(),
+        );
+        let s = run_par_tls(&wl, TlsScheme::Bulk, &ParConfig::default()).unwrap();
+        assert_eq!(s.commits, 8);
+        assert!(s.violations.is_empty(), "{:?}", s.violations);
+        let order: Vec<u32> = s.history.iter().map(|e| e.thread).collect();
+        assert_eq!(order, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn raw_dependences_restart_but_all_commit() {
+        // Every task reads what its predecessor wrote.
+        let wl = workload(
+            (0..6u32)
+                .map(|_| {
+                    task(vec![
+                        TlsOp::Read(Addr::new(0x4000)),
+                        TlsOp::Write(Addr::new(0x4000)),
+                    ])
+                })
+                .collect(),
+        );
+        for seed in 0..3u64 {
+            let cfg = ParConfig { seed, ..ParConfig::default() };
+            let s = run_par_tls(&wl, TlsScheme::Bulk, &cfg).unwrap();
+            assert_eq!(s.commits, 6);
+            assert!(s.violations.is_empty(), "{:?}", s.violations);
+            assert_eq!(s.duplicate_applications, 0);
+        }
+    }
+
+    #[test]
+    fn lazy_tls_is_exact() {
+        let wl = workload(vec![
+            task(vec![TlsOp::Write(Addr::new(0x4000))]),
+            task(vec![TlsOp::Read(Addr::new(0x4000))]),
+        ]);
+        let s = run_par_tls(&wl, TlsScheme::Lazy, &ParConfig::default()).unwrap();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.false_squashes, 0);
+    }
+
+    #[test]
+    fn eager_tls_is_rejected() {
+        let wl = workload(vec![task(vec![TlsOp::Compute(10)])]);
+        let err = run_par_tls(&wl, TlsScheme::Eager, &ParConfig::default()).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnsupportedScheme { .. }));
+    }
+}

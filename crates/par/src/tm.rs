@@ -1,0 +1,638 @@
+//! The parallel TM engine: one OS thread per workload thread, conflicts
+//! disambiguated by Bulk signatures over the shared [`BusLog`].
+//!
+//! Protocol (the paper's lazy commit, made concurrent):
+//!
+//! * each thread executes its trace speculatively, inserting read/write
+//!   lines into local R/W signatures (Bulk) and exact oracle sets
+//!   (always);
+//! * between operations it *polls* the log and applies every new record
+//!   to its speculative state: a record whose `W_C` intersects the local
+//!   `R ∪ W` squashes the transaction (restart from `Begin`, cleared
+//!   sets, jittered-backoff yield);
+//! * commit is validate-then-claim: the thread polls until its view is
+//!   the full log, then CASes the tail from that length — success means
+//!   no record it hasn't validated against can ever be ordered before
+//!   its own, so publishing is race-free. A failed CAS means someone
+//!   else committed; the loser re-validates against the winner (and may
+//!   squash instead);
+//! * non-transactional stores publish one-line records (the paper's
+//!   individual invalidation path), so speculative readers of those
+//!   lines squash exactly as in the sim.
+//!
+//! Termination is unconditional: the log holds exactly one record per
+//! outer transaction and non-transactional store, each record squashes
+//! each thread at most once (receivers apply exactly once — that's the
+//! dedup invariant), and every failed commit CAS implies another
+//! thread's commit was published. Squashes are therefore bounded by
+//! `records × threads` and no livelock or escalation path is needed.
+
+use crate::bus::{BusLog, BusRecord, RecordKind};
+use crate::config::ParConfig;
+use crate::runtime::RuntimeError;
+use crate::stats::{audit_log, history_of, ParStats, WorkerStats};
+use bulk_chaos::{Auditor, InvariantKind};
+use bulk_live::{CommitTicket, DedupFilter};
+use bulk_mem::LineAddr;
+use bulk_rng::{Rng, SeedableRng, SmallRng};
+use bulk_sig::{Signature, SignatureConfig};
+use bulk_tm::Scheme;
+use bulk_trace::{TmOp, TmWorkload};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Nesting bound shared with the sim machine's trace validation.
+const MAX_DEPTH: usize = 8;
+/// Accumulated compute dwell is slept in chunks no smaller than this, so
+/// fine-grained `Compute` ops don't turn into sub-microsecond sleeps.
+const DWELL_FLUSH_NS: u64 = 50_000;
+
+/// Runs `workload` under the parallel runtime and returns the folded
+/// statistics. Only the lazy-commit schemes are supported: `Bulk`
+/// (signatures) and `Lazy` (exact sets); eager schemes disambiguate at
+/// access time against remote *uncommitted* state, which has no sound
+/// mapping onto a broadcast-log substrate.
+pub fn run_par_tm(
+    workload: &TmWorkload,
+    scheme: Scheme,
+    cfg: &ParConfig,
+) -> Result<ParStats, RuntimeError> {
+    match scheme {
+        Scheme::Bulk | Scheme::Lazy => {}
+        other => {
+            return Err(RuntimeError::UnsupportedScheme {
+                runtime: "par",
+                scheme: other.to_string(),
+                why: "eager/partial schemes need access-time remote state; \
+                      the broadcast-log substrate only orders commits",
+            })
+        }
+    }
+    for (i, t) in workload.threads.iter().enumerate() {
+        t.validate(MAX_DEPTH)
+            .map_err(|e| RuntimeError::InvalidWorkload(format!("thread {i}: {e}")))?;
+    }
+
+    let sig_config = SignatureConfig::s14_tm().into_shared();
+    let line_bytes = sig_config.line_bytes();
+    let capacity: usize = workload.threads.iter().map(|t| broadcasts_of(&t.ops)).sum();
+    let log = BusLog::new(capacity.max(1));
+    let poisoned = AtomicBool::new(false);
+
+    let start = Instant::now();
+    let worker_stats: Vec<WorkerStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = workload
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(tid, trace)| {
+                let log = &log;
+                let poisoned = &poisoned;
+                let sig_config = sig_config.clone();
+                let ops = &trace.ops;
+                s.spawn(move || {
+                    let mut w = TmWorker::new(tid, scheme, sig_config, line_bytes, cfg);
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        w.run(ops, log, poisoned)
+                    }));
+                    if r.is_err() {
+                        // Unblock peers spinning on records this thread
+                        // will never publish, then re-raise.
+                        poisoned.store(true, Ordering::Release);
+                    }
+                    r.map(|()| w.stats).unwrap_or_else(|p| std::panic::resume_unwind(p))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("par TM worker panicked")).collect()
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    let mut stats = ParStats {
+        wall_ns,
+        epoch: log.epoch(),
+        records: log.tail() as u64,
+        per_thread_commits: vec![0; workload.threads.len()],
+        ..ParStats::default()
+    };
+    for w in worker_stats {
+        stats.fold(w);
+    }
+    stats.history = history_of(&log);
+    for ev in &stats.history {
+        stats.per_thread_commits[ev.thread as usize] += 1;
+    }
+
+    let mut auditor =
+        Auditor::new(format!("par/tm/{scheme}"), workload.threads.len(), Some(cfg.seed));
+    let mut checks = 0;
+    audit_log(&log, &mut auditor, &mut checks);
+    checks += 1;
+    if log.tail() != capacity {
+        auditor.record(
+            InvariantKind::TokenProtocol,
+            0,
+            log.tail() as u64,
+            format!("bus log has {} records, workload implies {capacity}", log.tail()),
+        );
+    }
+    stats.audit_checks += checks;
+    stats.violations.extend(auditor.take_violations());
+    Ok(stats)
+}
+
+/// Number of bus broadcasts `ops` will publish: one per outer `End`,
+/// one per non-transactional `Write`. Exact, so the log never grows.
+fn broadcasts_of(ops: &[TmOp]) -> usize {
+    let mut depth = 0usize;
+    let mut n = 0usize;
+    for op in ops {
+        match op {
+            TmOp::Begin => depth += 1,
+            TmOp::End => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    n += 1;
+                }
+            }
+            TmOp::Write(_) if depth == 0 => n += 1,
+            _ => {}
+        }
+    }
+    n
+}
+
+struct TmWorker {
+    tid: usize,
+    scheme: Scheme,
+    sig_config: Arc<SignatureConfig>,
+    line_bytes: u32,
+    compute_ns_per_kcycle: u64,
+    stress: Option<crate::config::StressConfig>,
+    rng: SmallRng,
+
+    pc: usize,
+    depth: usize,
+    tx_start_pc: usize,
+    r_sig: Signature,
+    w_sig: Signature,
+    exact_r: HashSet<LineAddr>,
+    exact_w: HashSet<LineAddr>,
+
+    cursor: usize,
+    dedup: DedupFilter,
+    serial: u64,
+    commit_ordinal: u64,
+    non_tx_ordinal: u64,
+    squash_streak: u32,
+    pending_dwell_ns: u64,
+
+    stats: WorkerStats,
+}
+
+impl TmWorker {
+    fn new(
+        tid: usize,
+        scheme: Scheme,
+        sig_config: Arc<SignatureConfig>,
+        line_bytes: u32,
+        cfg: &ParConfig,
+    ) -> Self {
+        TmWorker {
+            tid,
+            scheme,
+            r_sig: Signature::with_shared(sig_config.clone()),
+            w_sig: Signature::with_shared(sig_config.clone()),
+            sig_config,
+            line_bytes,
+            compute_ns_per_kcycle: cfg.compute_ns_per_kcycle,
+            stress: cfg.stress,
+            rng: SmallRng::seed_from_u64(cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64 ^ tid as u64)),
+            pc: 0,
+            depth: 0,
+            tx_start_pc: 0,
+            exact_r: HashSet::new(),
+            exact_w: HashSet::new(),
+            cursor: 0,
+            dedup: DedupFilter::new(),
+            serial: 0,
+            commit_ordinal: 0,
+            non_tx_ordinal: 0,
+            squash_streak: 0,
+            pending_dwell_ns: 0,
+            stats: WorkerStats::default(),
+        }
+    }
+
+    fn run(&mut self, ops: &[TmOp], log: &BusLog, poisoned: &AtomicBool) {
+        while self.pc < ops.len() {
+            if self.poll(log, poisoned) {
+                self.backoff();
+                continue; // pc was reset to the transaction start
+            }
+            match ops[self.pc] {
+                TmOp::Begin => {
+                    if self.depth == 0 {
+                        self.tx_start_pc = self.pc;
+                    }
+                    self.depth += 1;
+                    self.pc += 1;
+                }
+                TmOp::End => {
+                    if self.depth > 1 {
+                        // Closed nesting is flat here, as in sim Bulk:
+                        // inner commits make nothing visible.
+                        self.depth -= 1;
+                        self.pc += 1;
+                    } else {
+                        self.flush_dwell();
+                        if self.commit(log, poisoned) {
+                            self.pc += 1;
+                        } else {
+                            self.backoff(); // squashed at the commit point
+                        }
+                    }
+                }
+                TmOp::Read(a) => {
+                    let line = a.line(self.line_bytes);
+                    if self.depth > 0 {
+                        self.exact_r.insert(line);
+                        if self.scheme.uses_signatures() {
+                            self.r_sig.insert_line(line);
+                        }
+                    }
+                    self.pc += 1;
+                }
+                TmOp::Write(a) => {
+                    let line = a.line(self.line_bytes);
+                    if self.depth > 0 {
+                        self.exact_w.insert(line);
+                        if self.scheme.uses_signatures() {
+                            self.w_sig.insert_line(line);
+                        }
+                        self.pc += 1;
+                    } else {
+                        self.publish_non_tx_store(log, poisoned, line);
+                        self.pc += 1;
+                    }
+                }
+                TmOp::Compute(n) => {
+                    self.dwell(n);
+                    self.pc += 1;
+                }
+            }
+        }
+        self.flush_dwell();
+        self.stats.dedup_drops = self.dedup.drops();
+        self.stats.duplicate_applications = self.dedup.duplicate_applications();
+    }
+
+    /// Applies every record published since the last poll. Returns `true`
+    /// if one of them squashed the running transaction (the worker's pc
+    /// is then already reset to the transaction start).
+    ///
+    /// Waiting on a claimed-but-unpublished slot checks the poison flag,
+    /// so a panicking peer aborts the run instead of hanging it.
+    fn poll(&mut self, log: &BusLog, poisoned: &AtomicBool) -> bool {
+        let mut squashed = false;
+        let tail = log.tail();
+        while self.cursor < tail {
+            let rec = loop {
+                if let Some(r) = log.get(self.cursor) {
+                    break r;
+                }
+                if poisoned.load(Ordering::Acquire) {
+                    panic!("peer worker died mid-publish; aborting");
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            };
+            self.apply(rec, &mut squashed);
+            self.cursor += 1;
+        }
+        squashed
+    }
+
+    fn apply(&mut self, rec: &BusRecord, squashed: &mut bool) {
+        if !self.dedup.admit(rec.ticket) {
+            return; // duplicate delivery: dropped, never applied
+        }
+        self.dedup.record_application(rec.ticket);
+        if rec.thread as usize != self.tid && self.depth > 0 && !*squashed {
+            let exact_hit =
+                rec.exact_w.iter().any(|l| self.exact_r.contains(l) || self.exact_w.contains(l));
+            let hit = match &rec.w_sig {
+                Some(w) => {
+                    let sig_hit = w.intersects(&self.r_sig) || w.intersects(&self.w_sig);
+                    self.stats.audit_checks += 1;
+                    if exact_hit && !sig_hit {
+                        // A real conflict the signatures missed: the
+                        // one-sided-error guarantee is broken. Record it
+                        // and squash anyway so execution stays safe.
+                        self.stats.violations.push(bulk_chaos::InvariantViolation {
+                            kind: InvariantKind::SignatureContainment,
+                            scheme: format!("par/tm/{}", self.scheme),
+                            thread: self.tid,
+                            cycle: rec.ticket.serial,
+                            seed: None,
+                            detail: "broadcast W_C missed an exact conflict".into(),
+                        });
+                        true
+                    } else {
+                        sig_hit
+                    }
+                }
+                None => exact_hit,
+            };
+            if hit {
+                self.squash(exact_hit);
+                *squashed = true;
+            }
+        }
+        self.maybe_redeliver(rec.ticket);
+    }
+
+    /// Stress mode: deliver the record to this receiver again. The dedup
+    /// filter must drop it; an admitted re-delivery is recorded as an
+    /// application so `duplicate_applications` exposes the bug.
+    fn maybe_redeliver(&mut self, ticket: CommitTicket) {
+        let Some(stress) = self.stress else { return };
+        if self.rng.random_range(0..100u32) < stress.redeliver_percent as u32 {
+            self.stats.stress_redeliveries += 1;
+            if self.dedup.admit(ticket) {
+                self.dedup.record_application(ticket);
+            }
+        }
+    }
+
+    fn squash(&mut self, truly: bool) {
+        self.stats.squashes += 1;
+        if !truly {
+            self.stats.false_squashes += 1;
+        }
+        self.clear_speculative_state();
+        self.pc = self.tx_start_pc;
+        self.squash_streak += 1;
+    }
+
+    fn clear_speculative_state(&mut self) {
+        self.depth = 0;
+        self.exact_r.clear();
+        self.exact_w.clear();
+        if self.scheme.uses_signatures() {
+            self.r_sig.clear();
+            self.w_sig.clear();
+        }
+        self.pending_dwell_ns = 0;
+    }
+
+    /// Jittered exponential yield after a squash; on an oversubscribed
+    /// host this is also what hands the winner its timeslice.
+    fn backoff(&mut self) {
+        let yields = (1u32 << self.squash_streak.min(6)) + self.rng.random_range(0..4u32);
+        for _ in 0..yields {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Validate-then-claim commit. Returns `false` if a record published
+    /// by a winner squashed this transaction instead.
+    fn commit(&mut self, log: &BusLog, poisoned: &AtomicBool) -> bool {
+        loop {
+            if self.poll(log, poisoned) {
+                return false;
+            }
+            let seen = self.cursor;
+            if !log.try_claim(seen) {
+                self.stats.claim_retries += 1;
+                continue;
+            }
+            let ticket = self.stamp_ticket(log);
+            let mut exact_w: Vec<LineAddr> = self.exact_w.iter().copied().collect();
+            exact_w.sort_unstable();
+            let mut exact_r: Vec<LineAddr> = self.exact_r.iter().copied().collect();
+            exact_r.sort_unstable();
+            let w_sig = self.scheme.uses_signatures().then(|| {
+                let mut s = Signature::with_shared(self.sig_config.clone());
+                std::mem::swap(&mut s, &mut self.w_sig);
+                s
+            });
+            log.publish(
+                seen,
+                BusRecord {
+                    ticket,
+                    thread: self.tid as u32,
+                    ordinal: self.commit_ordinal,
+                    kind: RecordKind::Commit,
+                    w_sig,
+                    exact_w,
+                    exact_r,
+                    validated_to: seen,
+                },
+            );
+            // Account the own broadcast in the dedup filter so every
+            // receiver (including self) tracks every record uniformly.
+            self.dedup.admit(ticket);
+            self.dedup.record_application(ticket);
+            self.cursor = seen + 1;
+            self.commit_ordinal += 1;
+            self.stats.commits += 1;
+            self.squash_streak = 0;
+            self.clear_speculative_state();
+            return true;
+        }
+    }
+
+    /// A non-transactional store: ordered on the log like a commit (so
+    /// speculative readers squash on it), but never squashable itself.
+    fn publish_non_tx_store(&mut self, log: &BusLog, poisoned: &AtomicBool, line: LineAddr) {
+        loop {
+            // Not in a transaction, so poll can't squash us.
+            self.poll(log, poisoned);
+            let seen = self.cursor;
+            if !log.try_claim(seen) {
+                self.stats.claim_retries += 1;
+                continue;
+            }
+            let ticket = self.stamp_ticket(log);
+            let w_sig = self.scheme.uses_signatures().then(|| {
+                let mut s = Signature::with_shared(self.sig_config.clone());
+                s.insert_line(line);
+                s
+            });
+            log.publish(
+                seen,
+                BusRecord {
+                    ticket,
+                    thread: self.tid as u32,
+                    ordinal: self.non_tx_ordinal,
+                    kind: RecordKind::NonTxStore,
+                    w_sig,
+                    exact_w: vec![line],
+                    exact_r: Vec::new(),
+                    validated_to: seen,
+                },
+            );
+            self.dedup.admit(ticket);
+            self.dedup.record_application(ticket);
+            self.cursor = seen + 1;
+            self.non_tx_ordinal += 1;
+            self.stats.non_tx_stores += 1;
+            return;
+        }
+    }
+
+    fn stamp_ticket(&mut self, log: &BusLog) -> CommitTicket {
+        if let Some(stress) = self.stress {
+            if self.rng.random_range(0..100u32) < stress.epoch_bump_percent as u32 {
+                log.bump_epoch();
+                self.stats.stress_epoch_bumps += 1;
+            }
+        }
+        let t = CommitTicket { epoch: log.epoch(), committer: self.tid, serial: self.serial };
+        self.serial += 1;
+        t
+    }
+
+    fn dwell(&mut self, cycles: u32) {
+        if self.compute_ns_per_kcycle == 0 {
+            return;
+        }
+        self.pending_dwell_ns += cycles as u64 * self.compute_ns_per_kcycle / 1000;
+        if self.pending_dwell_ns >= DWELL_FLUSH_NS {
+            self.flush_dwell();
+        }
+    }
+
+    fn flush_dwell(&mut self) {
+        if self.pending_dwell_ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(self.pending_dwell_ns));
+            self.pending_dwell_ns = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulk_mem::Addr;
+    use bulk_trace::ThreadTrace;
+
+    fn tx(lines: &[(bool, u32)]) -> Vec<TmOp> {
+        let mut ops = vec![TmOp::Begin];
+        for &(write, a) in lines {
+            ops.push(if write { TmOp::Write(Addr::new(a)) } else { TmOp::Read(Addr::new(a)) });
+        }
+        ops.push(TmOp::End);
+        ops
+    }
+
+    fn workload(threads: Vec<Vec<TmOp>>) -> TmWorkload {
+        TmWorkload {
+            name: "unit".into(),
+            threads: threads.into_iter().map(|ops| ThreadTrace { ops }).collect(),
+        }
+    }
+
+    #[test]
+    fn broadcast_count_is_exact() {
+        let ops = vec![
+            TmOp::Write(Addr::new(0x40)), // non-tx
+            TmOp::Begin,
+            TmOp::Begin,
+            TmOp::Write(Addr::new(0x80)),
+            TmOp::End, // inner: no broadcast
+            TmOp::End, // outer commit
+            TmOp::Write(Addr::new(0xc0)), // non-tx
+        ];
+        assert_eq!(broadcasts_of(&ops), 3);
+    }
+
+    #[test]
+    fn disjoint_threads_commit_without_squashes() {
+        let wl = workload(vec![
+            tx(&[(true, 0x1000), (false, 0x1040)]),
+            tx(&[(true, 0x8000), (false, 0x8040)]),
+        ]);
+        let s = run_par_tm(&wl, Scheme::Bulk, &ParConfig::default()).unwrap();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.records, 2);
+        assert!(s.violations.is_empty(), "{:?}", s.violations);
+        assert_eq!(s.duplicate_applications, 0);
+        assert_eq!(s.per_thread_commits, vec![1, 1]);
+    }
+
+    #[test]
+    fn conflicting_threads_still_all_commit() {
+        // Every thread hammers the same line; squashes may happen in any
+        // interleaving but all transactions must eventually commit.
+        let shared = 0x4000u32;
+        let wl = workload(vec![
+            tx(&[(false, shared), (true, shared)]),
+            tx(&[(false, shared), (true, shared)]),
+            tx(&[(false, shared), (true, shared)]),
+            tx(&[(false, shared), (true, shared)]),
+        ]);
+        for seed in 0..3u64 {
+            let cfg = ParConfig { seed, ..ParConfig::default() };
+            let s = run_par_tm(&wl, Scheme::Bulk, &cfg).unwrap();
+            assert_eq!(s.commits, 4);
+            assert!(s.violations.is_empty(), "{:?}", s.violations);
+            assert_eq!(s.duplicate_applications, 0);
+        }
+    }
+
+    #[test]
+    fn lazy_scheme_uses_exact_sets_and_never_false_squashes() {
+        let shared = 0x4000u32;
+        let wl = workload(vec![
+            tx(&[(true, shared)]),
+            tx(&[(false, shared), (true, 0x9000)]),
+        ]);
+        let s = run_par_tm(&wl, Scheme::Lazy, &ParConfig::default()).unwrap();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.false_squashes, 0);
+        assert!(s.violations.is_empty(), "{:?}", s.violations);
+    }
+
+    #[test]
+    fn eager_schemes_are_rejected() {
+        let wl = workload(vec![tx(&[(true, 0x1000)])]);
+        let err = run_par_tm(&wl, Scheme::Eager, &ParConfig::default()).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnsupportedScheme { .. }));
+    }
+
+    #[test]
+    fn non_tx_stores_squash_speculative_readers() {
+        // Thread 1 busy-reads a line thread 0 stores to outside any
+        // transaction; whatever the interleaving, both finish and the
+        // log carries 1 commit + 1 store record.
+        let wl = workload(vec![
+            vec![TmOp::Write(Addr::new(0x2000))],
+            tx(&[(false, 0x2000), (true, 0x7000)]),
+        ]);
+        let s = run_par_tm(&wl, Scheme::Bulk, &ParConfig::default()).unwrap();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.non_tx_stores, 1);
+        assert_eq!(s.records, 2);
+        assert!(s.violations.is_empty(), "{:?}", s.violations);
+    }
+
+    #[test]
+    fn history_ordinals_are_per_thread_contiguous() {
+        let wl = workload(vec![
+            [tx(&[(true, 0x1000)]), tx(&[(true, 0x1040)])].concat(),
+            [tx(&[(true, 0x8000)]), tx(&[(true, 0x8040)])].concat(),
+        ]);
+        let s = run_par_tm(&wl, Scheme::Bulk, &ParConfig::default()).unwrap();
+        assert_eq!(s.commits, 4);
+        let mut per_thread: Vec<Vec<u64>> = vec![Vec::new(); 2];
+        for ev in &s.history {
+            per_thread[ev.thread as usize].push(ev.ordinal);
+        }
+        assert_eq!(per_thread[0], vec![0, 1]);
+        assert_eq!(per_thread[1], vec![0, 1]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Workload builders for the parallel runtime's benches and tests.
+
+use bulk_mem::Addr;
+use bulk_trace::{ThreadTrace, TmOp, TmWorkload};
+
+/// A conflict-light strong-scaling workload: `total_txs` transactions
+/// split evenly across `threads` threads, each thread touching a
+/// private 16 MiB address region so commits never conflict (squashes
+/// would be pure signature aliasing, and the regions are sized so there
+/// is none in practice).
+///
+/// Each transaction reads and writes `accesses` private lines and
+/// computes `compute` cycles. With the
+/// [`ParConfig::compute_ns_per_kcycle`](crate::ParConfig::compute_ns_per_kcycle)
+/// dwell armed, the workload
+/// is latency-bound, so commit throughput scales with thread count even
+/// on hosts with fewer cores than threads — the dwell overlaps across
+/// threads the way memory latency overlaps across real processors.
+pub fn conflict_light_tm(
+    threads: usize,
+    total_txs: usize,
+    accesses: usize,
+    compute: u32,
+) -> TmWorkload {
+    let per_thread = total_txs.div_ceil(threads.max(1));
+    let mut traces = Vec::with_capacity(threads);
+    let mut remaining = total_txs;
+    for t in 0..threads {
+        let txs = per_thread.min(remaining);
+        remaining -= txs;
+        let base = (t as u32) << 24; // 16 MiB private region per thread
+        let mut ops = Vec::with_capacity(txs * (accesses * 2 + 3));
+        for tx in 0..txs {
+            ops.push(TmOp::Begin);
+            ops.push(TmOp::Compute(compute));
+            for a in 0..accesses {
+                let addr = base + ((tx * accesses + a) as u32) * 64;
+                ops.push(TmOp::Read(Addr::new(addr)));
+                ops.push(TmOp::Write(Addr::new(addr + 4)));
+            }
+            ops.push(TmOp::End);
+        }
+        traces.push(ThreadTrace { ops });
+    }
+    TmWorkload { name: format!("conflict_light_t{threads}_n{total_txs}"), threads: traces }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_transactions_evenly() {
+        let wl = conflict_light_tm(4, 48, 2, 100);
+        assert_eq!(wl.threads.len(), 4);
+        let outer_ends: usize = wl
+            .threads
+            .iter()
+            .map(|t| t.ops.iter().filter(|o| matches!(o, TmOp::End)).count())
+            .sum();
+        assert_eq!(outer_ends, 48);
+        for t in &wl.threads {
+            t.validate(8).unwrap();
+        }
+    }
+
+    #[test]
+    fn uneven_split_still_totals() {
+        let wl = conflict_light_tm(8, 10, 1, 0);
+        let outer_ends: usize = wl
+            .threads
+            .iter()
+            .map(|t| t.ops.iter().filter(|o| matches!(o, TmOp::End)).count())
+            .sum();
+        assert_eq!(outer_ends, 10);
+    }
+}

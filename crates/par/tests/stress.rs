@@ -1,0 +1,79 @@
+//! Exactly-once delivery under injected churn (`--cfg bulk_stress`).
+//!
+//! The stress plan re-delivers already-applied bus records and bumps the
+//! bus epoch mid-run — the failure modes the `crates/live` arbiter
+//! machinery exists for. The assertions are the exactly-once contract:
+//! every injected duplicate is dropped by receiver-side dedup
+//! (`dedup_drops > 0`), no record is ever applied twice
+//! (`duplicate_applications == 0`), and the committed-order class still
+//! matches the deterministic sim's.
+//!
+//! Compiled (and run by `scripts/verify.sh` and the CI parallel-runtime
+//! job) only with `RUSTFLAGS="--cfg bulk_stress"`; an ordinary
+//! `cargo test` sees an empty file.
+#![cfg(bulk_stress)]
+
+use bulk_par::{
+    conflict_light_tm, ParConfig, ParRuntime, RunDetail, Runtime, SimRuntime, StressConfig,
+    same_commit_class,
+};
+use bulk_sim::SimConfig;
+use bulk_tls::TlsScheme;
+use bulk_tm::Scheme;
+use bulk_trace::profiles;
+
+fn stressed(seed: u64) -> ParRuntime {
+    ParRuntime::new(ParConfig {
+        seed,
+        stress: Some(StressConfig::default()),
+        ..ParConfig::default()
+    })
+}
+
+#[test]
+fn tm_redeliveries_are_deduped_exactly_once() {
+    let cfg = SimConfig::tm_default();
+    let wl = conflict_light_tm(4, 32, 4, 0);
+    let sim = SimRuntime.run_tm(&wl, Scheme::Bulk, &cfg).unwrap();
+    let mut total_redeliveries = 0;
+    let mut total_drops = 0;
+    let mut total_bumps = 0;
+    for seed in 1..=5u64 {
+        let par = stressed(seed).run_tm(&wl, Scheme::Bulk, &cfg).unwrap();
+        same_commit_class(&sim, &par)
+            .unwrap_or_else(|e| panic!("stress broke conformance (seed={seed}): {e}"));
+        let RunDetail::Par(s) = &par.detail else { panic!("not a par report") };
+        assert_eq!(s.duplicate_applications, 0, "seed={seed}: a record was applied twice");
+        assert!(
+            s.dedup_drops >= s.stress_redeliveries,
+            "seed={seed}: {} redeliveries but only {} dedup drops",
+            s.stress_redeliveries,
+            s.dedup_drops
+        );
+        total_redeliveries += s.stress_redeliveries;
+        total_drops += s.dedup_drops;
+        total_bumps += s.stress_epoch_bumps;
+    }
+    assert!(total_redeliveries > 0, "stress plan injected nothing");
+    assert!(total_drops > 0, "dedup never engaged");
+    assert!(total_bumps > 0, "no epoch churn was injected");
+}
+
+#[test]
+fn tls_redeliveries_are_deduped_exactly_once() {
+    let cfg = SimConfig::tls_default();
+    let mut p = profiles::tls_profile("gzip").unwrap();
+    p.tasks = 60;
+    let wl = p.generate(7);
+    let sim = SimRuntime.run_tls(&wl, TlsScheme::Bulk, &cfg).unwrap();
+    let mut total_drops = 0;
+    for seed in 1..=5u64 {
+        let par = stressed(seed).run_tls(&wl, TlsScheme::Bulk, &cfg).unwrap();
+        same_commit_class(&sim, &par)
+            .unwrap_or_else(|e| panic!("stress broke conformance (seed={seed}): {e}"));
+        let RunDetail::Par(s) = &par.detail else { panic!("not a par report") };
+        assert_eq!(s.duplicate_applications, 0, "seed={seed}");
+        total_drops += s.dedup_drops;
+    }
+    assert!(total_drops > 0, "dedup never engaged");
+}

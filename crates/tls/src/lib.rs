@@ -16,6 +16,8 @@
 //! assert!(bulk.cycles < seq); // speculative parallelism pays off
 //! ```
 
+#![warn(missing_docs)]
+
 mod machine;
 mod scheme;
 mod stats;

@@ -16,7 +16,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use bulk_chaos::{Auditor, FaultPlan, InvariantKind, MachineError};
-use bulk_core::{check_speculative_store, flows, Bdm, CommitMsg, StoreCheck, VersionId};
+use bulk_core::{check_speculative_store, flows, Bdm, CommitEvent, CommitMsg, StoreCheck, VersionId};
 use bulk_live::{LivenessConfig, LivenessEngine};
 use bulk_obs::{Obs, RuntimeObs, SpanId, SpanKind, SpanOutcome};
 use bulk_mem::{Addr, Cache, LineAddr, MsgClass, WordAddr};
@@ -896,6 +896,9 @@ impl TlsMachine {
         }
         self.last_commit_finish = finish;
         self.stats.commits += 1;
+        // TLS tasks commit exactly once and in task order, so the task
+        // index is the history identity and the ordinal is always 0.
+        self.stats.history.push(CommitEvent { thread: i as u32, ordinal: 0, at: finish });
         if let Some(obs) = &self.obs {
             obs.on_commit(i as u32, finish, payload, exact_w_words.len() as u64);
             let sec = self.tasks[i].section_span;

@@ -2,6 +2,7 @@
 //! report.
 
 use bulk_chaos::{FaultStats, InvariantViolation};
+use bulk_core::CommitEvent;
 use bulk_live::{LiveStats, LivenessViolation};
 use bulk_mem::BandwidthStats;
 
@@ -55,6 +56,9 @@ pub struct TlsStats {
     pub liveness: LiveStats,
     /// Forward-progress violations the liveness watchdog emitted.
     pub liveness_violations: Vec<LivenessViolation>,
+    /// Committed history in commit order: one [`CommitEvent`] per task,
+    /// used by the cross-runtime conformance check.
+    pub history: Vec<CommitEvent>,
 }
 
 impl TlsStats {
@@ -83,6 +87,7 @@ impl TlsStats {
         self.violations.extend(other.violations.iter().cloned());
         self.liveness.merge(&other.liveness);
         self.liveness_violations.extend(other.liveness_violations.iter().cloned());
+        self.history.extend(other.history.iter().copied());
     }
 
     /// Mean committed read-set size in words.

@@ -19,6 +19,8 @@
 //! assert!(stats.commits > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod machine;
 mod scheme;
 mod stats;

@@ -13,8 +13,8 @@ use std::sync::Arc;
 
 use bulk_chaos::{Auditor, FaultPlan, InvariantKind, MachineError};
 use bulk_core::{
-    check_speculative_store, flows, Bdm, CommitMsg, DeliveredSignatures, SectionStack,
-    StoreCheck, VersionId,
+    check_speculative_store, flows, Bdm, CommitEvent, CommitMsg, DeliveredSignatures,
+    SectionStack, StoreCheck, VersionId,
 };
 use bulk_live::{Checkpoint, LivenessConfig, LivenessEngine};
 use bulk_mem::{Addr, Cache, LineAddr, MsgClass, OverflowArea};
@@ -43,6 +43,8 @@ struct Thread {
     tx_start_pc: usize,
     tx_start_cycle: u64,
     tx_serial: u64,
+    // Commits retired so far; the ordinal of the next CommitEvent.
+    commit_ordinal: u64,
     // Exact oracle sets for the current outer transaction (line grain).
     read_set: HashSet<LineAddr>,
     write_set: HashSet<LineAddr>,
@@ -226,6 +228,7 @@ impl TmMachine {
                 tx_start_pc: 0,
                 tx_start_cycle: 0,
                 tx_serial: 0,
+                commit_ordinal: 0,
                 read_set: HashSet::new(),
                 write_set: HashSet::new(),
                 bdm: Bdm::new_shared(sig_config.clone(), cfg.geom, 2),
@@ -268,13 +271,13 @@ impl TmMachine {
         })
     }
 
-    /// Overrides the livelock safety cap (total squashes before the run is
-    /// declared livelocked and stopped). Useful to demonstrate Fig. 12(a).
     /// The shared signature configuration of this machine.
     pub fn signature_config(&self) -> &Arc<SignatureConfig> {
         &self.sig_config
     }
 
+    /// Overrides the livelock safety cap (total squashes before the run is
+    /// declared livelocked and stopped). Useful to demonstrate Fig. 12(a).
     pub fn set_squash_cap(&mut self, cap: u64) {
         self.squash_cap = cap;
     }
@@ -706,6 +709,15 @@ impl TmMachine {
         Ok(())
     }
 
+    /// Appends one entry to the committed history (the cross-runtime
+    /// conformance record): the committing thread, its per-thread commit
+    /// ordinal, and the finish cycle.
+    fn push_commit_event(&mut self, tid: usize, finish: u64) {
+        let ordinal = self.threads[tid].commit_ordinal;
+        self.threads[tid].commit_ordinal += 1;
+        self.stats.history.push(CommitEvent { thread: tid as u32, ordinal, at: finish });
+    }
+
     /// Commit of a serialized (escalated) transaction: its stores already
     /// propagated as ordinary coherence traffic, so commit only arbitrates
     /// for the bus (keeping the global commit order total) and releases
@@ -725,6 +737,7 @@ impl TmMachine {
         }
         self.stats.commits += 1;
         self.stats.serialized_commits += 1;
+        self.push_commit_event(tid, finish);
         self.auditor.observe_commit(tid, finish);
         let t = &mut self.threads[tid];
         t.serialized = false;
@@ -1060,6 +1073,7 @@ impl TmMachine {
         self.threads[tid].timer.wait_until(finish);
 
         self.stats.commits += 1;
+        self.push_commit_event(tid, finish);
         if let Some(obs) = &self.obs {
             obs.on_commit(tid as u32, finish, payload_bytes, exact_w.len() as u64);
             let sec = self.threads[tid].section_span;

@@ -2,6 +2,7 @@
 //! 11/13/14 report.
 
 use bulk_chaos::{FaultStats, InvariantViolation};
+use bulk_core::CommitEvent;
 use bulk_live::{LiveStats, LivenessViolation};
 use bulk_mem::BandwidthStats;
 
@@ -64,6 +65,9 @@ pub struct TmStats {
     pub liveness: LiveStats,
     /// Forward-progress violations the liveness watchdog emitted.
     pub liveness_violations: Vec<LivenessViolation>,
+    /// Committed history in commit order: one [`CommitEvent`] per outer
+    /// transaction, used by the cross-runtime conformance check.
+    pub history: Vec<CommitEvent>,
 }
 
 impl TmStats {
@@ -96,6 +100,7 @@ impl TmStats {
         self.violations.extend(other.violations.iter().cloned());
         self.liveness.merge(&other.liveness);
         self.liveness_violations.extend(other.liveness_violations.iter().cloned());
+        self.history.extend(other.history.iter().copied());
     }
 
     /// Mean committed read-set size in lines.

@@ -16,6 +16,8 @@
 //! assert_eq!(workload.tasks.len(), crafty.tasks);
 //! ```
 
+#![warn(missing_docs)]
+
 mod gen;
 pub mod io;
 mod ops;

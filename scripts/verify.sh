@@ -22,8 +22,13 @@ cargo test -q --offline --locked --workspace "$@"
 # does position arithmetic on them; run its tests with debug_assertions
 # AND overflow checks forced on, so any wrap in gap accumulation or bit
 # cursors is a hard failure even if a profile ever disables the default.
-echo "== cargo test -q -p bulk-sig (overflow checks forced on)"
-RUSTFLAGS="$RUSTFLAGS -Coverflow-checks=on" cargo test -q --offline --locked -p bulk-sig
+# The same rebuild also enables --cfg bulk_stress, which compiles the
+# parallel runtime's re-delivery/epoch-churn smoke (crates/par/tests/
+# stress.rs): injected duplicates must be dropped by dedup, nothing may
+# apply twice, and the committed-order class must still match the sim's.
+echo "== cargo test -q -p bulk-sig -p bulk-par (overflow checks + bulk_stress)"
+RUSTFLAGS="$RUSTFLAGS -Coverflow-checks=on --cfg bulk_stress" \
+  cargo test -q --offline --locked -p bulk-sig -p bulk-par
 
 echo "== cargo doc --no-deps --offline --locked (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --no-deps --offline --locked --workspace

@@ -27,7 +27,11 @@
 //!   checkpoints (DESIGN.md §9),
 //! * [`mc`] — explicit-state model checker for the commit/squash/failover
 //!   protocol, with mutation testing and interleaving-class conformance
-//!   replay onto the real machines (DESIGN.md §12).
+//!   replay onto the real machines (DESIGN.md §12),
+//! * [`par`] — execution substrates: the [`par::Runtime`] trait over the
+//!   deterministic sim and a parallel runtime that runs the commit/squash
+//!   protocol on real OS threads over a lock-free broadcast log, with the
+//!   sim as conformance oracle (DESIGN.md §13).
 //!
 //! # Quickstart
 //!
@@ -49,6 +53,7 @@ pub use bulk_live as live;
 pub use bulk_mc as mc;
 pub use bulk_mem as mem;
 pub use bulk_obs as obs;
+pub use bulk_par as par;
 pub use bulk_rng as rng;
 pub use bulk_sig as sig;
 pub use bulk_sim as sim;
