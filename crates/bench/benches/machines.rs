@@ -6,7 +6,7 @@
 //! Results land in `BENCH_machines.json` (see `bulk_bench::timer`).
 
 use bulk_bench::BenchSuite;
-use bulk_par::{conflict_light_tm, run_par_tm, ParConfig};
+use bulk_par::{conflict_light_tm, run_par_tm, CrashPoint, KillSpec, ParConfig};
 use bulk_sim::SimConfig;
 use bulk_tls::{run_tls, TlsScheme};
 use bulk_tm::{run_tm, Scheme};
@@ -52,6 +52,35 @@ fn bench_par(suite: &mut BenchSuite) {
     }
 }
 
+/// Crash-recovery soak: end-to-end run time with one worker killed at
+/// each commit-protocol point, against the crash-free run of the same
+/// workload. The gap between a tagged run and `clean` is the full
+/// recovery detour — supervisor fencing, checkpoint verification,
+/// respawn, and the respawned worker's log replay — so regressions in
+/// any recovery stage show up here even though each stage is
+/// individually fast.
+fn bench_par_crash_recovery(suite: &mut BenchSuite) {
+    let wl = conflict_light_tm(4, 32, 4, 0);
+    let base = ParConfig { seed: 42, ..ParConfig::default() };
+    suite.bench("par_crash_recovery", "clean", || {
+        black_box(run_par_tm(&wl, Scheme::Bulk, &base).expect("crash-free run"))
+    });
+    for (tag, point) in [
+        ("claim", CrashPoint::Claim),
+        ("publish", CrashPoint::Publish),
+        ("apply", CrashPoint::Apply),
+    ] {
+        let cfg = ParConfig {
+            seed: 42,
+            kills: vec![KillSpec { proc: 1, point, at: 2 }],
+            ..ParConfig::default()
+        };
+        suite.bench("par_crash_recovery", tag, || {
+            black_box(run_par_tm(&wl, Scheme::Bulk, &cfg).expect("recovery must succeed"))
+        });
+    }
+}
+
 /// Runs the shared instrumented scenario pair once, untimed, so
 /// `BENCH_machines.json` carries squash attribution, invalidation
 /// overshoot and the cycle-accounting breakdown next to the timings.
@@ -65,6 +94,7 @@ fn main() {
     bench_tm(&mut suite);
     bench_tls(&mut suite);
     bench_par(&mut suite);
+    bench_par_crash_recovery(&mut suite);
     collect_metrics(&mut suite);
     suite.finish();
 }

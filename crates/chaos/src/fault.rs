@@ -55,6 +55,28 @@ pub struct ChaosConfig {
     /// [`FaultPlan::arbiter_crash`] once a broadcast has absorbed this
     /// many, so recovery always terminates.
     pub max_crashes_per_broadcast: u32,
+    /// Per-event probability that a real-thread worker is killed at a
+    /// commit-protocol point (claim/publish/apply — see
+    /// [`CrashPoint`](crate::CrashPoint)). Consulted only by the
+    /// parallel runtime's [`ThreadChaos`](crate::ThreadChaos); the sim
+    /// machines never read it. Zero by default.
+    pub worker_kill_prob: f64,
+    /// Hard budget on probabilistic worker kills per run (explicit
+    /// [`KillSpec`](crate::KillSpec) schedules are not budgeted), so
+    /// respawn recovery always terminates.
+    pub max_worker_kills: u32,
+    /// Per-poll probability a real-thread worker stalls (sleeps) instead
+    /// of making progress — a descheduled peer the wall-clock watchdog
+    /// must tolerate below its bound. Zero by default.
+    pub thread_stall_prob: f64,
+    /// Length of one injected thread stall, in wall-clock nanoseconds.
+    pub thread_stall_ns: u64,
+    /// Per-publish probability the claim-to-publish window is widened by
+    /// a delay — every reader spins through exactly the window a worker
+    /// death orphans. Zero by default.
+    pub publish_delay_prob: f64,
+    /// Length of one injected publish delay, in wall-clock nanoseconds.
+    pub publish_delay_ns: u64,
 }
 
 impl ChaosConfig {
@@ -78,6 +100,12 @@ impl ChaosConfig {
             arbiter_crash_prob: 0.0,
             reelect_cycles: 120,
             max_crashes_per_broadcast: 4,
+            worker_kill_prob: 0.0,
+            max_worker_kills: 0,
+            thread_stall_prob: 0.0,
+            thread_stall_ns: 0,
+            publish_delay_prob: 0.0,
+            publish_delay_ns: 0,
         }
     }
 
@@ -88,6 +116,26 @@ impl ChaosConfig {
     pub fn arbiter_crash(seed: u64) -> Self {
         ChaosConfig {
             arbiter_crash_prob: 0.25,
+            ..ChaosConfig::new(seed)
+        }
+    }
+
+    /// Real-thread worker faults for the parallel runtime: seeded worker
+    /// kills at commit-protocol points (bounded by `max_worker_kills`),
+    /// short injected stalls, and widened claim-to-publish windows. The
+    /// sim-facing probabilities stay at their defaults but are never
+    /// consulted by the parallel runtime; what this preset arms is the
+    /// [`ThreadChaos`](crate::ThreadChaos) stream (`--chaos` under
+    /// `--runtime par`). Stalls are kept far below the runtime's
+    /// wall-clock watchdog bound so a chaos run is slow, not stalled.
+    pub fn worker_crash(seed: u64) -> Self {
+        ChaosConfig {
+            worker_kill_prob: 0.02,
+            max_worker_kills: 3,
+            thread_stall_prob: 0.01,
+            thread_stall_ns: 200_000,
+            publish_delay_prob: 0.05,
+            publish_delay_ns: 50_000,
             ..ChaosConfig::new(seed)
         }
     }

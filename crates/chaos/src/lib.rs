@@ -25,6 +25,12 @@
 //! * [`MachineError`] — typed errors for machine construction and
 //!   execution (malformed traces, missing versions, deadlock, lost
 //!   progress), replacing `expect()` on trace- and message-shaped paths.
+//! * [`ThreadChaos`] / [`WorkerChaos`] — fault injection for the
+//!   real-thread parallel runtime, where no simulated clock exists:
+//!   explicit [`KillSpec`] schedules and seeded probabilistic worker
+//!   kills at commit-protocol [`CrashPoint`]s, plus injected stalls and
+//!   delayed publishes, all deterministic per seed and monotonic across
+//!   worker respawns.
 //! * [`ScheduleScript`] — the deterministic alternative to the seeded
 //!   injector: an explicit per-broadcast fault schedule (denials, delay,
 //!   duplication, arbiter crashes) that `FaultPlan::scripted` replays
@@ -38,8 +44,10 @@ mod audit;
 mod error;
 mod fault;
 mod schedule;
+mod thread;
 
 pub use audit::{Auditor, InvariantKind, InvariantViolation};
 pub use error::MachineError;
 pub use fault::{ChaosConfig, FaultPlan, FaultStats};
 pub use schedule::{BroadcastSchedule, ScheduleScript};
+pub use thread::{CrashPoint, KillSpec, ThreadChaos, WorkerChaos};

@@ -222,6 +222,12 @@ pub(crate) fn scripted_config() -> ChaosConfig {
         arbiter_crash_prob: 0.0,
         reelect_cycles: 120,
         max_crashes_per_broadcast: u32::MAX,
+        worker_kill_prob: 0.0,
+        max_worker_kills: 0,
+        thread_stall_prob: 0.0,
+        thread_stall_ns: 0,
+        publish_delay_prob: 0.0,
+        publish_delay_ns: 0,
     }
 }
 

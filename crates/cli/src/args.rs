@@ -133,8 +133,9 @@ RUNTIMES:
   the schemes whose disambiguation is timing-independent (TM: bulk,
   lazy; TLS: bulk, bulk-no-overlap, lazy), audits its committed history
   after every run, and reports wall time instead of simulated cycles.
-  The simulator-only fault and timing flags (--chaos, --watchdog-ticks,
-  --events-out, --trace-out) are rejected under --runtime par.
+  The simulator-only timing flags (--watchdog-ticks, --events-out,
+  --trace-out) are rejected under --runtime par; --chaos composes with
+  it and switches to the real-thread fault preset described below.
 
 CHAOS:
   --chaos injects deterministic faults (commit denials, delayed/duplicated
@@ -143,7 +144,14 @@ CHAOS:
   fault-free run. The fault seed defaults to the workload seed and can be
   overridden with the BULK_CHAOS_SEED environment variable; every chaos
   run prints the seed needed to replay it. Any invariant violation or
-  undetected corruption makes the exit code nonzero.
+  undetected corruption makes the exit code nonzero. Under --runtime par
+  the same flag arms the real-thread fault preset instead: seeded worker
+  kills at commit-protocol points (claim, publish, apply), short injected
+  stalls and widened claim-to-publish windows. The supervisor fences the
+  dead worker's orphaned bus slot (TM) or lets the respawned worker adopt
+  it (TLS), respawns from the last verified checkpoint, and reports the
+  recoveries in a resilience section; an unrecoverable death or a
+  wall-clock stall exits nonzero with the replay seed.
 
 OBSERVABILITY:
   --metrics prints the metrics registry after the run: every squash is

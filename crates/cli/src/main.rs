@@ -153,12 +153,15 @@ fn run_tm(a: TmArgs) -> Result<(), String> {
         println!("trace written to {path}");
     }
     if a.runtime == "par" {
-        reject_sim_only_flags("tm", a.chaos, a.watchdog_ticks, &a.events_out, &a.trace_out)?;
-        let rt = ParRuntime::new(par_config(a.seed));
-        let r = rt.run_tm(&wl, a.scheme, &SimConfig::tm_default()).map_err(|e| e.to_string())?;
+        reject_sim_only_flags("tm", a.watchdog_ticks, &a.events_out, &a.trace_out)?;
+        let (cfg, chaos) = par_config(a.seed, a.chaos)?;
+        let rt = ParRuntime::new(cfg);
+        let r = rt
+            .run_tm(&wl, a.scheme, &SimConfig::tm_default())
+            .map_err(|e| par_error(e, chaos))?;
         report::print_par("TM", &a.app, &a.scheme.to_string(), &r);
         write_par_metrics(&a.metrics_out, &r)?;
-        return check_violations(&r.violations, None);
+        return check_violations(&r.violations, chaos);
     }
     let sig = signature(&a.sig)?;
     let cfg = SimConfig::tm_default();
@@ -179,24 +182,42 @@ fn run_tm(a: TmArgs) -> Result<(), String> {
 /// The parallel runtime's configuration for a CLI run: the workload seed
 /// doubles as the backoff-jitter seed, everything else stays at the
 /// defaults (`--runtime par` is about substrate semantics, not tuning).
-fn par_config(seed: u64) -> ParConfig {
-    ParConfig { seed, ..ParConfig::default() }
+/// `--chaos` arms the real-thread fault preset — seeded worker kills at
+/// commit-protocol points, injected stalls, widened claim-to-publish
+/// windows — and returns the fault seed for the replay hint.
+fn par_config(seed: u64, chaos: bool) -> Result<(ParConfig, Option<u64>), String> {
+    let mut cfg = ParConfig { seed, ..ParConfig::default() };
+    if !chaos {
+        return Ok((cfg, None));
+    }
+    let s = chaos_seed(seed)?;
+    println!("chaos: fault seed {s} (replay with BULK_CHAOS_SEED={s})");
+    cfg.chaos = Some(bulk_chaos::ChaosConfig::worker_crash(s));
+    Ok((cfg, Some(s)))
 }
 
-/// Rejects the simulator-only flags under `--runtime par`: fault plans,
-/// watchdogs and the event/span pipelines all hook the simulated clock,
+/// Renders a parallel-runtime error, appending the chaos replay hint
+/// when a fault preset was armed: an unrecoverable worker death or a
+/// tripped wall-clock watchdog is only useful if it can be replayed.
+fn par_error(e: bulk_par::RuntimeError, chaos: Option<u64>) -> String {
+    match chaos {
+        Some(seed) => format!("{e}; replay with BULK_CHAOS_SEED={seed}"),
+        None => e.to_string(),
+    }
+}
+
+/// Rejects the simulator-only flags under `--runtime par`: watchdog
+/// ticks and the event/span pipelines all hook the simulated clock,
 /// which real threads do not have. Failing loudly beats silently
-/// dropping what the user asked for.
+/// dropping what the user asked for. (`--chaos` is *not* sim-only: under
+/// par it arms the real-thread worker-fault preset instead.)
 fn reject_sim_only_flags(
     cmd: &str,
-    chaos: bool,
     watchdog_ticks: Option<u64>,
     events_out: &Option<String>,
     trace_out: &Option<String>,
 ) -> Result<(), String> {
-    let offending = if chaos {
-        Some("--chaos")
-    } else if watchdog_ticks.is_some() {
+    let offending = if watchdog_ticks.is_some() {
         Some("--watchdog-ticks")
     } else if events_out.is_some() {
         Some("--events-out")
@@ -312,12 +333,13 @@ fn run_tls(a: TlsArgs) -> Result<(), String> {
     }
     let cfg = SimConfig::tls_default();
     if a.runtime == "par" {
-        reject_sim_only_flags("tls", a.chaos, a.watchdog_ticks, &a.events_out, &a.trace_out)?;
-        let rt = ParRuntime::new(par_config(a.seed));
-        let r = rt.run_tls(&wl, a.scheme, &cfg).map_err(|e| e.to_string())?;
+        reject_sim_only_flags("tls", a.watchdog_ticks, &a.events_out, &a.trace_out)?;
+        let (pcfg, chaos) = par_config(a.seed, a.chaos)?;
+        let rt = ParRuntime::new(pcfg);
+        let r = rt.run_tls(&wl, a.scheme, &cfg).map_err(|e| par_error(e, chaos))?;
         report::print_par("TLS", &a.app, &a.scheme.to_string(), &r);
         write_par_metrics(&a.metrics_out, &r)?;
-        return check_violations(&r.violations, None);
+        return check_violations(&r.violations, chaos);
     }
     let seq = bulk_tls::run_tls_sequential(&wl, &cfg);
     let mut m = TlsMachine::try_new(&wl, a.scheme, &cfg).map_err(|e| e.to_string())?;

@@ -103,7 +103,9 @@ pub fn print_tls(app: &str, scheme: TlsScheme, seq_cycles: u64, s: &TlsStats, ch
 /// (`machine` is `"TM"` or `"TLS"`). Wall time replaces simulated
 /// cycles; the exactly-once line shows the `crates/live` dedup machinery
 /// at work (drops are nonzero only under stress injection, duplicate
-/// applications must always be zero).
+/// applications must always be zero). A resilience section appears
+/// whenever the supervisor survived worker deaths — crashes, respawns,
+/// fence tombstones (TM), adopted slots (TLS) and the recovery latency.
 pub fn print_par(machine: &str, app: &str, scheme: &str, r: &RunReport) {
     println!("{machine} run: app={app} scheme={scheme} runtime={}", r.runtime);
     let RunDetail::Par(s) = &r.detail else {
@@ -128,6 +130,20 @@ pub fn print_par(machine: &str, app: &str, scheme: &str, r: &RunReport) {
     );
     let per: Vec<String> = s.per_thread_commits.iter().map(u64::to_string).collect();
     println!("  commits per thread {}", per.join(" "));
+    if s.worker_crashes > 0 {
+        println!(
+            "  resilience         {} worker crashes, {} respawns, {} fences, \
+             {} adopted slots",
+            s.worker_crashes, s.respawns, s.fences, s.adopted_slots
+        );
+        println!("  recovery time      {:.3} ms", s.recovery_ns as f64 / 1e6);
+    }
+    if s.injected_stalls + s.delayed_publishes > 0 {
+        println!(
+            "  chaos injections   {} stalls, {} delayed publishes",
+            s.injected_stalls, s.delayed_publishes
+        );
+    }
     println!("  wall time          {:.3} ms", s.wall_ns as f64 / 1e6);
     println!("  audit              {} checks, {} violations", s.audit_checks, s.violations.len());
 }
@@ -149,6 +165,13 @@ pub fn par_metrics_json(r: &RunReport) -> String {
         ("records", s.records),
         ("dedup_drops", s.dedup_drops),
         ("duplicate_applications", s.duplicate_applications),
+        ("worker_crashes", s.worker_crashes),
+        ("respawns", s.respawns),
+        ("fences", s.fences),
+        ("adopted_slots", s.adopted_slots),
+        ("recovery_ns", s.recovery_ns),
+        ("injected_stalls", s.injected_stalls),
+        ("delayed_publishes", s.delayed_publishes),
         ("epoch", s.epoch),
         ("audit_checks", s.audit_checks),
         ("violations", s.violations.len() as u64),

@@ -59,4 +59,4 @@ pub use backoff::{BackoffConfig, BackoffPolicy};
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use engine::{LiveStats, LivenessConfig, LivenessEngine};
 pub use violation::{LivenessKind, LivenessViolation};
-pub use watchdog::{Watchdog, WatchdogConfig};
+pub use watchdog::{WallClockWatchdog, Watchdog, WatchdogConfig};

@@ -269,6 +269,106 @@ impl Watchdog {
     }
 }
 
+/// Wall-clock stall detector for execution substrates that have no
+/// simulated clock (the real-thread parallel runtime).
+///
+/// The simulated [`Watchdog`] measures progress in cycles; on real OS
+/// threads a hung peer manifests as wall time passing with no bus
+/// publish. Every publish calls [`note_progress`](Self::note_progress);
+/// every spin site calls [`stalled`](Self::stalled), which trips —
+/// stickily — once the gap since the last progress exceeds the bound.
+///
+/// Memory-ordering argument: `note_progress` stores the elapsed-ns
+/// reading with `Release` and `stalled` loads it with `Acquire`, so a
+/// checker that observes a fresh timestamp also observes everything the
+/// publisher wrote before it (the publish itself synchronizes via the
+/// bus's `OnceLock`, so this ordering is for monotonicity of the
+/// *detector*, not for protocol safety — a stale read can only make the
+/// detector conservative by at most one progress event, never unsound:
+/// it may trip late, and it never un-trips). The trip latch is a sticky
+/// `AtomicBool` (`Release` store, `Acquire` load), so once any checker
+/// trips, every later check reports stalled without re-deriving it.
+#[derive(Debug)]
+pub struct WallClockWatchdog {
+    start: std::time::Instant,
+    /// Elapsed nanoseconds (since `start`) of the last observed progress.
+    last_progress_ns: std::sync::atomic::AtomicU64,
+    /// Sticky trip latch.
+    tripped: std::sync::atomic::AtomicBool,
+    timeout_ns: u64,
+}
+
+impl WallClockWatchdog {
+    /// A detector that trips after `timeout_ns` wall-clock nanoseconds
+    /// without progress. `0` disables it (never trips).
+    pub fn new(timeout_ns: u64) -> Self {
+        WallClockWatchdog {
+            start: std::time::Instant::now(),
+            last_progress_ns: std::sync::atomic::AtomicU64::new(0),
+            tripped: std::sync::atomic::AtomicBool::new(false),
+            timeout_ns,
+        }
+    }
+
+    /// Records that the system made progress (a bus record was
+    /// published). Called by every worker and the supervisor.
+    pub fn note_progress(&self) {
+        let now = self.start.elapsed().as_nanos() as u64;
+        // Monotonic max, not a blind store: a delayed writer must not
+        // move the deadline backwards under a fresher reading.
+        self.last_progress_ns.fetch_max(now, std::sync::atomic::Ordering::Release);
+    }
+
+    /// `true` once the stall bound has been exceeded. Sticky: the first
+    /// trip latches, later progress cannot un-trip it — a run that ever
+    /// stalled past the bound reports the stall even if the hung peer
+    /// eventually woke up.
+    pub fn stalled(&self) -> bool {
+        if self.timeout_ns == 0 {
+            return false;
+        }
+        if self.tripped.load(std::sync::atomic::Ordering::Acquire) {
+            return true;
+        }
+        let now = self.start.elapsed().as_nanos() as u64;
+        let last = self.last_progress_ns.load(std::sync::atomic::Ordering::Acquire);
+        if now.saturating_sub(last) > self.timeout_ns {
+            self.tripped.store(true, std::sync::atomic::Ordering::Release);
+            return true;
+        }
+        false
+    }
+
+    /// Wall-clock nanoseconds since the last observed progress.
+    pub fn since_progress_ns(&self) -> u64 {
+        let now = self.start.elapsed().as_nanos() as u64;
+        now.saturating_sub(self.last_progress_ns.load(std::sync::atomic::Ordering::Acquire))
+    }
+
+    /// The configured bound, in nanoseconds.
+    pub fn timeout_ns(&self) -> u64 {
+        self.timeout_ns
+    }
+
+    /// Builds the typed violation for a trip, with replay context. The
+    /// caller (the runtime's supervisor or a spinning worker) owns
+    /// thread attribution.
+    pub fn violation(&self, scheme: &str, thread: Option<usize>, seed: Option<u64>) -> LivenessViolation {
+        LivenessViolation {
+            kind: LivenessKind::GlobalStall,
+            scheme: scheme.to_string(),
+            thread,
+            cycle: 0,
+            seed,
+            detail: format!(
+                "no bus publish for {} ms (wall-clock bound {} ms)",
+                self.since_progress_ns() / 1_000_000,
+                self.timeout_ns / 1_000_000
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,5 +497,36 @@ mod tests {
         }
         assert_eq!(w.trips(), 1);
         assert_eq!(w.violations().len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_watchdog_trips_and_stays_tripped() {
+        let w = WallClockWatchdog::new(1); // 1 ns bound: trips immediately
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(w.stalled());
+        // Progress after the trip cannot un-trip the latch.
+        w.note_progress();
+        assert!(w.stalled());
+        let v = w.violation("bulk", Some(1), Some(42));
+        assert_eq!(v.kind, LivenessKind::GlobalStall);
+        assert_eq!(v.seed, Some(42));
+        assert!(v.detail.contains("wall-clock bound"));
+    }
+
+    #[test]
+    fn wall_clock_watchdog_disabled_at_zero() {
+        let w = WallClockWatchdog::new(0);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(!w.stalled());
+    }
+
+    #[test]
+    fn wall_clock_watchdog_progress_defers_the_trip() {
+        let w = WallClockWatchdog::new(60_000_000_000); // 60 s: never in-test
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        w.note_progress();
+        assert!(w.since_progress_ns() < 60_000_000_000);
+        assert!(!w.stalled());
+        assert_eq!(w.timeout_ns(), 60_000_000_000);
     }
 }

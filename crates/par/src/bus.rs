@@ -38,6 +38,12 @@ pub enum RecordKind {
     /// A single non-transactional store (the paper's individual
     /// invalidation path).
     NonTxStore,
+    /// A tombstone published by the supervisor into a dead worker's
+    /// claimed-but-unpublished slot. Carries empty sets and a fresh
+    /// ticket so receivers admit-and-skip it exactly once; keeps the log
+    /// dense so survivors stop spinning in
+    /// [`wait_for`](BusLog::wait_for).
+    Fence,
 }
 
 /// One broadcast on the bus: the write signature plus the exact oracle
@@ -66,6 +72,20 @@ pub struct BusRecord {
     /// record's own slot index; the auditor asserts it.
     pub validated_to: usize,
 }
+
+/// A publish hit an already-written slot (the slot index). Indicates a
+/// double publish — either a protocol bug or a fence racing a claimer
+/// that turned out to be alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotOccupied(pub usize);
+
+impl std::fmt::Display for SlotOccupied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bus slot {} published twice", self.0)
+    }
+}
+
+impl std::error::Error for SlotOccupied {}
 
 /// The shared append-only broadcast log.
 #[derive(Debug)]
@@ -125,11 +145,12 @@ impl BusLog {
             .is_ok()
     }
 
-    /// Publishes the record into a previously claimed slot.
-    pub fn publish(&self, slot: usize, record: BusRecord) {
-        if self.slots[slot].set(record).is_err() {
-            panic!("bus slot {slot} published twice");
-        }
+    /// Publishes the record into a previously claimed slot. A slot is
+    /// written exactly once — by its claimer, or by the supervisor
+    /// fencing a dead claimer — so a second publish is a protocol bug
+    /// the caller turns into a typed runtime error instead of an abort.
+    pub fn publish(&self, slot: usize, record: BusRecord) -> Result<(), SlotOccupied> {
+        self.slots[slot].set(record).map_err(|_| SlotOccupied(slot))
     }
 
     /// Returns slot `i`, spinning (with `yield_now`) through the short
@@ -174,12 +195,34 @@ mod tests {
         assert!(log.try_claim(0));
         assert!(!log.try_claim(0), "stale view must not claim");
         assert_eq!(log.tail(), 1);
-        log.publish(0, record(0, 0, 0));
+        log.publish(0, record(0, 0, 0)).unwrap();
         assert!(log.try_claim(1));
-        log.publish(1, record(1, 0, 1));
+        log.publish(1, record(1, 0, 1)).unwrap();
         assert_eq!(log.tail(), 2);
         assert_eq!(log.wait_for(0).thread, 0);
         assert_eq!(log.wait_for(1).thread, 1);
+    }
+
+    #[test]
+    fn double_publish_is_a_typed_error() {
+        let log = BusLog::new(1);
+        assert!(log.try_claim(0));
+        log.publish(0, record(0, 0, 0)).unwrap();
+        let err = log.publish(0, record(1, 0, 0)).unwrap_err();
+        assert_eq!(err, SlotOccupied(0));
+        assert_eq!(err.to_string(), "bus slot 0 published twice");
+    }
+
+    #[test]
+    fn a_fence_unblocks_waiters_on_an_orphaned_slot() {
+        let log = BusLog::new(1);
+        assert!(log.try_claim(0));
+        // The claimer died; a reader spinning in wait_for(0) would hang
+        // forever. The supervisor fences the slot and the reader sees a
+        // skippable tombstone.
+        let fence = BusRecord { kind: RecordKind::Fence, ..record(0, 1, 0) };
+        log.publish(0, fence).unwrap();
+        assert_eq!(log.wait_for(0).kind, RecordKind::Fence);
     }
 
     #[test]
@@ -206,7 +249,7 @@ mod tests {
                                 let _ = log.wait_for(i);
                             }
                             if log.try_claim(seen) {
-                                log.publish(seen, record(t, n, seen));
+                                log.publish(seen, record(t, n, seen)).unwrap();
                                 break;
                             }
                         }

@@ -1,5 +1,7 @@
 //! Tuning knobs of the parallel runtime.
 
+use bulk_chaos::{ChaosConfig, KillSpec};
+
 /// Fault-injection plan for the stress smoke (`--cfg bulk_stress` runs
 /// arm it; ordinary runs leave it off). Both knobs are percentages in
 /// `0..=100`, drawn from a deterministic per-thread RNG.
@@ -21,7 +23,7 @@ impl Default for StressConfig {
 }
 
 /// Configuration of the [`ParRuntime`](crate::ParRuntime).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParConfig {
     /// Worker threads for TLS runs (TM runs spawn one OS thread per
     /// workload thread). Tasks are dealt round-robin to workers.
@@ -38,11 +40,34 @@ pub struct ParConfig {
     pub seed: u64,
     /// Duplicate-delivery / epoch-churn injection, when armed.
     pub stress: Option<StressConfig>,
+    /// Probabilistic real-thread fault injection (seeded worker kills,
+    /// stalls, delayed publishes). `None` leaves the injector unarmed.
+    pub chaos: Option<ChaosConfig>,
+    /// Explicit deterministic worker-kill schedule, applied on top of
+    /// (or without) `chaos`.
+    pub kills: Vec<KillSpec>,
+    /// Worker respawns the supervisor will perform before giving up with
+    /// a typed [`RuntimeError::WorkerDied`](crate::RuntimeError). `0`
+    /// means any worker death is fatal.
+    pub respawn_budget: u32,
+    /// Wall-clock milliseconds without a bus publish before the run is
+    /// declared stalled (a typed `LivenessViolation`). `0` disables the
+    /// watchdog.
+    pub stall_timeout_ms: u64,
 }
 
 impl Default for ParConfig {
     fn default() -> Self {
-        ParConfig { tls_workers: 4, compute_ns_per_kcycle: 0, seed: 0, stress: None }
+        ParConfig {
+            tls_workers: 4,
+            compute_ns_per_kcycle: 0,
+            seed: 0,
+            stress: None,
+            chaos: None,
+            kills: Vec::new(),
+            respawn_budget: 8,
+            stall_timeout_ms: 5_000,
+        }
     }
 }
 
@@ -56,5 +81,9 @@ mod tests {
         assert_eq!(c.tls_workers, 4);
         assert_eq!(c.compute_ns_per_kcycle, 0);
         assert!(c.stress.is_none());
+        assert!(c.chaos.is_none());
+        assert!(c.kills.is_empty());
+        assert_eq!(c.respawn_budget, 8);
+        assert_eq!(c.stall_timeout_ms, 5_000);
     }
 }

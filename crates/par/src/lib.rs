@@ -35,12 +35,15 @@
 
 pub mod bus;
 mod config;
+mod recover;
 mod runtime;
 mod stats;
 mod tls;
 mod tm;
 mod workloads;
 
+pub use bulk_chaos::{CrashPoint, KillSpec};
+pub use bus::SlotOccupied;
 pub use config::{ParConfig, StressConfig};
 pub use runtime::{
     runtime_by_name, same_commit_class, ParRuntime, RunDetail, RunReport, Runtime, RuntimeError,

@@ -1,0 +1,138 @@
+//! Shared recovery machinery of the parallel engines: typed worker
+//! halts, the run-wide control block, and panic-payload extraction.
+//!
+//! A worker never aborts the process. Every way it can stop — finishing
+//! its trace, an injected kill, a detected stall, a broken invariant, a
+//! supervisor-requested abort, or a genuine panic (caught at the thread
+//! boundary) — funnels into one [`Halt`] value the supervisor folds
+//! into its recovery decision: fence-and-respawn for crashes, a typed
+//! [`RuntimeError`](crate::RuntimeError) for everything unrecoverable.
+
+use bulk_chaos::CrashPoint;
+use bulk_live::{LivenessViolation, WallClockWatchdog};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Why a worker's run loop stopped before finishing its trace.
+#[derive(Debug)]
+pub(crate) enum Halt {
+    /// An injected kill fired (chaos schedule or probabilistic).
+    Killed {
+        /// The protocol point the kill hit.
+        point: CrashPoint,
+    },
+    /// The worker's closure panicked; caught at the thread boundary.
+    Panicked(String),
+    /// The wall-clock watchdog tripped while this worker was spinning.
+    Stalled(LivenessViolation),
+    /// A protocol invariant broke (double publish, token misorder).
+    Bug(String),
+    /// The supervisor requested an abort; the worker unwound cleanly.
+    Aborted,
+}
+
+impl Halt {
+    /// `true` for the halts the supervisor treats as a worker *crash*
+    /// (fence the orphaned slot, respawn from the last checkpoint).
+    pub(crate) fn is_crash(&self) -> bool {
+        matches!(self, Halt::Killed { .. } | Halt::Panicked(_))
+    }
+
+    /// Human-readable cause, embedded in `WorkerDied` details.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Halt::Killed { point } => format!("injected kill at {point} point"),
+            Halt::Panicked(msg) => format!("panicked: {msg}"),
+            Halt::Stalled(v) => format!("stalled: {v}"),
+            Halt::Bug(m) => format!("protocol bug: {m}"),
+            Halt::Aborted => "aborted".into(),
+        }
+    }
+}
+
+/// Run-wide control block shared by the supervisor and every worker
+/// incarnation: the abort flag and the wall-clock stall detector.
+pub(crate) struct RunControl {
+    abort: AtomicBool,
+    watchdog: WallClockWatchdog,
+    scheme: String,
+    seed: u64,
+}
+
+impl RunControl {
+    pub(crate) fn new(scheme: String, seed: u64, stall_timeout_ms: u64) -> Self {
+        RunControl {
+            abort: AtomicBool::new(false),
+            watchdog: WallClockWatchdog::new(stall_timeout_ms.saturating_mul(1_000_000)),
+            scheme,
+            seed,
+        }
+    }
+
+    /// Tells every worker to unwind at its next spin-site check.
+    pub(crate) fn abort(&self) {
+        self.abort.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    /// Notes a bus publish (progress) for the stall detector.
+    pub(crate) fn progress(&self) {
+        self.watchdog.note_progress();
+    }
+
+    /// Checks the wall-clock bound; `Some` carries the typed violation
+    /// (with the replay seed) once the bound is exceeded.
+    pub(crate) fn check_stall(&self, thread: Option<usize>) -> Option<LivenessViolation> {
+        self.watchdog
+            .stalled()
+            .then(|| self.watchdog.violation(&self.scheme, thread, Some(self.seed)))
+    }
+}
+
+/// Extracts a readable message from a caught panic payload.
+pub(crate) fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_flag_round_trips() {
+        let ctl = RunControl::new("par/tm/Bulk".into(), 7, 0);
+        assert!(!ctl.aborted());
+        ctl.abort();
+        assert!(ctl.aborted());
+        // Watchdog disabled at 0: never stalls.
+        assert!(ctl.check_stall(Some(0)).is_none());
+    }
+
+    #[test]
+    fn stall_check_carries_scheme_and_seed() {
+        let ctl = RunControl::new("par/tls/Bulk".into(), 99, 1);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let v = ctl.check_stall(Some(3)).expect("1ms bound must trip");
+        assert_eq!(v.scheme, "par/tls/Bulk");
+        assert_eq!(v.thread, Some(3));
+        assert_eq!(v.seed, Some(99));
+    }
+
+    #[test]
+    fn crash_classification() {
+        assert!(Halt::Killed { point: CrashPoint::Claim }.is_crash());
+        assert!(Halt::Panicked("x".into()).is_crash());
+        assert!(!Halt::Aborted.is_crash());
+        assert!(!Halt::Bug("x".into()).is_crash());
+        assert!(panic_msg(Box::new("boom")).contains("boom"));
+        assert!(panic_msg(Box::new(String::from("bang"))).contains("bang"));
+    }
+}

@@ -33,7 +33,8 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::time::Instant;
 
-/// Why a runtime refused to execute a workload.
+/// Why a runtime refused to execute a workload, or why an execution
+/// could not run to completion.
 #[derive(Debug)]
 pub enum RuntimeError {
     /// The scheme has no sound mapping onto this substrate.
@@ -47,6 +48,25 @@ pub enum RuntimeError {
     },
     /// The workload trace failed validation.
     InvalidWorkload(String),
+    /// A worker thread died (panic or injected kill) and the supervisor
+    /// could not recover it — the respawn budget was exhausted, or its
+    /// checkpoint failed verification.
+    WorkerDied {
+        /// The dead processor (TM workload thread / TLS pool worker).
+        proc: usize,
+        /// The bus slot it held claimed-but-unpublished, if any (the
+        /// slot the supervisor fenced).
+        slot: Option<usize>,
+        /// Human-readable cause (panic message, kill point, budget).
+        detail: String,
+    },
+    /// The run tripped a liveness bound — typically the wall-clock
+    /// watchdog detecting a hung peer. Carries the replay seed.
+    Liveness(bulk_live::LivenessViolation),
+    /// An internal protocol invariant broke (double publish, token
+    /// ordering, resume-state underflow). Always a bug, never a
+    /// workload problem.
+    ProtocolBug(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -56,6 +76,15 @@ impl fmt::Display for RuntimeError {
                 write!(f, "runtime '{runtime}' does not support scheme {scheme}: {why}")
             }
             RuntimeError::InvalidWorkload(e) => write!(f, "invalid workload: {e}"),
+            RuntimeError::WorkerDied { proc, slot, detail } => match slot {
+                Some(s) => write!(
+                    f,
+                    "worker {proc} died holding bus slot {s} and could not be recovered: {detail}"
+                ),
+                None => write!(f, "worker {proc} died and could not be recovered: {detail}"),
+            },
+            RuntimeError::Liveness(v) => write!(f, "liveness violation: {v}"),
+            RuntimeError::ProtocolBug(e) => write!(f, "parallel-runtime protocol bug: {e}"),
         }
     }
 }
@@ -206,7 +235,7 @@ impl Runtime for SimRuntime {
 /// The OS-thread parallel runtime. The [`SimConfig`] parameter is
 /// accepted for trait parity but ignored: real threads have no
 /// simulated clock; timing knobs live in [`ParConfig`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ParRuntime {
     /// The runtime's tuning knobs.
     pub cfg: ParConfig,

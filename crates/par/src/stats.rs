@@ -30,6 +30,23 @@ pub struct ParStats {
     pub stress_redeliveries: u64,
     /// Stress-mode epoch bumps injected (arbiter re-elections).
     pub stress_epoch_bumps: u64,
+    /// Worker deaths observed by the supervisor (injected kills plus
+    /// genuine panics).
+    pub worker_crashes: u64,
+    /// Workers respawned from their last verified checkpoint.
+    pub respawns: u64,
+    /// Fence tombstones published into dead workers' orphaned slots
+    /// (TM; the TLS engine adopts the claimed slot instead).
+    pub fences: u64,
+    /// Claimed slots a respawned TLS worker adopted and republished.
+    pub adopted_slots: u64,
+    /// Wall-clock nanoseconds spent in supervisor recovery (fencing,
+    /// checkpoint verification, respawn).
+    pub recovery_ns: u64,
+    /// Chaos-injected worker stalls actually slept through.
+    pub injected_stalls: u64,
+    /// Chaos-injected claim-to-publish delays actually slept through.
+    pub delayed_publishes: u64,
     /// Final bus epoch.
     pub epoch: u64,
     /// Individual invariant checks performed (apply-time oracle checks
@@ -65,6 +82,11 @@ pub struct ParStats {
 /// * signature containment — every exact written line is contained in
 ///   the broadcast write signature (no false negatives, the paper's
 ///   one-sided error guarantee).
+///
+/// [`RecordKind::Fence`] tombstones participate in density, claim and
+/// ticket-uniqueness checks like any record — a fenced log is still
+/// dense and exactly-once — but carry no ordinal or write set, so the
+/// program-order and containment checks skip them.
 pub(crate) fn audit_log(log: &BusLog, auditor: &mut Auditor, checks: &mut u64) {
     let tail = log.tail();
     let mut last_ordinal: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
@@ -160,6 +182,8 @@ pub(crate) struct WorkerStats {
     pub duplicate_applications: u64,
     pub stress_redeliveries: u64,
     pub stress_epoch_bumps: u64,
+    pub injected_stalls: u64,
+    pub delayed_publishes: u64,
     pub audit_checks: u64,
     pub violations: Vec<InvariantViolation>,
 }
@@ -175,6 +199,8 @@ impl ParStats {
         self.duplicate_applications += w.duplicate_applications;
         self.stress_redeliveries += w.stress_redeliveries;
         self.stress_epoch_bumps += w.stress_epoch_bumps;
+        self.injected_stalls += w.injected_stalls;
+        self.delayed_publishes += w.delayed_publishes;
         self.audit_checks += w.audit_checks;
         self.violations.extend(w.violations);
     }

@@ -15,12 +15,27 @@
 //! the trace, and the round-robin deal hands every worker its next task
 //! eagerly — the paper's spawn tree is already flattened into task
 //! order by `bulk-trace`.
+//!
+//! # Fault model
+//!
+//! The slot-per-task invariant rules out TM-style fence tombstones (a
+//! fenced slot would leave its task uncommitted and break the in-order
+//! audit), so a dead worker's claimed-but-unpublished slot is instead
+//! *adopted*: the respawned incarnation resumes at its first
+//! unpublished stride task, skips the already-won claim, and publishes
+//! into the orphaned slot itself. The supervisor repairs the commit
+//! token from the published prefix (a worker can in principle die
+//! between publish and token hand-off) and every spin site checks the
+//! abort flag and the wall-clock watchdog, so worker death or a hung
+//! peer becomes a typed error rather than a process abort or an
+//! infinite spin.
 
 use crate::bus::{BusLog, BusRecord, RecordKind};
 use crate::config::ParConfig;
+use crate::recover::{panic_msg, Halt, RunControl};
 use crate::runtime::RuntimeError;
 use crate::stats::{audit_log, history_of, ParStats, WorkerStats};
-use bulk_chaos::{Auditor, InvariantKind};
+use bulk_chaos::{Auditor, CrashPoint, InvariantKind, ThreadChaos, WorkerChaos};
 use bulk_live::{CommitTicket, DedupFilter};
 use bulk_mem::LineAddr;
 use bulk_rng::{Rng, SeedableRng, SmallRng};
@@ -28,11 +43,24 @@ use bulk_sig::{Signature, SignatureConfig};
 use bulk_tls::TlsScheme;
 use bulk_trace::{TlsOp, TlsWorkload};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
 const DWELL_FLUSH_NS: u64 = 50_000;
+/// Supervisor wake-up period while waiting for worker events.
+const SUPERVISE_TICK_MS: u64 = 50;
+
+/// What a finished (or dead) pool worker reports to the supervisor.
+struct TlsEvent {
+    worker: usize,
+    outcome: Result<(), Halt>,
+    /// The task slot held claimed-but-unpublished at death, if any; the
+    /// respawned incarnation adopts it.
+    claimed: Option<usize>,
+    stats: WorkerStats,
+}
 
 /// Runs `workload` under the parallel runtime. `Bulk`, `BulkNoOverlap`
 /// (identical here: Partial Overlap is a cache-warmup optimization with
@@ -61,59 +89,149 @@ pub fn run_par_tls(
 
     let sig_config = SignatureConfig::s14_tm().into_shared();
     let line_bytes = sig_config.line_bytes();
-    let tasks = workload.tasks.len();
-    let workers = cfg.tls_workers.max(1).min(tasks.max(1));
-    let log = BusLog::new(tasks.max(1));
+    let tasks_n = workload.tasks.len();
+    let workers = cfg.tls_workers.max(1).min(tasks_n.max(1));
+    let chaos = ThreadChaos::new(workers, cfg.chaos.clone(), cfg.kills.clone());
+    let log = BusLog::new(tasks_n.max(1));
     let next_commit = AtomicUsize::new(0);
-    let poisoned = AtomicBool::new(false);
+    let ctl = RunControl::new(format!("par/tls/{scheme:?}"), cfg.seed, cfg.stall_timeout_ms);
 
+    let mut stats = ParStats { per_thread_commits: vec![0; workers], ..ParStats::default() };
+    let mut fatal: Option<RuntimeError> = None;
     let start = Instant::now();
-    let worker_stats: Vec<WorkerStats> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let log = &log;
-                let next_commit = &next_commit;
-                let poisoned = &poisoned;
-                let sig_config = sig_config.clone();
-                let tasks = &workload.tasks;
-                s.spawn(move || {
-                    let mut worker =
-                        TlsWorker::new(w, use_sigs, scheme, sig_config, line_bytes, cfg);
-                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let mut i = w;
-                        while i < tasks.len() {
-                            worker.run_task(i, &tasks[i].ops, log, next_commit, poisoned);
-                            i += workers;
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel::<TlsEvent>();
+        let spawn_worker = |w: usize, incarnation: u32, resume: usize, adopt: Option<usize>| {
+            let tx = tx.clone();
+            let sig_config = sig_config.clone();
+            let wchaos = chaos.worker(w, incarnation);
+            let tasks = &workload.tasks;
+            let (log, next_commit, ctl) = (&log, &next_commit, &ctl);
+            s.spawn(move || {
+                let mut worker = TlsWorker::new(
+                    w, workers, use_sigs, scheme, sig_config, line_bytes, cfg, wchaos, adopt,
+                );
+                let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker.run(tasks, resume, log, next_commit, ctl)
+                })) {
+                    Ok(r) => r,
+                    Err(p) => Err(Halt::Panicked(panic_msg(p))),
+                };
+                worker.stats.dedup_drops = worker.dedup.drops();
+                worker.stats.duplicate_applications = worker.dedup.duplicate_applications();
+                let _ = tx.send(TlsEvent {
+                    worker: w,
+                    outcome,
+                    claimed: worker.claimed_unpublished,
+                    stats: std::mem::take(&mut worker.stats),
+                });
+            });
+        };
+        for w in 0..workers {
+            spawn_worker(w, 0, w, None);
+        }
+
+        let mut live = workers;
+        let mut budget = cfg.respawn_budget;
+        let mut incarnations = vec![0u32; workers];
+        while live > 0 {
+            let ev = match rx.recv_timeout(std::time::Duration::from_millis(SUPERVISE_TICK_MS)) {
+                Ok(ev) => ev,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if fatal.is_none() {
+                        if let Some(v) = ctl.check_stall(None) {
+                            fatal = Some(RuntimeError::Liveness(v));
+                            ctl.abort();
                         }
-                    }));
-                    if r.is_err() {
-                        poisoned.store(true, Ordering::Release);
                     }
-                    r.map(|()| {
-                        worker.stats.dedup_drops = worker.dedup.drops();
-                        worker.stats.duplicate_applications =
-                            worker.dedup.duplicate_applications();
-                        worker.stats
-                    })
-                    .unwrap_or_else(|p| std::panic::resume_unwind(p))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("par TLS worker panicked")).collect()
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            };
+            live -= 1;
+            stats.per_thread_commits[ev.worker] += ev.stats.commits;
+            stats.fold(ev.stats);
+            match ev.outcome {
+                Ok(()) | Err(Halt::Aborted) => {}
+                Err(Halt::Stalled(v)) => {
+                    if fatal.is_none() {
+                        fatal = Some(RuntimeError::Liveness(v));
+                        ctl.abort();
+                    }
+                }
+                Err(Halt::Bug(m)) => {
+                    if fatal.is_none() {
+                        fatal = Some(RuntimeError::ProtocolBug(m));
+                        ctl.abort();
+                    }
+                }
+                Err(halt) => {
+                    // Killed or Panicked: repair the token, respawn with
+                    // adoption of any orphaned claim.
+                    debug_assert!(halt.is_crash());
+                    stats.worker_crashes += 1;
+                    let t0 = Instant::now();
+                    log.bump_epoch();
+                    // A worker can die between publishing task T and
+                    // storing the token; re-derive the token from the
+                    // published prefix so T+1's owner is not stranded.
+                    let mut nc = next_commit.load(Ordering::Acquire);
+                    while nc < tasks_n && log.get(nc).is_some() {
+                        nc += 1;
+                    }
+                    next_commit.fetch_max(nc, Ordering::AcqRel);
+                    if fatal.is_some() {
+                        continue;
+                    }
+                    if budget == 0 {
+                        fatal = Some(RuntimeError::WorkerDied {
+                            proc: ev.worker,
+                            slot: ev.claimed,
+                            detail: format!("{}; respawn budget exhausted", halt.describe()),
+                        });
+                        ctl.abort();
+                        continue;
+                    }
+                    budget -= 1;
+                    // First unpublished task in the dead worker's stride
+                    // is where the respawn resumes.
+                    let mut resume = ev.worker;
+                    while resume < tasks_n && log.get(resume).is_some() {
+                        resume += workers;
+                    }
+                    let adopt = match ev.claimed {
+                        Some(slot) if slot == resume => {
+                            stats.adopted_slots += 1;
+                            Some(slot)
+                        }
+                        Some(slot) => {
+                            fatal = Some(RuntimeError::ProtocolBug(format!(
+                                "dead worker {} claimed slot {slot} but its first \
+                                 unpublished task is {resume}",
+                                ev.worker
+                            )));
+                            ctl.abort();
+                            continue;
+                        }
+                        None => None,
+                    };
+                    incarnations[ev.worker] += 1;
+                    spawn_worker(ev.worker, incarnations[ev.worker], resume, adopt);
+                    live += 1;
+                    stats.respawns += 1;
+                    stats.recovery_ns += t0.elapsed().as_nanos() as u64;
+                }
+            }
+        }
     });
     let wall_ns = start.elapsed().as_nanos() as u64;
-
-    let mut stats = ParStats {
-        wall_ns,
-        epoch: log.epoch(),
-        records: log.tail() as u64,
-        per_thread_commits: vec![0; workers],
-        ..ParStats::default()
-    };
-    for (w, ws) in worker_stats.into_iter().enumerate() {
-        stats.per_thread_commits[w] = ws.commits;
-        stats.fold(ws);
+    if let Some(err) = fatal {
+        return Err(err);
     }
+
+    stats.wall_ns = wall_ns;
+    stats.epoch = log.epoch();
+    stats.records = log.tail() as u64;
     stats.history = history_of(&log);
 
     let mut auditor = Auditor::new(format!("par/tls/{scheme:?}"), workers, Some(cfg.seed));
@@ -134,12 +252,12 @@ pub fn run_par_tls(
         }
     }
     checks += 1;
-    if log.tail() != tasks {
+    if log.tail() != tasks_n {
         auditor.record(
             InvariantKind::TokenProtocol,
             0,
             log.tail() as u64,
-            format!("{} of {tasks} tasks committed", log.tail()),
+            format!("{} of {tasks_n} tasks committed", log.tail()),
         );
     }
     stats.audit_checks += checks;
@@ -149,6 +267,8 @@ pub fn run_par_tls(
 
 struct TlsWorker {
     worker: usize,
+    /// Pool size: the stride between this worker's tasks.
+    stride: usize,
     use_sigs: bool,
     scheme: TlsScheme,
     sig_config: Arc<SignatureConfig>,
@@ -156,6 +276,7 @@ struct TlsWorker {
     compute_ns_per_kcycle: u64,
     stress: Option<crate::config::StressConfig>,
     rng: SmallRng,
+    chaos: WorkerChaos,
 
     r_sig: Signature,
     w_sig: Signature,
@@ -166,20 +287,31 @@ struct TlsWorker {
     restart_streak: u32,
     pending_dwell_ns: u64,
 
+    /// Task slot claimed (or adopted) whose record is unpublished.
+    claimed_unpublished: Option<usize>,
+    /// A slot the dead predecessor incarnation already claimed; this
+    /// incarnation publishes into it without re-claiming.
+    adopt: Option<usize>,
+
     stats: WorkerStats,
 }
 
 impl TlsWorker {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         worker: usize,
+        stride: usize,
         use_sigs: bool,
         scheme: TlsScheme,
         sig_config: Arc<SignatureConfig>,
         line_bytes: u32,
         cfg: &ParConfig,
+        chaos: WorkerChaos,
+        adopt: Option<usize>,
     ) -> Self {
         TlsWorker {
             worker,
+            stride,
             use_sigs,
             scheme,
             r_sig: Signature::with_shared(sig_config.clone()),
@@ -189,14 +321,36 @@ impl TlsWorker {
             compute_ns_per_kcycle: cfg.compute_ns_per_kcycle,
             stress: cfg.stress,
             rng: SmallRng::seed_from_u64(cfg.seed ^ (0xd1b5_4a32_d192_ed03u64 ^ worker as u64)),
+            chaos,
             exact_r: HashSet::new(),
             exact_w: HashSet::new(),
             cursor: 0,
             dedup: DedupFilter::new(),
             restart_streak: 0,
             pending_dwell_ns: 0,
+            claimed_unpublished: None,
+            adopt,
             stats: WorkerStats::default(),
         }
+    }
+
+    /// Runs this worker's stride of tasks, starting at `start` (the
+    /// first task for a fresh spawn; the first unpublished task for a
+    /// respawned incarnation).
+    fn run(
+        &mut self,
+        tasks: &[bulk_trace::TaskTrace],
+        start: usize,
+        log: &BusLog,
+        next_commit: &AtomicUsize,
+        ctl: &RunControl,
+    ) -> Result<(), Halt> {
+        let mut i = start;
+        while i < tasks.len() {
+            self.run_task(i, &tasks[i].ops, log, next_commit, ctl)?;
+            i += self.stride;
+        }
+        Ok(())
     }
 
     fn run_task(
@@ -205,12 +359,12 @@ impl TlsWorker {
         ops: &[TlsOp],
         log: &BusLog,
         next_commit: &AtomicUsize,
-        poisoned: &AtomicBool,
-    ) {
+        ctl: &RunControl,
+    ) -> Result<(), Halt> {
         'attempt: loop {
             self.clear_speculative_state();
             for op in ops {
-                if self.poll(log, poisoned) {
+                if self.poll(log, ctl)? {
                     self.restart(task);
                     continue 'attempt;
                 }
@@ -237,15 +391,18 @@ impl TlsWorker {
             // Wait for the in-order commit token, still vulnerable to
             // predecessor commits while waiting.
             loop {
-                if self.poll(log, poisoned) {
+                if self.poll(log, ctl)? {
                     self.restart(task);
                     continue 'attempt;
                 }
                 if next_commit.load(Ordering::Acquire) == task {
                     break;
                 }
-                if poisoned.load(Ordering::Acquire) {
-                    panic!("peer worker died; aborting");
+                if ctl.aborted() {
+                    return Err(Halt::Aborted);
+                }
+                if let Some(v) = ctl.check_stall(Some(self.worker)) {
+                    return Err(Halt::Stalled(v));
                 }
                 std::hint::spin_loop();
                 std::thread::yield_now();
@@ -253,13 +410,36 @@ impl TlsWorker {
             // Drain anything committed between the token check and now:
             // the token is ours, so after this poll the log is exactly
             // our `task` predecessors and can no longer grow under us.
-            if self.poll(log, poisoned) {
+            if self.poll(log, ctl)? {
                 self.restart(task);
                 continue 'attempt;
             }
-            assert_eq!(self.cursor, task, "commit token granted out of order");
-            let claimed = log.try_claim(task);
-            assert!(claimed, "task {task} lost an uncontended claim");
+            if self.cursor != task {
+                return Err(Halt::Bug(format!(
+                    "commit token granted out of order: validated {} records for task {task}",
+                    self.cursor
+                )));
+            }
+            if self.adopt == Some(task) {
+                // The dead incarnation already won this claim; publish
+                // into the orphaned slot instead of re-claiming.
+                self.adopt = None;
+            } else if !log.try_claim(task) {
+                return Err(Halt::Bug(format!("task {task} lost an uncontended claim")));
+            }
+            self.claimed_unpublished = Some(task);
+            match self.chaos.on_claim() {
+                Some(CrashPoint::Publish) => {
+                    let _ = self.stamp_ticket(log);
+                    return Err(Halt::Killed { point: CrashPoint::Publish });
+                }
+                Some(point) => return Err(Halt::Killed { point }),
+                None => {}
+            }
+            if let Some(d) = self.chaos.publish_delay() {
+                self.stats.delayed_publishes += 1;
+                std::thread::sleep(d);
+            }
             let ticket = self.stamp_ticket(log);
             let mut exact_w: Vec<LineAddr> = self.exact_w.iter().copied().collect();
             exact_w.sort_unstable();
@@ -282,7 +462,10 @@ impl TlsWorker {
                     exact_r,
                     validated_to: task,
                 },
-            );
+            )
+            .map_err(|e| Halt::Bug(e.to_string()))?;
+            self.claimed_unpublished = None;
+            ctl.progress();
             self.dedup.admit(ticket);
             self.dedup.record_application(ticket);
             self.cursor = task + 1;
@@ -290,30 +473,45 @@ impl TlsWorker {
             self.stats.commits += 1;
             self.restart_streak = 0;
             self.clear_speculative_state();
-            return;
+            return Ok(());
         }
     }
 
-    /// Applies predecessor commits; returns `true` when one of them hit
-    /// the running task's read set (RAW dependence — restart).
-    fn poll(&mut self, log: &BusLog, poisoned: &AtomicBool) -> bool {
+    /// Applies predecessor commits; returns `Ok(true)` when one of them
+    /// hit the running task's read set (RAW dependence — restart).
+    fn poll(&mut self, log: &BusLog, ctl: &RunControl) -> Result<bool, Halt> {
+        if let Some(d) = self.chaos.maybe_stall() {
+            self.stats.injected_stalls += 1;
+            std::thread::sleep(d);
+        }
         let mut restarted = false;
         let tail = log.tail();
         while self.cursor < tail {
+            if self.adopt == Some(self.cursor) {
+                // Our own adopted (still unpublished) slot: nothing to
+                // apply, and waiting on it would deadlock.
+                break;
+            }
             let rec = loop {
                 if let Some(r) = log.get(self.cursor) {
                     break r;
                 }
-                if poisoned.load(Ordering::Acquire) {
-                    panic!("peer worker died mid-publish; aborting");
+                if ctl.aborted() {
+                    return Err(Halt::Aborted);
+                }
+                if let Some(v) = ctl.check_stall(Some(self.worker)) {
+                    return Err(Halt::Stalled(v));
                 }
                 std::hint::spin_loop();
                 std::thread::yield_now();
             };
             self.apply(rec, &mut restarted);
             self.cursor += 1;
+            if self.chaos.on_apply() {
+                return Err(Halt::Killed { point: CrashPoint::Apply });
+            }
         }
-        restarted
+        Ok(restarted)
     }
 
     fn apply(&mut self, rec: &BusRecord, restarted: &mut bool) {
@@ -390,7 +588,8 @@ impl TlsWorker {
             }
         }
         // `(committer, serial)` must be globally unique: the worker index
-        // plus the task index (a task commits exactly once) is.
+        // plus the task index (a task commits exactly once, even across
+        // incarnations — an adopted slot's ticket was never published).
         CommitTicket { epoch: log.epoch(), committer: self.worker, serial: self.cursor as u64 }
     }
 
@@ -415,6 +614,7 @@ impl TlsWorker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bulk_chaos::KillSpec;
     use bulk_mem::Addr;
     use bulk_trace::TaskTrace;
 
@@ -483,5 +683,33 @@ mod tests {
         let wl = workload(vec![task(vec![TlsOp::Compute(10)])]);
         let err = run_par_tls(&wl, TlsScheme::Eager, &ParConfig::default()).unwrap_err();
         assert!(matches!(err, RuntimeError::UnsupportedScheme { .. }));
+    }
+
+    #[test]
+    fn a_killed_worker_adopts_its_claimed_slot_after_respawn() {
+        let wl = workload(
+            (0..8u32)
+                .map(|i| {
+                    task(vec![
+                        TlsOp::Read(Addr::new(0x1000 + i * 0x100)),
+                        TlsOp::Write(Addr::new(0x2000 + i * 0x100)),
+                    ])
+                })
+                .collect(),
+        );
+        let cfg = ParConfig {
+            kills: vec![KillSpec { proc: 1, point: CrashPoint::Publish, at: 0 }],
+            ..ParConfig::default()
+        };
+        let s = run_par_tls(&wl, TlsScheme::Bulk, &cfg).unwrap();
+        assert_eq!(s.commits, 8, "every task still commits in order");
+        assert_eq!(s.worker_crashes, 1);
+        assert_eq!(s.respawns, 1);
+        assert_eq!(s.adopted_slots, 1, "the orphaned claim was adopted");
+        assert_eq!(s.fences, 0, "TLS never fences: slot i must hold task i");
+        assert_eq!(s.duplicate_applications, 0);
+        assert!(s.violations.is_empty(), "{:?}", s.violations);
+        let order: Vec<u32> = s.history.iter().map(|e| e.thread).collect();
+        assert_eq!(order, (0..8).collect::<Vec<_>>());
     }
 }

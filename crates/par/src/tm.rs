@@ -21,25 +21,49 @@
 //!   lines squash exactly as in the sim.
 //!
 //! Termination is unconditional: the log holds exactly one record per
-//! outer transaction and non-transactional store, each record squashes
-//! each thread at most once (receivers apply exactly once — that's the
-//! dedup invariant), and every failed commit CAS implies another
-//! thread's commit was published. Squashes are therefore bounded by
-//! `records × threads` and no livelock or escalation path is needed.
+//! outer transaction and non-transactional store (plus one fence per
+//! crash), each record squashes each thread at most once (receivers
+//! apply exactly once — that's the dedup invariant), and every failed
+//! commit CAS implies another thread's commit was published. Squashes
+//! are therefore bounded by `records × threads` and no livelock or
+//! escalation path is needed.
+//!
+//! # Fault model
+//!
+//! Workers die — injected kills from the chaos schedule, or genuine
+//! panics caught at the thread boundary. Death never aborts the run:
+//! each worker reports a typed [`Halt`] to a supervisor, which
+//!
+//! 1. *fences* the dead worker's claimed-but-unpublished bus slot with
+//!    a [`RecordKind::Fence`] tombstone (epoch-bumped, fresh ticket),
+//!    so the log stays dense and survivors stop spinning;
+//! 2. *verifies* the worker's last boundary checkpoint (the
+//!    `crates/live` crash-consistency proof) against the published log;
+//! 3. *respawns* the processor from that boundary, with a fresh
+//!    [`DedupFilter`] that replays the whole log — exactly-once `W_C`
+//!    application holds across the crash because replayed records are
+//!    admitted once per filter and the worker's own old records never
+//!    squash it.
+//!
+//! A hung (rather than dead) peer is caught by the wall-clock watchdog:
+//! every spin site checks the bound and turns a stall into a typed
+//! `LivenessViolation` carrying the replay seed.
 
 use crate::bus::{BusLog, BusRecord, RecordKind};
 use crate::config::ParConfig;
+use crate::recover::{panic_msg, Halt, RunControl};
 use crate::runtime::RuntimeError;
 use crate::stats::{audit_log, history_of, ParStats, WorkerStats};
-use bulk_chaos::{Auditor, InvariantKind};
-use bulk_live::{CommitTicket, DedupFilter};
+use bulk_chaos::{Auditor, CrashPoint, InvariantKind, ThreadChaos, WorkerChaos};
+use bulk_core::SpilledVersion;
+use bulk_live::{Checkpoint, CommitTicket, DedupFilter};
 use bulk_mem::LineAddr;
 use bulk_rng::{Rng, SeedableRng, SmallRng};
 use bulk_sig::{Signature, SignatureConfig};
 use bulk_tm::Scheme;
 use bulk_trace::{TmOp, TmWorkload};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -48,6 +72,34 @@ const MAX_DEPTH: usize = 8;
 /// Accumulated compute dwell is slept in chunks no smaller than this, so
 /// fine-grained `Compute` ops don't turn into sub-microsecond sleeps.
 const DWELL_FLUSH_NS: u64 = 50_000;
+/// Supervisor wake-up period while waiting for worker events, so the
+/// wall-clock watchdog is checked even when every worker is spinning.
+const SUPERVISE_TICK_MS: u64 = 50;
+
+/// What a finished (or dead) worker incarnation reports to the
+/// supervisor.
+struct TmEvent {
+    proc: usize,
+    outcome: Result<(), Halt>,
+    /// The bus slot held claimed-but-unpublished at death, if any.
+    claimed: Option<usize>,
+    /// Next unconsumed ticket serial (a `Publish`-point death consumed
+    /// `serial - 1` without publishing it).
+    serial: u64,
+    boundary: Boundary,
+    stats: WorkerStats,
+}
+
+/// A worker's last recovery point: the pc just past its most recent
+/// publish, the ordinals counted up to it, and the crash-consistency
+/// checkpoint proving its speculative state was clean there.
+#[derive(Debug, Clone)]
+struct Boundary {
+    pc: usize,
+    commit_ordinal: u64,
+    non_tx_ordinal: u64,
+    checkpoint: Checkpoint,
+}
 
 /// Runs `workload` under the parallel runtime and returns the folded
 /// statistics. Only the lazy-commit schemes are supported: `Bulk`
@@ -75,67 +127,182 @@ pub fn run_par_tm(
             .map_err(|e| RuntimeError::InvalidWorkload(format!("thread {i}: {e}")))?;
     }
 
+    let n = workload.threads.len();
     let sig_config = SignatureConfig::s14_tm().into_shared();
     let line_bytes = sig_config.line_bytes();
     let capacity: usize = workload.threads.iter().map(|t| broadcasts_of(&t.ops)).sum();
-    let log = BusLog::new(capacity.max(1));
-    let poisoned = AtomicBool::new(false);
+    let chaos = ThreadChaos::new(n, cfg.chaos.clone(), cfg.kills.clone());
+    // Every crash can orphan at most one claimed slot, which the
+    // supervisor fences; the log needs slack for those extra records.
+    let log = BusLog::new((capacity + chaos.crash_bound()).max(1));
+    let ctl = RunControl::new(format!("par/tm/{scheme}"), cfg.seed, cfg.stall_timeout_ms);
 
+    let mut stats = ParStats { per_thread_commits: vec![0; n], ..ParStats::default() };
+    let mut fatal: Option<RuntimeError> = None;
     let start = Instant::now();
-    let worker_stats: Vec<WorkerStats> = std::thread::scope(|s| {
-        let handles: Vec<_> = workload
-            .threads
-            .iter()
-            .enumerate()
-            .map(|(tid, trace)| {
-                let log = &log;
-                let poisoned = &poisoned;
-                let sig_config = sig_config.clone();
-                let ops = &trace.ops;
-                s.spawn(move || {
-                    let mut w = TmWorker::new(tid, scheme, sig_config, line_bytes, cfg);
-                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        w.run(ops, log, poisoned)
-                    }));
-                    if r.is_err() {
-                        // Unblock peers spinning on records this thread
-                        // will never publish, then re-raise.
-                        poisoned.store(true, Ordering::Release);
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel::<TmEvent>();
+        let spawn_worker = |proc: usize, incarnation: u32, resume: Option<(Boundary, u64)>| {
+            let tx = tx.clone();
+            let sig_config = sig_config.clone();
+            let wchaos = chaos.worker(proc, incarnation);
+            let ops = &workload.threads[proc].ops;
+            let (log, ctl) = (&log, &ctl);
+            s.spawn(move || {
+                let mut w = TmWorker::new(proc, scheme, sig_config, line_bytes, cfg, wchaos);
+                if let Some((b, serial)) = resume {
+                    w.restore(b, serial);
+                }
+                let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    w.run(ops, log, ctl)
+                })) {
+                    Ok(r) => r,
+                    Err(p) => Err(Halt::Panicked(panic_msg(p))),
+                };
+                w.stats.dedup_drops = w.dedup.drops();
+                w.stats.duplicate_applications = w.dedup.duplicate_applications();
+                let _ = tx.send(TmEvent {
+                    proc,
+                    outcome,
+                    claimed: w.claimed_unpublished,
+                    serial: w.serial,
+                    boundary: w.boundary.clone(),
+                    stats: std::mem::take(&mut w.stats),
+                });
+            });
+        };
+        for tid in 0..n {
+            spawn_worker(tid, 0, None);
+        }
+
+        let mut live = n;
+        let mut budget = cfg.respawn_budget;
+        let mut incarnations = vec![0u32; n];
+        while live > 0 {
+            let ev = match rx.recv_timeout(std::time::Duration::from_millis(SUPERVISE_TICK_MS)) {
+                Ok(ev) => ev,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if fatal.is_none() {
+                        if let Some(v) = ctl.check_stall(None) {
+                            fatal = Some(RuntimeError::Liveness(v));
+                            ctl.abort();
+                        }
                     }
-                    r.map(|()| w.stats).unwrap_or_else(|p| std::panic::resume_unwind(p))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("par TM worker panicked")).collect()
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            };
+            live -= 1;
+            stats.fold(ev.stats);
+            match ev.outcome {
+                Ok(()) | Err(Halt::Aborted) => {}
+                Err(Halt::Stalled(v)) => {
+                    if fatal.is_none() {
+                        fatal = Some(RuntimeError::Liveness(v));
+                        ctl.abort();
+                    }
+                }
+                Err(Halt::Bug(m)) => {
+                    if fatal.is_none() {
+                        fatal = Some(RuntimeError::ProtocolBug(m));
+                        ctl.abort();
+                    }
+                }
+                Err(halt) => {
+                    // Killed or Panicked: fence, verify, respawn.
+                    debug_assert!(halt.is_crash());
+                    stats.worker_crashes += 1;
+                    let t0 = Instant::now();
+                    if let Some(slot) = ev.claimed {
+                        // The orphaned slot would hang every survivor's
+                        // wait_for; fence it *before* any budget check so
+                        // the log stays dense even when recovery stops.
+                        log.bump_epoch();
+                        let fence = BusRecord {
+                            ticket: CommitTicket {
+                                epoch: log.epoch(),
+                                committer: ev.proc,
+                                serial: ev.serial,
+                            },
+                            thread: ev.proc as u32,
+                            ordinal: 0,
+                            kind: RecordKind::Fence,
+                            w_sig: None,
+                            exact_w: Vec::new(),
+                            exact_r: Vec::new(),
+                            validated_to: slot,
+                        };
+                        if log.publish(slot, fence).is_err() {
+                            if fatal.is_none() {
+                                fatal = Some(RuntimeError::ProtocolBug(format!(
+                                    "fence for dead worker {} hit occupied slot {slot}",
+                                    ev.proc
+                                )));
+                                ctl.abort();
+                            }
+                        } else {
+                            stats.fences += 1;
+                            ctl.progress();
+                        }
+                    }
+                    if fatal.is_some() {
+                        continue;
+                    }
+                    if budget == 0 {
+                        fatal = Some(RuntimeError::WorkerDied {
+                            proc: ev.proc,
+                            slot: ev.claimed,
+                            detail: format!("{}; respawn budget exhausted", halt.describe()),
+                        });
+                        ctl.abort();
+                        continue;
+                    }
+                    budget -= 1;
+                    match verify_tm_resume(&log, ev.proc, &ev.boundary, &sig_config) {
+                        Ok(()) => {
+                            // The fence consumed `ev.serial`; the respawn
+                            // starts past it.
+                            let serial =
+                                if ev.claimed.is_some() { ev.serial + 1 } else { ev.serial };
+                            incarnations[ev.proc] += 1;
+                            spawn_worker(ev.proc, incarnations[ev.proc], Some((ev.boundary, serial)));
+                            live += 1;
+                            stats.respawns += 1;
+                        }
+                        Err(e) => {
+                            fatal = Some(e);
+                            ctl.abort();
+                        }
+                    }
+                    stats.recovery_ns += t0.elapsed().as_nanos() as u64;
+                }
+            }
+        }
     });
     let wall_ns = start.elapsed().as_nanos() as u64;
-
-    let mut stats = ParStats {
-        wall_ns,
-        epoch: log.epoch(),
-        records: log.tail() as u64,
-        per_thread_commits: vec![0; workload.threads.len()],
-        ..ParStats::default()
-    };
-    for w in worker_stats {
-        stats.fold(w);
+    if let Some(err) = fatal {
+        return Err(err);
     }
+
+    stats.wall_ns = wall_ns;
+    stats.epoch = log.epoch();
+    stats.records = log.tail() as u64;
     stats.history = history_of(&log);
     for ev in &stats.history {
         stats.per_thread_commits[ev.thread as usize] += 1;
     }
 
-    let mut auditor =
-        Auditor::new(format!("par/tm/{scheme}"), workload.threads.len(), Some(cfg.seed));
+    let mut auditor = Auditor::new(format!("par/tm/{scheme}"), n, Some(cfg.seed));
     let mut checks = 0;
     audit_log(&log, &mut auditor, &mut checks);
     checks += 1;
-    if log.tail() != capacity {
+    let expected = capacity as u64 + stats.fences;
+    if log.tail() as u64 != expected {
         auditor.record(
             InvariantKind::TokenProtocol,
             0,
             log.tail() as u64,
-            format!("bus log has {} records, workload implies {capacity}", log.tail()),
+            format!("bus log has {} records, workload implies {expected}", log.tail()),
         );
     }
     stats.audit_checks += checks;
@@ -143,8 +310,53 @@ pub fn run_par_tm(
     Ok(stats)
 }
 
+/// Pre-respawn verification: the dead worker's boundary checkpoint must
+/// prove a clean speculative state (the `crates/live` crash-consistency
+/// proof), and its ordinals must match what the worker actually
+/// published — the log is the ground truth a lying checkpoint can't
+/// survive.
+fn verify_tm_resume(
+    log: &BusLog,
+    proc: usize,
+    boundary: &Boundary,
+    sig_config: &Arc<SignatureConfig>,
+) -> Result<(), RuntimeError> {
+    let clean = SpilledVersion {
+        r: Signature::with_shared(sig_config.clone()),
+        w: Signature::with_shared(sig_config.clone()),
+        w_sh: None,
+        overflowed: false,
+    };
+    boundary.checkpoint.verify(&clean, &[]).map_err(|e| RuntimeError::WorkerDied {
+        proc,
+        slot: None,
+        detail: format!("checkpoint failed verification: {e}"),
+    })?;
+    let (mut commits, mut stores) = (0u64, 0u64);
+    for i in 0..log.tail() {
+        let Some(rec) = log.get(i) else { continue };
+        if rec.thread as usize != proc {
+            continue;
+        }
+        match rec.kind {
+            RecordKind::Commit => commits += 1,
+            RecordKind::NonTxStore => stores += 1,
+            RecordKind::Fence => {}
+        }
+    }
+    if commits != boundary.commit_ordinal || stores != boundary.non_tx_ordinal {
+        return Err(RuntimeError::ProtocolBug(format!(
+            "worker {proc} checkpoint is at {}/{} commits/stores but the log holds \
+             {commits}/{stores}",
+            boundary.commit_ordinal, boundary.non_tx_ordinal
+        )));
+    }
+    Ok(())
+}
+
 /// Number of bus broadcasts `ops` will publish: one per outer `End`,
-/// one per non-transactional `Write`. Exact, so the log never grows.
+/// one per non-transactional `Write`. Exact, so the log only needs
+/// crash-fence slack beyond it.
 fn broadcasts_of(ops: &[TmOp]) -> usize {
     let mut depth = 0usize;
     let mut n = 0usize;
@@ -172,6 +384,7 @@ struct TmWorker {
     compute_ns_per_kcycle: u64,
     stress: Option<crate::config::StressConfig>,
     rng: SmallRng,
+    chaos: WorkerChaos,
 
     pc: usize,
     depth: usize,
@@ -189,6 +402,11 @@ struct TmWorker {
     squash_streak: u32,
     pending_dwell_ns: u64,
 
+    /// Slot claimed via `try_claim` whose record is not yet published.
+    /// If the worker dies inside that window the supervisor fences it.
+    claimed_unpublished: Option<usize>,
+    boundary: Boundary,
+
     stats: WorkerStats,
 }
 
@@ -199,17 +417,35 @@ impl TmWorker {
         sig_config: Arc<SignatureConfig>,
         line_bytes: u32,
         cfg: &ParConfig,
+        chaos: WorkerChaos,
     ) -> Self {
+        let r_sig = Signature::with_shared(sig_config.clone());
+        let w_sig = Signature::with_shared(sig_config.clone());
+        let boundary = Boundary {
+            pc: 0,
+            commit_ordinal: 0,
+            non_tx_ordinal: 0,
+            checkpoint: Checkpoint::capture(
+                SpilledVersion {
+                    r: r_sig.clone(),
+                    w: w_sig.clone(),
+                    w_sh: None,
+                    overflowed: false,
+                },
+                Vec::new(),
+            ),
+        };
         TmWorker {
             tid,
             scheme,
-            r_sig: Signature::with_shared(sig_config.clone()),
-            w_sig: Signature::with_shared(sig_config.clone()),
+            r_sig,
+            w_sig,
             sig_config,
             line_bytes,
             compute_ns_per_kcycle: cfg.compute_ns_per_kcycle,
             stress: cfg.stress,
             rng: SmallRng::seed_from_u64(cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64 ^ tid as u64)),
+            chaos,
             pc: 0,
             depth: 0,
             tx_start_pc: 0,
@@ -222,13 +458,31 @@ impl TmWorker {
             non_tx_ordinal: 0,
             squash_streak: 0,
             pending_dwell_ns: 0,
+            claimed_unpublished: None,
+            boundary,
             stats: WorkerStats::default(),
         }
     }
 
-    fn run(&mut self, ops: &[TmOp], log: &BusLog, poisoned: &AtomicBool) {
+    /// Resumes a respawned incarnation from the dead worker's boundary.
+    /// The cursor stays 0 and the dedup filter is fresh: the new
+    /// incarnation replays the entire log, admitting each record exactly
+    /// once, before re-executing from the boundary pc.
+    fn restore(&mut self, b: Boundary, serial: u64) {
+        self.pc = b.pc;
+        self.tx_start_pc = b.pc;
+        self.commit_ordinal = b.commit_ordinal;
+        self.non_tx_ordinal = b.non_tx_ordinal;
+        self.serial = serial;
+        self.boundary = b;
+    }
+
+    fn run(&mut self, ops: &[TmOp], log: &BusLog, ctl: &RunControl) -> Result<(), Halt> {
         while self.pc < ops.len() {
-            if self.poll(log, poisoned) {
+            if ctl.aborted() {
+                return Err(Halt::Aborted);
+            }
+            if self.poll(log, ctl)? {
                 self.backoff();
                 continue; // pc was reset to the transaction start
             }
@@ -248,8 +502,9 @@ impl TmWorker {
                         self.pc += 1;
                     } else {
                         self.flush_dwell();
-                        if self.commit(log, poisoned) {
+                        if self.commit(log, ctl)? {
                             self.pc += 1;
+                            self.note_boundary();
                         } else {
                             self.backoff(); // squashed at the commit point
                         }
@@ -274,8 +529,9 @@ impl TmWorker {
                         }
                         self.pc += 1;
                     } else {
-                        self.publish_non_tx_store(log, poisoned, line);
+                        self.publish_non_tx_store(log, ctl, line)?;
                         self.pc += 1;
+                        self.note_boundary();
                     }
                 }
                 TmOp::Compute(n) => {
@@ -285,17 +541,40 @@ impl TmWorker {
             }
         }
         self.flush_dwell();
-        self.stats.dedup_drops = self.dedup.drops();
-        self.stats.duplicate_applications = self.dedup.duplicate_applications();
+        Ok(())
     }
 
-    /// Applies every record published since the last poll. Returns `true`
-    /// if one of them squashed the running transaction (the worker's pc
-    /// is then already reset to the transaction start).
+    /// Snapshots the recovery point just past a publish: speculative
+    /// state is clean here, and the checkpoint proves it.
+    fn note_boundary(&mut self) {
+        self.boundary = Boundary {
+            pc: self.pc,
+            commit_ordinal: self.commit_ordinal,
+            non_tx_ordinal: self.non_tx_ordinal,
+            checkpoint: Checkpoint::capture(
+                SpilledVersion {
+                    r: self.r_sig.clone(),
+                    w: self.w_sig.clone(),
+                    w_sh: None,
+                    overflowed: false,
+                },
+                Vec::new(),
+            ),
+        };
+    }
+
+    /// Applies every record published since the last poll. Returns
+    /// `Ok(true)` if one of them squashed the running transaction (the
+    /// worker's pc is then already reset to the transaction start).
     ///
-    /// Waiting on a claimed-but-unpublished slot checks the poison flag,
-    /// so a panicking peer aborts the run instead of hanging it.
-    fn poll(&mut self, log: &BusLog, poisoned: &AtomicBool) -> bool {
+    /// Waiting on a claimed-but-unpublished slot checks the abort flag
+    /// and the wall-clock watchdog, so a dead or hung peer halts the
+    /// worker with a typed cause instead of hanging it.
+    fn poll(&mut self, log: &BusLog, ctl: &RunControl) -> Result<bool, Halt> {
+        if let Some(d) = self.chaos.maybe_stall() {
+            self.stats.injected_stalls += 1;
+            std::thread::sleep(d);
+        }
         let mut squashed = false;
         let tail = log.tail();
         while self.cursor < tail {
@@ -303,16 +582,22 @@ impl TmWorker {
                 if let Some(r) = log.get(self.cursor) {
                     break r;
                 }
-                if poisoned.load(Ordering::Acquire) {
-                    panic!("peer worker died mid-publish; aborting");
+                if ctl.aborted() {
+                    return Err(Halt::Aborted);
+                }
+                if let Some(v) = ctl.check_stall(Some(self.tid)) {
+                    return Err(Halt::Stalled(v));
                 }
                 std::hint::spin_loop();
                 std::thread::yield_now();
             };
             self.apply(rec, &mut squashed);
             self.cursor += 1;
+            if self.chaos.on_apply() {
+                return Err(Halt::Killed { point: CrashPoint::Apply });
+            }
         }
-        squashed
+        Ok(squashed)
     }
 
     fn apply(&mut self, rec: &BusRecord, squashed: &mut bool) {
@@ -397,17 +682,32 @@ impl TmWorker {
         }
     }
 
-    /// Validate-then-claim commit. Returns `false` if a record published
-    /// by a winner squashed this transaction instead.
-    fn commit(&mut self, log: &BusLog, poisoned: &AtomicBool) -> bool {
+    /// Validate-then-claim commit. Returns `Ok(false)` if a record
+    /// published by a winner squashed this transaction instead.
+    fn commit(&mut self, log: &BusLog, ctl: &RunControl) -> Result<bool, Halt> {
         loop {
-            if self.poll(log, poisoned) {
-                return false;
+            if self.poll(log, ctl)? {
+                return Ok(false);
             }
             let seen = self.cursor;
             if !log.try_claim(seen) {
                 self.stats.claim_retries += 1;
                 continue;
+            }
+            self.claimed_unpublished = Some(seen);
+            match self.chaos.on_claim() {
+                Some(CrashPoint::Publish) => {
+                    // The nastiest window: a serial is consumed but its
+                    // record never reaches the log.
+                    let _ = self.stamp_ticket(log);
+                    return Err(Halt::Killed { point: CrashPoint::Publish });
+                }
+                Some(point) => return Err(Halt::Killed { point }),
+                None => {}
+            }
+            if let Some(d) = self.chaos.publish_delay() {
+                self.stats.delayed_publishes += 1;
+                std::thread::sleep(d);
             }
             let ticket = self.stamp_ticket(log);
             let mut exact_w: Vec<LineAddr> = self.exact_w.iter().copied().collect();
@@ -431,7 +731,10 @@ impl TmWorker {
                     exact_r,
                     validated_to: seen,
                 },
-            );
+            )
+            .map_err(|e| Halt::Bug(e.to_string()))?;
+            self.claimed_unpublished = None;
+            ctl.progress();
             // Account the own broadcast in the dedup filter so every
             // receiver (including self) tracks every record uniformly.
             self.dedup.admit(ticket);
@@ -441,20 +744,38 @@ impl TmWorker {
             self.stats.commits += 1;
             self.squash_streak = 0;
             self.clear_speculative_state();
-            return true;
+            return Ok(true);
         }
     }
 
     /// A non-transactional store: ordered on the log like a commit (so
     /// speculative readers squash on it), but never squashable itself.
-    fn publish_non_tx_store(&mut self, log: &BusLog, poisoned: &AtomicBool, line: LineAddr) {
+    fn publish_non_tx_store(
+        &mut self,
+        log: &BusLog,
+        ctl: &RunControl,
+        line: LineAddr,
+    ) -> Result<(), Halt> {
         loop {
             // Not in a transaction, so poll can't squash us.
-            self.poll(log, poisoned);
+            self.poll(log, ctl)?;
             let seen = self.cursor;
             if !log.try_claim(seen) {
                 self.stats.claim_retries += 1;
                 continue;
+            }
+            self.claimed_unpublished = Some(seen);
+            match self.chaos.on_claim() {
+                Some(CrashPoint::Publish) => {
+                    let _ = self.stamp_ticket(log);
+                    return Err(Halt::Killed { point: CrashPoint::Publish });
+                }
+                Some(point) => return Err(Halt::Killed { point }),
+                None => {}
+            }
+            if let Some(d) = self.chaos.publish_delay() {
+                self.stats.delayed_publishes += 1;
+                std::thread::sleep(d);
             }
             let ticket = self.stamp_ticket(log);
             let w_sig = self.scheme.uses_signatures().then(|| {
@@ -474,13 +795,16 @@ impl TmWorker {
                     exact_r: Vec::new(),
                     validated_to: seen,
                 },
-            );
+            )
+            .map_err(|e| Halt::Bug(e.to_string()))?;
+            self.claimed_unpublished = None;
+            ctl.progress();
             self.dedup.admit(ticket);
             self.dedup.record_application(ticket);
             self.cursor = seen + 1;
             self.non_tx_ordinal += 1;
             self.stats.non_tx_stores += 1;
-            return;
+            return Ok(());
         }
     }
 
@@ -517,6 +841,7 @@ impl TmWorker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bulk_chaos::KillSpec;
     use bulk_mem::Addr;
     use bulk_trace::ThreadTrace;
 
@@ -562,6 +887,7 @@ mod tests {
         assert!(s.violations.is_empty(), "{:?}", s.violations);
         assert_eq!(s.duplicate_applications, 0);
         assert_eq!(s.per_thread_commits, vec![1, 1]);
+        assert_eq!(s.worker_crashes, 0);
     }
 
     #[test]
@@ -634,5 +960,45 @@ mod tests {
         }
         assert_eq!(per_thread[0], vec![0, 1]);
         assert_eq!(per_thread[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn a_publish_point_kill_is_fenced_and_recovered() {
+        let wl = workload(vec![
+            [tx(&[(true, 0x1000)]), tx(&[(true, 0x1040)])].concat(),
+            [tx(&[(true, 0x8000)]), tx(&[(true, 0x8040)])].concat(),
+        ]);
+        let cfg = ParConfig {
+            kills: vec![KillSpec { proc: 0, point: CrashPoint::Publish, at: 0 }],
+            ..ParConfig::default()
+        };
+        let s = run_par_tm(&wl, Scheme::Bulk, &cfg).unwrap();
+        assert_eq!(s.commits, 4, "every transaction still commits");
+        assert_eq!(s.worker_crashes, 1);
+        assert_eq!(s.respawns, 1);
+        assert_eq!(s.fences, 1, "the orphaned slot was fenced");
+        assert_eq!(s.records as u64, 4 + s.fences, "log stays dense");
+        assert_eq!(s.duplicate_applications, 0, "exactly-once survives the crash");
+        assert!(s.violations.is_empty(), "{:?}", s.violations);
+        assert_eq!(s.per_thread_commits, vec![2, 2]);
+    }
+
+    #[test]
+    fn a_zero_respawn_budget_makes_death_fatal_and_typed() {
+        let wl = workload(vec![tx(&[(true, 0x1000)]), tx(&[(true, 0x8000)])]);
+        let cfg = ParConfig {
+            kills: vec![KillSpec { proc: 1, point: CrashPoint::Claim, at: 0 }],
+            respawn_budget: 0,
+            ..ParConfig::default()
+        };
+        let err = run_par_tm(&wl, Scheme::Bulk, &cfg).unwrap_err();
+        match err {
+            RuntimeError::WorkerDied { proc, slot, detail } => {
+                assert_eq!(proc, 1);
+                assert!(slot.is_some(), "claim-point death orphans a slot");
+                assert!(detail.contains("respawn budget exhausted"), "{detail}");
+            }
+            other => panic!("expected WorkerDied, got: {other}"),
+        }
     }
 }

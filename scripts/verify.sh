@@ -47,6 +47,19 @@ for seed in 1 2 3; do
 done
 echo "chaos smoke: OK"
 
+# Parallel-runtime crash smoke: --chaos under --runtime par arms the
+# real-thread fault preset (seeded worker kills at commit-protocol
+# points, injected stalls, delayed publishes). The supervisor must
+# fence/adopt the orphaned slot, respawn from the last checkpoint and
+# finish auditor-clean; any duplicate application or violation is a
+# nonzero exit.
+echo "== par crash smoke ($BULK, 2 seeds x 2 machines)"
+for seed in 1 2; do
+  "$BULK" tm  --app mc   --scheme bulk --seed "$seed" --txs 8   --runtime par --chaos > /dev/null
+  "$BULK" tls --app gzip --scheme lazy --seed "$seed" --tasks 24 --runtime par --chaos > /dev/null
+done
+echo "par crash smoke: OK"
+
 # Trace determinism smoke: two same-seed runs per machine must export
 # byte-identical Chrome trace-event JSON (cycle accounting runs inside
 # each, so a conservation violation also fails here via the auditor).
