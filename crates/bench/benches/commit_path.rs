@@ -112,7 +112,7 @@ fn bench_expansion(suite: &mut BenchSuite) {
             .filter(|e| write_set(22).iter().any(|a| a.line(64) == e.addr))
             .count() as u64,
     );
-    suite.set_metrics(&reg);
+    suite.set_metrics("sim", 0, &reg);
 }
 
 fn main() {

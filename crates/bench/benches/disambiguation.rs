@@ -52,6 +52,6 @@ fn main() {
             verdicts.record(r_sig.contains_addr(*a), exact.contains(&a.line(64)));
         }
     }
-    suite.set_metrics(&reg);
+    suite.set_metrics("sim", 0, &reg);
     suite.finish();
 }

@@ -86,7 +86,7 @@ fn bench_par_crash_recovery(suite: &mut BenchSuite) {
 /// overshoot and the cycle-accounting breakdown next to the timings.
 fn collect_metrics(suite: &mut BenchSuite) {
     let obs = bulk_bench::scenario_metrics();
-    suite.set_metrics(obs.registry());
+    suite.set_metrics("sim", 42, obs.registry());
 }
 
 fn main() {

@@ -114,7 +114,7 @@ fn collect_metrics(suite: &mut BenchSuite) {
             }
         }
     }
-    suite.set_metrics(&reg);
+    suite.set_metrics("sim", 0, &reg);
 }
 
 fn main() {

@@ -46,7 +46,7 @@ pub fn scenario_metrics() -> Arc<Obs> {
 pub fn write_summary(name: &'static str) {
     let obs = scenario_metrics();
     let mut suite = BenchSuite::named(name);
-    suite.set_metrics(obs.registry());
+    suite.set_metrics("sim", 42, obs.registry());
     suite.finish();
 }
 
@@ -74,7 +74,7 @@ mod tests {
     fn summary_json_embeds_the_metrics_block() {
         let obs = scenario_metrics();
         let mut suite = BenchSuite::named("summary_selftest");
-        suite.set_metrics(obs.registry());
+        suite.set_metrics("sim", 42, obs.registry());
         let json = suite.to_json();
         assert!(json.contains("\"tm.cycles.total\""));
         assert!(json.contains("\"tls.cycles.useful\""));

@@ -53,7 +53,15 @@ pub struct BenchSuite {
     name: &'static str,
     filters: Vec<String>,
     results: Vec<BenchResult>,
-    metrics: Option<String>,
+    metrics: Option<MetricsBlock>,
+}
+
+/// The self-describing metrics attachment: which substrate produced the
+/// numbers, under which seed, and the registry snapshot itself.
+struct MetricsBlock {
+    runtime: String,
+    seed: u64,
+    json: String,
 }
 
 impl BenchSuite {
@@ -75,12 +83,18 @@ impl BenchSuite {
     }
 
     /// Attaches a metrics registry snapshot to the suite: its contents are
-    /// embedded as a `"metrics"` object in `BENCH_<suite>.json`. Bench
+    /// embedded as a `"metrics"` object in `BENCH_<suite>.json`, and the
+    /// file gains top-level `"runtime"` and `"seed"` keys so every metrics
+    /// artifact — bench or CLI — is self-describing the same way. Bench
     /// targets run one small instrumented scenario (untimed) so every
     /// results file carries the observability counters alongside the
     /// timings.
-    pub fn set_metrics(&mut self, registry: &bulk_obs::Registry) {
-        self.metrics = Some(registry.to_json_indented("  "));
+    pub fn set_metrics(&mut self, runtime: &str, seed: u64, registry: &bulk_obs::Registry) {
+        self.metrics = Some(MetricsBlock {
+            runtime: runtime.to_string(),
+            seed,
+            json: registry.to_json_indented("  "),
+        });
     }
 
     fn selected(&self, group: &str, id: &str) -> bool {
@@ -179,6 +193,10 @@ impl BenchSuite {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"suite\": \"{}\",\n", self.name));
+        if let Some(m) = &self.metrics {
+            out.push_str(&format!("  \"runtime\": \"{}\",\n", escape(&m.runtime)));
+            out.push_str(&format!("  \"seed\": {},\n", m.seed));
+        }
         out.push_str(&format!("  \"samples_per_bench\": {SAMPLES},\n"));
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
@@ -196,7 +214,7 @@ impl BenchSuite {
         }
         out.push_str("  ],\n");
         match &self.metrics {
-            Some(m) => out.push_str(&format!("  \"metrics\": {m}\n")),
+            Some(m) => out.push_str(&format!("  \"metrics\": {}\n", m.json)),
             None => out.push_str("  \"metrics\": null\n"),
         }
         out.push_str("}\n");
@@ -306,10 +324,14 @@ mod tests {
         assert!(suite.to_json().contains("\"metrics\": null"));
         let reg = bulk_obs::Registry::new();
         reg.counter("bench.scenario.squashes").add(7);
-        suite.set_metrics(&reg);
+        suite.set_metrics("sim", 42, &reg);
         let json = suite.to_json();
         assert!(json.contains("\"metrics\": {"));
         assert!(json.contains("\"bench.scenario.squashes\": 7"));
         assert!(!json.contains("\"metrics\": null"));
+        // The file is self-describing: substrate and seed ride along as
+        // top-level keys, matching the CLI's --metrics-out wrapper.
+        assert!(json.contains("\"runtime\": \"sim\""));
+        assert!(json.contains("\"seed\": 42"));
     }
 }

@@ -1,0 +1,473 @@
+//! The daemon itself: TCP ingest of line-delimited job specs, per-job
+//! JSONL event streaming, a supervisor that reaps stalled runs, and
+//! graceful shutdown.
+//!
+//! Wire protocol (ingest socket, one JSON object per line):
+//!
+//! - a job spec (`{"machine": "tm", "app": "counter-hot", ...}`) is
+//!   answered with an `{"accepted": ...}` line, then the run's event
+//!   JSONL streamed live, a `{"trailer": ...}` accounting line, and one
+//!   `{"done": ...}` line with the outcome;
+//! - a control line (`{"cmd": "ping"|"status"|"shutdown"}`) is answered
+//!   with a single JSON line;
+//! - a malformed line is answered with `{"error": "..."}` and the
+//!   connection stays usable.
+//!
+//! Jobs from different connections run concurrently (bounded by the
+//! worker-slot pool); one connection processes its lines in order.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use bulk_obs::Registry;
+use bulk_trace::jobspec::{FlatValue, JobSpec};
+
+use crate::job::{JobState, JobTable};
+
+/// How the daemon listens and bounds its work.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Ingest address (`host:port`; port 0 picks a free port).
+    pub listen: String,
+    /// HTTP `/metrics` address (`host:port`; port 0 picks a free port).
+    pub http: String,
+    /// Maximum concurrently-running jobs; later jobs queue.
+    pub max_jobs: usize,
+    /// Wall-clock budget (ms) for jobs whose spec names none; 0 disables
+    /// the watchdog.
+    pub default_timeout_ms: u64,
+    /// Per-job event-ring capacity (events retained for streaming).
+    pub event_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            listen: "127.0.0.1:0".to_string(),
+            http: "127.0.0.1:0".to_string(),
+            max_jobs: 8,
+            default_timeout_ms: 30_000,
+            event_capacity: bulk_obs::DEFAULT_EVENT_CAPACITY,
+        }
+    }
+}
+
+/// State shared by every daemon thread.
+pub(crate) struct Shared {
+    pub(crate) table: JobTable,
+    /// Daemon-level metrics (connections, scrapes, job counts), exposed
+    /// unlabelled on `/metrics` alongside the labelled per-job scopes.
+    pub(crate) registry: Registry,
+    pub(crate) shutdown: AtomicBool,
+    /// Bound listener addresses, kept so `begin_shutdown` can poke the
+    /// accept loops awake from any thread (including a connection
+    /// handler serving `{"cmd": "shutdown"}`).
+    ingest_addr: std::net::SocketAddr,
+    http_addr: std::net::SocketAddr,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Sets the shutdown flag, cancels every non-terminal job, and wakes
+    /// both accept loops (they block in `accept`; a throwaway connection
+    /// lets them observe the flag and exit). Idempotent.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.table.cancel_all();
+        let _ = TcpStream::connect(self.ingest_addr);
+        let _ = TcpStream::connect(self.http_addr);
+    }
+}
+
+/// A running daemon: bound addresses plus shutdown/join handles.
+pub struct DaemonHandle {
+    ingest_addr: std::net::SocketAddr,
+    http_addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl DaemonHandle {
+    /// The bound ingest address (job submission socket).
+    pub fn ingest_addr(&self) -> std::net::SocketAddr {
+        self.ingest_addr
+    }
+
+    /// The bound HTTP address (`GET /metrics`).
+    pub fn http_addr(&self) -> std::net::SocketAddr {
+        self.http_addr
+    }
+
+    /// Initiates graceful shutdown: cancels every non-terminal job and
+    /// wakes the accept loops. Idempotent; does not block.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until every daemon thread (accept loops, supervisor,
+    /// connection handlers, job workers) has exited. Call
+    /// [`DaemonHandle::shutdown`] first, or this waits forever.
+    pub fn wait(&self) {
+        loop {
+            let handle = self.threads.lock().expect("thread list poisoned").pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+fn track(handle: &DaemonHandle, h: JoinHandle<()>) {
+    handle.threads.lock().expect("thread list poisoned").push(h);
+}
+
+/// Binds both listeners, starts the accept loops and the stall
+/// supervisor, and returns immediately.
+///
+/// # Errors
+///
+/// Returns the bind error if either address is unusable.
+pub fn spawn(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
+    let ingest = TcpListener::bind(&cfg.listen)?;
+    let http = TcpListener::bind(&cfg.http)?;
+    let ingest_addr = ingest.local_addr()?;
+    let http_addr = http.local_addr()?;
+    let shared = Arc::new(Shared {
+        table: JobTable::new(cfg.max_jobs, cfg.default_timeout_ms, cfg.event_capacity),
+        registry: Registry::new(),
+        shutdown: AtomicBool::new(false),
+        ingest_addr,
+        http_addr,
+    });
+    let handle = DaemonHandle {
+        ingest_addr,
+        http_addr,
+        shared: Arc::clone(&shared),
+        threads: Mutex::new(Vec::new()),
+    };
+
+    // Ingest accept loop: one handler thread per connection.
+    {
+        let shared = Arc::clone(&shared);
+        let h = thread::Builder::new().name("bulkd-ingest".into()).spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            for stream in ingest.incoming() {
+                if shared.shutting_down() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let shared = Arc::clone(&shared);
+                if let Ok(h) = thread::Builder::new()
+                    .name("bulkd-conn".into())
+                    .spawn(move || handle_ingest(stream, &shared))
+                {
+                    conns.push(h);
+                }
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        })?;
+        track(&handle, h);
+    }
+
+    // HTTP accept loop: scrapes are short-lived, handled inline per
+    // connection thread.
+    {
+        let shared = Arc::clone(&shared);
+        let h = thread::Builder::new().name("bulkd-http".into()).spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            for stream in http.incoming() {
+                if shared.shutting_down() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let shared = Arc::clone(&shared);
+                if let Ok(h) = thread::Builder::new()
+                    .name("bulkd-scrape".into())
+                    .spawn(move || crate::http::handle(stream, &shared))
+                {
+                    conns.push(h);
+                }
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        })?;
+        track(&handle, h);
+    }
+
+    // Supervisor: turns hung runs into typed `job-timeout` failures so
+    // one wedged worker can never wedge the daemon.
+    {
+        let shared = Arc::clone(&shared);
+        let h = thread::Builder::new().name("bulkd-reaper".into()).spawn(move || {
+            while !shared.shutting_down() {
+                let reaped = shared.table.reap_stalled();
+                if reaped > 0 {
+                    shared.registry.counter("bulkd.jobs_reaped").add(reaped as u64);
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+        })?;
+        track(&handle, h);
+    }
+
+    Ok(handle)
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One ingest connection: reads JSON lines, answers each in order.
+fn handle_ingest(stream: TcpStream, shared: &Arc<Shared>) {
+    shared.registry.counter("bulkd.connections").add(1);
+    // A short read timeout lets the handler notice shutdown even while
+    // the client is idle, so `wait()` never hangs on an open connection.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match read_line_interruptible(&mut reader, &mut line, shared) {
+            ReadOutcome::Line => {}
+            ReadOutcome::Eof | ReadOutcome::Shutdown => break,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response_ended = handle_line(trimmed, &mut writer, shared);
+        if response_ended {
+            break;
+        }
+    }
+}
+
+enum ReadOutcome {
+    Line,
+    Eof,
+    Shutdown,
+}
+
+/// `read_line` that returns [`ReadOutcome::Shutdown`] instead of
+/// blocking forever once the daemon is stopping.
+fn read_line_interruptible(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    shared: &Shared,
+) -> ReadOutcome {
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return ReadOutcome::Eof,
+            Ok(_) if line.ends_with('\n') => return ReadOutcome::Line,
+            Ok(_) => {
+                // Partial line (timeout mid-line); keep accumulating.
+                if shared.shutting_down() {
+                    return ReadOutcome::Shutdown;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down() {
+                    return ReadOutcome::Shutdown;
+                }
+            }
+            Err(_) => return ReadOutcome::Eof,
+        }
+    }
+}
+
+/// Dispatches one line; returns `true` when the connection should close
+/// (shutdown command or write failure).
+fn handle_line(line: &str, writer: &mut TcpStream, shared: &Arc<Shared>) -> bool {
+    // Control lines are flat objects with a `cmd` key; everything else
+    // is treated as a job spec.
+    if let Ok(pairs) = bulk_trace::jobspec::parse_flat_object(line) {
+        if let Some((_, FlatValue::Str(cmd))) = pairs.iter().find(|(k, _)| k == "cmd") {
+            return handle_control(cmd, writer, shared);
+        }
+    }
+    let spec = match JobSpec::parse(line) {
+        Ok(s) => s,
+        Err(e) => {
+            return write_line(writer, &format!("{{\"error\": \"{}\"}}", json_escape(&e.to_string())));
+        }
+    };
+    if shared.shutting_down() {
+        return write_line(writer, "{\"error\": \"daemon is shutting down\"}");
+    }
+    let id = match shared.table.submit(spec) {
+        Ok(id) => id,
+        Err(e) => {
+            return write_line(writer, &format!("{{\"error\": \"{}\"}}", json_escape(&e)));
+        }
+    };
+    shared.registry.counter("bulkd.jobs_submitted").add(1);
+    let echo = shared
+        .table
+        .snapshot()
+        .into_iter()
+        .find(|s| s.id == id)
+        .map(|s| s.spec.to_json_line())
+        .unwrap_or_else(|| "{}".to_string());
+    if write_line(
+        writer,
+        &format!("{{\"accepted\": true, \"job\": \"{}\", \"spec\": {}}}", json_escape(&id), echo),
+    ) {
+        return true;
+    }
+    // Run on a worker thread so the handler can stream events while the
+    // job executes.
+    {
+        let shared = Arc::clone(shared);
+        let worker_id = id.clone();
+        let _ = thread::Builder::new()
+            .name(format!("bulkd-job-{worker_id}"))
+            .spawn(move || shared.table.run(&worker_id));
+    }
+    stream_job(&id, writer, shared)
+}
+
+/// Streams a job's event JSONL until it reaches a terminal state, then
+/// writes the trailer and done lines. Returns `true` on write failure.
+fn stream_job(id: &str, writer: &mut TcpStream, shared: &Shared) -> bool {
+    let Some(obs) = shared.table.job_obs(id) else { return true };
+    let mut next_seq = 0u64;
+    let mut streamed = 0u64;
+    let flush_events = |writer: &mut TcpStream, next_seq: &mut u64, streamed: &mut u64| -> bool {
+        for e in obs.events().events_after(*next_seq) {
+            *next_seq = e.seq + 1;
+            *streamed += 1;
+            if write_line(writer, &e.to_json_line()) {
+                return true;
+            }
+        }
+        false
+    };
+    loop {
+        if flush_events(writer, &mut next_seq, &mut streamed) {
+            return true;
+        }
+        match shared.table.state(id) {
+            Some(st) if st.is_terminal() => break,
+            Some(_) => thread::sleep(Duration::from_millis(2)),
+            None => return true,
+        }
+    }
+    // Final drain: the run finished between the last poll and the state
+    // check; pick up whatever it recorded at the end.
+    if flush_events(writer, &mut next_seq, &mut streamed) {
+        return true;
+    }
+    obs.publish_stream_stats();
+    let dropped = obs.events().dropped();
+    if write_line(
+        writer,
+        &format!("{{\"trailer\": true, \"streamed\": {streamed}, \"dropped\": {dropped}}}"),
+    ) {
+        return true;
+    }
+    let Some(snap) = shared.table.snapshot().into_iter().find(|s| s.id == id) else {
+        return true;
+    };
+    let runtime = snap.spec.runtime.as_str();
+    let done_line = match &snap.state {
+        JobState::Done { commits, .. } => {
+            // The done line carries only deterministic fields (par-runtime
+            // squash counts vary between runs; commit counts do not), so
+            // identical spec+seed submissions stream byte-identically.
+            shared.registry.counter("bulkd.jobs_completed").add(1);
+            format!(
+                "{{\"done\": true, \"job\": \"{}\", \"status\": \"ok\", \"runtime\": \"{runtime}\", \"commits\": {commits}}}",
+                json_escape(id)
+            )
+        }
+        JobState::Failed { kind, detail } => {
+            shared.registry.counter("bulkd.jobs_failed").add(1);
+            format!(
+                "{{\"done\": true, \"job\": \"{}\", \"status\": \"error\", \"runtime\": \"{runtime}\", \"kind\": \"{}\", \"detail\": \"{}\"}}",
+                json_escape(id),
+                json_escape(kind),
+                json_escape(detail)
+            )
+        }
+        _ => return true,
+    };
+    write_line(writer, &done_line)
+}
+
+/// Answers one control command. Returns `true` when the connection
+/// should close.
+fn handle_control(cmd: &str, writer: &mut TcpStream, shared: &Arc<Shared>) -> bool {
+    match cmd {
+        "ping" => write_line(writer, "{\"ok\": true}"),
+        "status" => {
+            let snaps = shared.table.snapshot();
+            let jobs: Vec<String> = snaps
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"job\": \"{}\", \"state\": \"{}\", \"machine\": \"{}\", \"scheme\": \"{}\", \"runtime\": \"{}\", \"seed\": {}}}",
+                        json_escape(&s.id),
+                        s.state.as_str(),
+                        s.spec.machine.as_str(),
+                        json_escape(&s.spec.scheme),
+                        s.spec.runtime.as_str(),
+                        s.spec.seed
+                    )
+                })
+                .collect();
+            write_line(writer, &format!("{{\"jobs\": [{}]}}", jobs.join(", ")))
+        }
+        "shutdown" => {
+            let _ = write_line(writer, "{\"ok\": true, \"shutting_down\": true}");
+            shared.begin_shutdown();
+            true
+        }
+        other => write_line(
+            writer,
+            &format!("{{\"error\": \"unknown command `{}`\"}}", json_escape(other)),
+        ),
+    }
+}
+
+/// Writes one line and flushes. Returns `true` on failure (caller drops
+/// the connection).
+fn write_line(writer: &mut TcpStream, line: &str) -> bool {
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .is_err()
+}

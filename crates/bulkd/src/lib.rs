@@ -1,0 +1,34 @@
+//! `bulkd` — the live telemetry daemon for the Bulk reproduction.
+//!
+//! The simulator and the parallel runtime produce rich observability
+//! (counters, histograms, typed event streams), but until now only as
+//! post-hoc files. This crate serves them live:
+//!
+//! - **Streaming ingest** ([`daemon`]): a TCP socket accepting
+//!   line-delimited JSON job specs ([`bulk_trace::jobspec`]); each
+//!   accepted job streams its event JSONL back on the same connection as
+//!   the run executes.
+//! - **Multiplexed runs** ([`job`]): a bounded worker pool runs TM and
+//!   TLS jobs concurrently — simulator or real-thread runtime per the
+//!   spec — each with its own isolated [`bulk_obs::Obs`] bundle, so
+//!   per-seed streams stay byte-deterministic under concurrency.
+//! - **Prometheus `/metrics`** ([`http`]): a hand-rolled HTTP/1.1
+//!   endpoint exposing every job's registry in text exposition format
+//!   v0.0.4 with `job`/`machine`/`scheme`/`runtime` labels
+//!   ([`bulk_obs::prometheus`]).
+//! - **Typed reaping**: a supervisor turns hung runs into
+//!   `job-timeout` liveness failures ([`bulk_live::LivenessKind`]) —
+//!   one wedged job never takes the daemon down.
+//!
+//! [`client`] is the matching blocking client used by the CLI and the
+//! integration tests.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod http;
+pub mod job;
+
+pub use daemon::{spawn, DaemonConfig, DaemonHandle};
+pub use job::{JobSnapshot, JobState, JobTable};

@@ -18,8 +18,54 @@ pub enum Command {
     Replay(ReplayArgs),
     /// `bulk sweep-sig --app A` — signature-size ablation on one app.
     SweepSig { app: String, seed: u64 },
+    /// `bulk bulkd ...` — run the live telemetry daemon.
+    Bulkd(BulkdArgs),
+    /// `bulk submit --connect A --spec J` — submit a job spec to a
+    /// running daemon and stream its event JSONL to stdout.
+    Submit {
+        /// Daemon ingest address.
+        connect: String,
+        /// The job-spec JSON line (from `--spec` or `--spec-file`).
+        spec: String,
+    },
+    /// `bulk status --connect A` — print the daemon's job table.
+    Status {
+        /// Daemon ingest address.
+        connect: String,
+    },
+    /// `bulk shutdown --connect A` — ask the daemon to stop.
+    Shutdown {
+        /// Daemon ingest address.
+        connect: String,
+    },
+    /// `bulk scrape --connect A [--check]` — fetch `/metrics` and print
+    /// it; `--check` also parse-validates the exposition.
+    Scrape {
+        /// Daemon HTTP address.
+        connect: String,
+        /// Validate the exposition format and exit nonzero on errors.
+        check: bool,
+    },
     /// `bulk help` or `--help`.
     Help,
+}
+
+/// Options of `bulk bulkd` (the daemon).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BulkdArgs {
+    /// Ingest listen address (`host:port`; port 0 picks a free port).
+    pub listen: String,
+    /// HTTP `/metrics` listen address.
+    pub http: String,
+    /// Maximum concurrently-running jobs.
+    pub max_jobs: u64,
+    /// Default wall-clock budget per job in ms (0 disables the watchdog).
+    pub job_timeout_ms: u64,
+    /// Per-job event-ring capacity (0 keeps the library default).
+    pub event_capacity: u64,
+    /// Write `<ingest-addr>\n<http-addr>\n` here once bound — lets shell
+    /// scripts start the daemon on port 0 and discover where it landed.
+    pub addr_file: Option<String>,
 }
 
 /// Options of `bulk tm`.
@@ -122,7 +168,27 @@ USAGE:
            [--metrics-out <file>] [--trace-out <file>] [--watchdog-ticks <n>]
   bulk replay --file <trace> --scheme <name>
   bulk sweep-sig --app <name> [--seed <n>]
+  bulk bulkd [--listen <host:port>] [--http <host:port>] [--max-jobs <n>]
+             [--job-timeout-ms <n>] [--event-capacity <n>] [--addr-file <file>]
+  bulk submit --connect <host:port> (--spec <json> | --spec-file <file>)
+  bulk status --connect <host:port>
+  bulk shutdown --connect <host:port>
+  bulk scrape --connect <host:port> [--check]
   bulk help
+
+DAEMON:
+  `bulk bulkd` starts the live telemetry daemon: it accepts line-delimited
+  JSON job specs on the ingest socket (one object per line, e.g.
+  {\"machine\": \"tm\", \"app\": \"cb\", \"scheme\": \"bulk\", \"seed\": 7,
+  \"runtime\": \"par\"}), runs up to --max-jobs of them concurrently on
+  either substrate, streams each job's structured event log back as JSONL
+  on the submitting connection, and serves every job's metrics registry on
+  GET /metrics in Prometheus text exposition format with job/machine/
+  scheme/runtime labels. A job that exceeds its wall-clock budget
+  (spec key timeout_ms, default --job-timeout-ms) is reaped as a typed
+  job-timeout failure; the daemon and its other jobs keep running.
+  `bulk submit` sends one spec and relays the stream; `bulk scrape
+  --check` validates the exposition (CI uses it as the smoke gate).
 
 RUNTIMES:
   --runtime selects the execution substrate. `sim` (the default) is the
@@ -194,29 +260,12 @@ pub fn parse_runtime(v: Option<String>) -> Result<String, String> {
 
 /// Parses a TM scheme name.
 pub fn parse_tm_scheme(s: &str) -> Result<Scheme, String> {
-    match s {
-        "eager-naive" => Ok(Scheme::EagerNaive),
-        "eager" => Ok(Scheme::Eager),
-        "lazy" => Ok(Scheme::Lazy),
-        "bulk" => Ok(Scheme::Bulk),
-        "bulk-partial" => Ok(Scheme::BulkPartial),
-        other => Err(format!(
-            "unknown TM scheme `{other}` (expected eager-naive|eager|lazy|bulk|bulk-partial)"
-        )),
-    }
+    s.parse()
 }
 
 /// Parses a TLS scheme name.
 pub fn parse_tls_scheme(s: &str) -> Result<TlsScheme, String> {
-    match s {
-        "eager" => Ok(TlsScheme::Eager),
-        "lazy" => Ok(TlsScheme::Lazy),
-        "bulk" => Ok(TlsScheme::Bulk),
-        "bulk-no-overlap" => Ok(TlsScheme::BulkNoOverlap),
-        other => Err(format!(
-            "unknown TLS scheme `{other}` (expected eager|lazy|bulk|bulk-no-overlap)"
-        )),
-    }
+    s.parse()
 }
 
 struct Flags {
@@ -224,7 +273,7 @@ struct Flags {
 }
 
 /// Flags that stand alone, without a value.
-const BOOLEAN_FLAGS: &[&str] = &["chaos", "audit", "metrics"];
+const BOOLEAN_FLAGS: &[&str] = &["chaos", "audit", "metrics", "check"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
@@ -367,6 +416,60 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let seed = parse_num(f.take("seed"), 42, "--seed")?;
             f.finish()?;
             Ok(Command::SweepSig { app, seed })
+        }
+        "bulkd" => {
+            let mut f = Flags::parse(rest)?;
+            let listen = f.take("listen").unwrap_or_else(|| "127.0.0.1:7700".into());
+            let http = f.take("http").unwrap_or_else(|| "127.0.0.1:7701".into());
+            let max_jobs = parse_num(f.take("max-jobs"), 8, "--max-jobs")?;
+            let job_timeout_ms = parse_num(f.take("job-timeout-ms"), 30_000, "--job-timeout-ms")?;
+            let event_capacity = parse_num(f.take("event-capacity"), 0, "--event-capacity")?;
+            let addr_file = f.take("addr-file");
+            f.finish()?;
+            Ok(Command::Bulkd(BulkdArgs {
+                listen,
+                http,
+                max_jobs,
+                job_timeout_ms,
+                event_capacity,
+                addr_file,
+            }))
+        }
+        "submit" => {
+            let mut f = Flags::parse(rest)?;
+            let connect = f.take("connect").ok_or("submit: --connect is required")?;
+            let spec = match (f.take("spec"), f.take("spec-file")) {
+                (Some(s), None) => s,
+                (None, Some(path)) => std::fs::read_to_string(&path)
+                    .map_err(|e| format!("--spec-file {path}: {e}"))?
+                    .trim()
+                    .to_string(),
+                (Some(_), Some(_)) => {
+                    return Err("submit: --spec and --spec-file are mutually exclusive".into())
+                }
+                (None, None) => return Err("submit: --spec or --spec-file is required".into()),
+            };
+            f.finish()?;
+            Ok(Command::Submit { connect, spec })
+        }
+        "status" => {
+            let mut f = Flags::parse(rest)?;
+            let connect = f.take("connect").ok_or("status: --connect is required")?;
+            f.finish()?;
+            Ok(Command::Status { connect })
+        }
+        "shutdown" => {
+            let mut f = Flags::parse(rest)?;
+            let connect = f.take("connect").ok_or("shutdown: --connect is required")?;
+            f.finish()?;
+            Ok(Command::Shutdown { connect })
+        }
+        "scrape" => {
+            let mut f = Flags::parse(rest)?;
+            let connect = f.take("connect").ok_or("scrape: --connect is required")?;
+            let check = f.take_bool("check");
+            f.finish()?;
+            Ok(Command::Scrape { connect, check })
         }
         other => Err(format!("unknown command `{other}`; try `bulk help`")),
     }
@@ -559,6 +662,60 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_daemon_commands() {
+        match parse(&args("bulkd --listen 127.0.0.1:0 --http 127.0.0.1:0 --max-jobs 3 --addr-file /tmp/a")).unwrap() {
+            Command::Bulkd(a) => {
+                assert_eq!(a.listen, "127.0.0.1:0");
+                assert_eq!(a.max_jobs, 3);
+                assert_eq!(a.job_timeout_ms, 30_000, "default budget");
+                assert_eq!(a.addr_file.as_deref(), Some("/tmp/a"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&args("bulkd")).unwrap() {
+            Command::Bulkd(a) => {
+                assert_eq!(a.listen, "127.0.0.1:7700");
+                assert_eq!(a.http, "127.0.0.1:7701");
+                assert_eq!(a.max_jobs, 8);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&args("status --connect 127.0.0.1:7700")).unwrap(),
+            Command::Status { .. }
+        ));
+        assert!(matches!(
+            parse(&args("shutdown --connect 127.0.0.1:7700")).unwrap(),
+            Command::Shutdown { .. }
+        ));
+        match parse(&args("scrape --connect 127.0.0.1:7701 --check")).unwrap() {
+            Command::Scrape { check, .. } => assert!(check),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("status")).is_err(), "--connect is required");
+        assert!(parse(&args("bulkd --max-jobs nope")).is_err());
+    }
+
+    #[test]
+    fn parses_submit_spec_variants() {
+        let spec = "{\"machine\":\"tm\",\"app\":\"cb\",\"scheme\":\"bulk\"}";
+        match parse(&["submit".into(), "--connect".into(), "h:1".into(), "--spec".into(), spec.into()])
+            .unwrap()
+        {
+            Command::Submit { connect, spec: s } => {
+                assert_eq!(connect, "h:1");
+                assert_eq!(s, spec);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("submit --connect h:1")).is_err(), "spec required");
+        assert!(
+            parse(&["submit".into(), "--connect".into(), "h:1".into(), "--spec".into(), "{}".into(), "--spec-file".into(), "f".into()]).is_err(),
+            "spec sources are mutually exclusive"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ mod report;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use args::{parse, Command, ReplayArgs, TlsArgs, TmArgs, USAGE};
+use args::{parse, BulkdArgs, Command, ReplayArgs, TlsArgs, TmArgs, USAGE};
 use bulk_chaos::FaultPlan;
 use bulk_live::{BackoffConfig, LivenessConfig, WatchdogConfig};
 use bulk_obs::Obs;
@@ -52,7 +52,75 @@ fn run(cmd: Command) -> Result<(), String> {
         Command::Tls(a) => run_tls(a),
         Command::Replay(a) => replay(a),
         Command::SweepSig { app, seed } => sweep_sig(&app, seed),
+        Command::Bulkd(a) => run_bulkd(a),
+        Command::Submit { connect, spec } => submit(&connect, &spec),
+        Command::Status { connect } => {
+            let line = bulkd::client::control(&connect, "status").map_err(|e| e.to_string())?;
+            println!("{line}");
+            Ok(())
+        }
+        Command::Shutdown { connect } => {
+            let line = bulkd::client::control(&connect, "shutdown").map_err(|e| e.to_string())?;
+            println!("{line}");
+            Ok(())
+        }
+        Command::Scrape { connect, check } => scrape(&connect, check),
     }
+}
+
+/// Runs the telemetry daemon in the foreground until a `shutdown`
+/// control command arrives on the ingest socket (or the process is
+/// killed). `--addr-file` publishes the bound addresses for scripts that
+/// listen on port 0.
+fn run_bulkd(a: BulkdArgs) -> Result<(), String> {
+    let mut cfg = bulkd::DaemonConfig {
+        listen: a.listen,
+        http: a.http,
+        max_jobs: a.max_jobs.max(1) as usize,
+        default_timeout_ms: a.job_timeout_ms,
+        ..bulkd::DaemonConfig::default()
+    };
+    if a.event_capacity > 0 {
+        cfg.event_capacity = a.event_capacity as usize;
+    }
+    let handle = bulkd::spawn(cfg).map_err(|e| format!("bulkd: {e}"))?;
+    println!("bulkd: ingest on {}", handle.ingest_addr());
+    println!("bulkd: metrics on http://{}/metrics", handle.http_addr());
+    if let Some(path) = &a.addr_file {
+        std::fs::write(path, format!("{}\n{}\n", handle.ingest_addr(), handle.http_addr()))
+            .map_err(|e| format!("--addr-file {path}: {e}"))?;
+    }
+    handle.wait();
+    println!("bulkd: stopped");
+    Ok(())
+}
+
+/// Submits one job spec and relays the daemon's stream to stdout. Exits
+/// nonzero when the job fails (typed error or rejection).
+fn submit(connect: &str, spec: &str) -> Result<(), String> {
+    let sub = bulkd::client::submit_spec(connect, spec).map_err(|e| e.to_string())?;
+    for line in &sub.lines {
+        println!("{line}");
+    }
+    if sub.ok() {
+        Ok(())
+    } else {
+        Err(format!("job did not complete: {}", sub.last()))
+    }
+}
+
+/// Fetches `/metrics` and prints it; with `check`, also validates the
+/// exposition format (families declared, cumulative buckets, `+Inf`
+/// consistency) and reports the family/sample counts on stderr.
+fn scrape(connect: &str, check: bool) -> Result<(), String> {
+    let body = bulkd::client::scrape(connect).map_err(|e| e.to_string())?;
+    print!("{body}");
+    if check {
+        let (families, samples) = bulk_obs::prometheus::validate(&body)
+            .map_err(|e| format!("exposition invalid: {e}"))?;
+        eprintln!("scrape OK: {families} families, {samples} samples");
+    }
+    Ok(())
 }
 
 fn list() {
@@ -160,7 +228,7 @@ fn run_tm(a: TmArgs) -> Result<(), String> {
             .run_tm(&wl, a.scheme, &SimConfig::tm_default())
             .map_err(|e| par_error(e, chaos))?;
         report::print_par("TM", &a.app, &a.scheme.to_string(), &r);
-        write_par_metrics(&a.metrics_out, &r)?;
+        write_par_metrics(&a.metrics_out, &r, a.seed)?;
         return check_violations(&r.violations, chaos);
     }
     let sig = signature(&a.sig)?;
@@ -174,7 +242,16 @@ fn run_tm(a: TmArgs) -> Result<(), String> {
     }
     let stats = m.try_run().map_err(|e| e.to_string())?;
     report::print_tm(&a.app, a.scheme, &stats, a.chaos);
-    finish_obs(&obs, "tm.", &a.runtime, a.metrics, &a.events_out, &a.metrics_out, &a.trace_out)?;
+    finish_obs(
+        &obs,
+        "tm.",
+        &a.runtime,
+        a.seed,
+        a.metrics,
+        &a.events_out,
+        &a.metrics_out,
+        &a.trace_out,
+    )?;
     check_violations(&stats.violations, seed)?;
     check_liveness(&stats.liveness_violations)
 }
@@ -237,9 +314,13 @@ fn reject_sim_only_flags(
 
 /// Writes the parallel runtime's self-describing metrics JSON when
 /// `--metrics-out` asked for one.
-fn write_par_metrics(path: &Option<String>, r: &bulk_par::RunReport) -> Result<(), String> {
+fn write_par_metrics(
+    path: &Option<String>,
+    r: &bulk_par::RunReport,
+    seed: u64,
+) -> Result<(), String> {
     if let Some(path) = path {
-        std::fs::write(path, report::par_metrics_json(r)).map_err(|e| e.to_string())?;
+        std::fs::write(path, report::par_metrics_json(r, seed)).map_err(|e| e.to_string())?;
         println!("metrics written to {path}");
     }
     Ok(())
@@ -259,12 +340,14 @@ fn make_obs(
 
 /// Prints the metrics section and/or writes the event JSONL, the
 /// registry JSON and the Chrome trace-event JSON, as requested. The
-/// registry JSON is wrapped as `{"runtime": ..., "metrics": {...}}` so
-/// every metrics artifact names the substrate that produced it.
+/// registry JSON is wrapped as `{"runtime": ..., "seed": ..., "metrics":
+/// {...}}` so every metrics artifact names the substrate and workload
+/// seed that produced it.
 fn finish_obs(
     obs: &Option<Arc<Obs>>,
     prefix: &str,
     runtime: &str,
+    seed: u64,
     metrics: bool,
     events_out: &Option<String>,
     metrics_out: &Option<String>,
@@ -286,7 +369,7 @@ fn finish_obs(
     }
     if let Some(path) = metrics_out {
         let wrapped = format!(
-            "{{\n  \"runtime\": \"{runtime}\",\n  \"metrics\": {}\n}}\n",
+            "{{\n  \"runtime\": \"{runtime}\",\n  \"seed\": {seed},\n  \"metrics\": {}\n}}\n",
             o.registry().to_json_indented("  ")
         );
         std::fs::write(path, wrapped).map_err(|e| e.to_string())?;
@@ -338,7 +421,7 @@ fn run_tls(a: TlsArgs) -> Result<(), String> {
         let rt = ParRuntime::new(pcfg);
         let r = rt.run_tls(&wl, a.scheme, &cfg).map_err(|e| par_error(e, chaos))?;
         report::print_par("TLS", &a.app, &a.scheme.to_string(), &r);
-        write_par_metrics(&a.metrics_out, &r)?;
+        write_par_metrics(&a.metrics_out, &r, a.seed)?;
         return check_violations(&r.violations, chaos);
     }
     let seq = bulk_tls::run_tls_sequential(&wl, &cfg);
@@ -350,7 +433,16 @@ fn run_tls(a: TlsArgs) -> Result<(), String> {
     }
     let stats = m.try_run().map_err(|e| e.to_string())?;
     report::print_tls(&a.app, a.scheme, seq, &stats, a.chaos);
-    finish_obs(&obs, "tls.", &a.runtime, a.metrics, &a.events_out, &a.metrics_out, &a.trace_out)?;
+    finish_obs(
+        &obs,
+        "tls.",
+        &a.runtime,
+        a.seed,
+        a.metrics,
+        &a.events_out,
+        &a.metrics_out,
+        &a.trace_out,
+    )?;
     check_violations(&stats.violations, seed)?;
     check_liveness(&stats.liveness_violations)
 }

@@ -149,12 +149,12 @@ pub fn print_par(machine: &str, app: &str, scheme: &str, r: &RunReport) {
 }
 
 /// Serializes a parallel-runtime report as a self-describing metrics
-/// JSON: the `runtime` field tells artifact consumers which substrate
-/// produced the numbers, mirroring the wrapped registry JSON the sim
-/// path writes.
-pub fn par_metrics_json(r: &RunReport) -> String {
+/// JSON: the `runtime` and `seed` fields tell artifact consumers which
+/// substrate produced the numbers under which workload seed, mirroring
+/// the wrapped registry JSON the sim path writes.
+pub fn par_metrics_json(r: &RunReport, seed: u64) -> String {
     let RunDetail::Par(s) = &r.detail else {
-        return format!("{{\n  \"runtime\": \"{}\"\n}}\n", r.runtime);
+        return format!("{{\n  \"runtime\": \"{}\",\n  \"seed\": {seed}\n}}\n", r.runtime);
     };
     let counters = [
         ("commits", s.commits),
@@ -180,6 +180,7 @@ pub fn par_metrics_json(r: &RunReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"runtime\": \"{}\",\n", r.runtime));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str("  \"metrics\": {\n    \"counters\": {\n");
     for (i, (k, v)) in counters.iter().enumerate() {
         let sep = if i + 1 == counters.len() { "" } else { "," };
@@ -332,6 +333,20 @@ pub fn print_metrics(reg: &bulk_obs::Registry, prefix: &str, runtime: &str) {
         }
     }
     let hists = reg.histograms();
+    if let Some((_, h)) = hists
+        .iter()
+        .find(|(name, _)| name == &format!("{prefix}commit.latency_cycles"))
+    {
+        if let (Some(p50), Some(p95), Some(p99)) =
+            (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99))
+        {
+            println!(
+                "  commit latency     p50={p50} p95={p95} p99={p99} cycles \
+                 (upper bucket edges, n={})",
+                h.count()
+            );
+        }
+    }
     if !hists.is_empty() {
         println!("  histograms:");
         for (name, h) in hists {
@@ -413,8 +428,9 @@ mod tests {
             .run_tm(&wl, Scheme::Bulk, &SimConfig::tm_default())
             .unwrap();
         print_par("TM", "conflict_light", "bulk", &r);
-        let json = par_metrics_json(&r);
+        let json = par_metrics_json(&r, 7);
         assert!(json.contains("\"runtime\": \"par\""), "{json}");
+        assert!(json.contains("\"seed\": 7"), "{json}");
         assert!(json.contains("\"commits\": 4"), "{json}");
         assert!(json.contains("\"duplicate_applications\": 0"), "{json}");
         assert!(json.contains("\"per_thread_commits\": [2, 2]"), "{json}");

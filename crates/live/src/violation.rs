@@ -30,6 +30,10 @@ pub enum LivenessKind {
     /// cannot safely resume, so the run surfaces a typed violation with
     /// replay context instead of panicking.
     CheckpointRestore,
+    /// A daemon-managed job exceeded its wall-clock budget: the `bulkd`
+    /// watchdog reaped the run and marked the *job* failed, leaving the
+    /// daemon and its other jobs untouched.
+    JobTimeout,
 }
 
 impl LivenessKind {
@@ -40,6 +44,7 @@ impl LivenessKind {
             LivenessKind::Starvation => "starvation",
             LivenessKind::GlobalStall => "global-stall",
             LivenessKind::CheckpointRestore => "checkpoint-restore",
+            LivenessKind::JobTimeout => "job-timeout",
         }
     }
 }
@@ -116,5 +121,6 @@ mod tests {
         assert_eq!(LivenessKind::Starvation.to_string(), "starvation");
         assert_eq!(LivenessKind::GlobalStall.to_string(), "global-stall");
         assert_eq!(LivenessKind::CheckpointRestore.to_string(), "checkpoint-restore");
+        assert_eq!(LivenessKind::JobTimeout.to_string(), "job-timeout");
     }
 }

@@ -173,6 +173,10 @@ impl Event {
 struct Ring {
     buf: VecDeque<Event>,
     dropped: u64,
+    /// Most events ever resident at once — the buffer's high-water mark,
+    /// exposed as a gauge so streaming backpressure is visible even when
+    /// nothing was dropped.
+    hwm: usize,
 }
 
 /// Default ring capacity: enough for every event of the repo's stock
@@ -219,6 +223,7 @@ impl EventLog {
             ring.dropped += 1;
         }
         ring.buf.push_back(Event { seq, cycle, actor, kind });
+        ring.hwm = ring.hwm.max(ring.buf.len());
     }
 
     /// Number of events currently retained.
@@ -234,6 +239,23 @@ impl EventLog {
     /// Events dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.ring.lock().expect("event ring poisoned").dropped
+    }
+
+    /// The most events ever resident at once (buffer high-water mark).
+    pub fn high_water(&self) -> usize {
+        self.ring.lock().expect("event ring poisoned").hwm
+    }
+
+    /// Retained events with `seq >= from_seq`, oldest first — the
+    /// incremental drain used by streaming consumers: remember the last
+    /// seq you saw and ask for `last + 1` next time. Events that wrapped
+    /// out of the ring before being read show up only in
+    /// [`EventLog::dropped`].
+    pub fn events_after(&self, from_seq: u64) -> Vec<Event> {
+        let ring = self.ring.lock().expect("event ring poisoned");
+        // The ring is seq-ordered; skip the prefix below from_seq.
+        let skip = ring.buf.partition_point(|e| e.seq < from_seq);
+        ring.buf.iter().skip(skip).cloned().collect()
     }
 
     /// A snapshot of the retained events, oldest first.
@@ -375,6 +397,34 @@ mod tests {
         log.record(0, 100, EventKind::CtxSwitch);
         assert_eq!(log.events().last().unwrap().seq, 10);
         assert_eq!(log.dropped(), 8);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_residency() {
+        let log = EventLog::with_capacity(3);
+        assert_eq!(log.high_water(), 0);
+        log.record(0, 0, EventKind::CtxSwitch);
+        log.record(0, 1, EventKind::CtxSwitch);
+        assert_eq!(log.high_water(), 2);
+        for i in 0..5 {
+            log.record(0, 2 + i, EventKind::CtxSwitch);
+        }
+        // Capacity bounds the high-water mark; drops don't lower it.
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.high_water(), 3);
+    }
+
+    #[test]
+    fn events_after_drains_incrementally() {
+        let log = EventLog::new();
+        for i in 0..6u32 {
+            log.record(i, u64::from(i), EventKind::Escalation);
+        }
+        let first: Vec<u64> = log.events_after(0).iter().map(|e| e.seq).collect();
+        assert_eq!(first, vec![0, 1, 2, 3, 4, 5]);
+        let tail: Vec<u64> = log.events_after(4).iter().map(|e| e.seq).collect();
+        assert_eq!(tail, vec![4, 5]);
+        assert!(log.events_after(6).is_empty());
     }
 
     #[test]

@@ -148,6 +148,10 @@ pub struct RuntimeObs {
     pub commit_payload_bytes: Histogram,
     /// Exact committed write-set sizes (lines for TM, words for TLS).
     pub commit_writes: Histogram,
+    /// Commit latency in cycles: arbitration request (or bus grant) to
+    /// broadcast completion. Quantiles (`Histogram::quantile`) feed the
+    /// p50/p95/p99 lines in the CLI report and the Prometheus summary.
+    pub commit_latency: Histogram,
     /// Total squashes (`= squash_true_conflict + squash_aliasing`).
     pub squashes: Counter,
     /// Squashes the oracle confirms (real data dependence).
@@ -202,6 +206,10 @@ impl RuntimeObs {
             commit_payload_bytes: reg
                 .histogram(&format!("{prefix}commit.payload_bytes"), &bytes_edges),
             commit_writes: reg.histogram(&format!("{prefix}commit.writes"), &size_edges),
+            commit_latency: reg.histogram(
+                &format!("{prefix}commit.latency_cycles"),
+                &Histogram::pow2_edges(20), // 1 .. ~1M cycles
+            ),
             squashes: reg.counter(&format!("{prefix}squashes")),
             squash_true_conflict: reg.counter(&format!("{prefix}squash.true_conflict")),
             squash_aliasing: reg.counter(&format!("{prefix}squash.aliasing")),
@@ -311,11 +319,13 @@ impl RuntimeObs {
     }
 
     /// A commit broadcast: `payload_bytes` on the bus carrying an exact
-    /// write set of `writes` lines/words.
-    pub fn on_commit(&self, actor: u32, cycle: u64, payload_bytes: u64, writes: u64) {
+    /// write set of `writes` lines/words, completing `latency` cycles
+    /// after the commit was requested.
+    pub fn on_commit(&self, actor: u32, cycle: u64, payload_bytes: u64, writes: u64, latency: u64) {
         self.commits.inc();
         self.commit_payload_bytes.observe(payload_bytes);
         self.commit_writes.observe(writes);
+        self.commit_latency.observe(latency);
         self.obs.events().record(
             actor,
             cycle,
@@ -425,7 +435,7 @@ mod tests {
     fn attach_registers_prefixed_handles() {
         let obs = Arc::new(Obs::new());
         let r = RuntimeObs::attach(Arc::clone(&obs), "tm.");
-        r.on_commit(0, 100, 64, 3);
+        r.on_commit(0, 100, 64, 3, 20);
         r.on_squash(1, 120, false, 0);
         r.on_squash(2, 130, true, 4);
         r.on_bulk_invalidate(1, 140, 5, 4);
@@ -446,6 +456,8 @@ mod tests {
                 + reg.counter_value("tm.squash.aliasing")
         );
         assert_eq!(obs.events().len(), 6);
+        assert_eq!(r.commit_latency.count(), 1);
+        assert_eq!(r.commit_latency.quantile(0.5), Some(32.0), "20 -> le=32 bucket");
     }
 
     #[test]

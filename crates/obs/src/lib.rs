@@ -28,6 +28,9 @@
 //! - [`hooks`] — pre-registered handle bundles ([`RuntimeObs`],
 //!   [`ExpansionObs`], [`OverflowObs`]) so instrumented layers never pay
 //!   name lookups per record.
+//! - [`prometheus`] — a hand-rolled text-exposition encoder (plus strict
+//!   parser) that renders one or more label-scoped registries as a
+//!   Prometheus `/metrics` document, the `bulkd` daemon's scrape surface.
 //!
 //! Everything funnels into one [`Obs`] bundle that the TM/TLS machines,
 //! the CLI and the bench runners share. `bulk-obs` sits at the bottom of
@@ -41,12 +44,14 @@ pub mod attribution;
 pub mod events;
 pub mod hooks;
 pub mod metrics;
+pub mod prometheus;
 pub mod trace;
 
 pub use attribution::{Verdict, VerdictCounters};
 pub use events::{Event, EventKind, EventLog, SquashCause, DEFAULT_EVENT_CAPACITY};
 pub use hooks::{CycleObs, ExpansionObs, OverflowObs, RuntimeObs};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use prometheus::{encode as prometheus_encode, Scope as PromScope};
 pub use trace::{
     cycle_accounting, AccountingViolation, CycleBreakdown, Span, SpanId, SpanKind, SpanOutcome,
     TraceLog, DEFAULT_TRACE_CAPACITY,
@@ -96,6 +101,18 @@ impl Obs {
     pub fn trace(&self) -> &TraceLog {
         &self.trace
     }
+
+    /// Copies the event ring's streaming stats into the registry as
+    /// gauges — `events.dropped` (events lost to ring wraparound) and
+    /// `events.buffer_hwm` (peak buffer residency) — so backpressure is
+    /// visible on any scrape/report surface. Idempotent: gauges are set,
+    /// not accumulated, so callers can publish before every snapshot.
+    pub fn publish_stream_stats(&self) {
+        self.registry.gauge("events.dropped").set(self.events.dropped());
+        self.registry
+            .gauge("events.buffer_hwm")
+            .set(self.events.high_water() as u64);
+    }
 }
 
 /// Escapes `s` for use inside a JSON string literal (quotes, backslashes
@@ -136,5 +153,18 @@ mod tests {
         obs.events().record(0, 1, EventKind::Escalation);
         assert_eq!(obs.registry().counter_value("c"), 1);
         assert_eq!(obs.events().len(), 1);
+    }
+
+    #[test]
+    fn publish_stream_stats_sets_gauges_idempotently() {
+        let obs = Obs::with_event_capacity(2);
+        for i in 0..5 {
+            obs.events().record(0, i, EventKind::CtxSwitch);
+        }
+        obs.publish_stream_stats();
+        obs.publish_stream_stats(); // set, not accumulate
+        let gauges = obs.registry().gauges();
+        assert!(gauges.contains(&("events.dropped".to_string(), 3)));
+        assert!(gauges.contains(&("events.buffer_hwm".to_string(), 2)));
     }
 }

@@ -181,6 +181,34 @@ impl Histogram {
         self.0.buckets[self.0.edges.len()].load(Ordering::Relaxed)
     }
 
+    /// Upper-edge quantile estimate: the inclusive upper edge of the
+    /// first bucket whose cumulative count reaches `ceil(q * count)`.
+    ///
+    /// With pow2 edges this over-reports by at most 2x — the right bias
+    /// for a latency percentile (never under-promises). Returns `None`
+    /// when nothing has been observed, and `f64::INFINITY` when the rank
+    /// falls in the overflow bucket (rendered `+Inf` by the Prometheus
+    /// encoder). `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return Some(match self.0.edges.get(i) {
+                    Some(&edge) => edge as f64,
+                    None => f64::INFINITY,
+                });
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
     fn to_json(&self) -> String {
         let buckets: Vec<String> = self
             .0
@@ -456,6 +484,40 @@ mod tests {
         assert_eq!(*h.bucket_counts().last().unwrap(), 1);
         assert_eq!(h.overflow_count(), 1);
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets_to_the_upper_edge() {
+        let h = Histogram::with_edges(&[1, 4, 16]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for v in [1u64, 1, 2, 3, 5, 6, 7, 8, 9, 10] {
+            h.observe(v);
+        }
+        // Buckets: le=1 -> 2, le=4 -> 2, le=16 -> 6; count = 10.
+        assert_eq!(h.quantile(0.0), Some(1.0), "q=0 is the first non-empty bucket");
+        assert_eq!(h.quantile(0.2), Some(1.0));
+        assert_eq!(h.quantile(0.4), Some(4.0));
+        assert_eq!(h.quantile(0.5), Some(16.0));
+        assert_eq!(h.quantile(1.0), Some(16.0));
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_is_infinite() {
+        let h = Histogram::with_edges(&[1]);
+        h.observe(100);
+        assert_eq!(h.quantile(0.5), Some(f64::INFINITY));
+        h.observe(1);
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.99), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn quantile_clamps_q() {
+        let h = Histogram::with_edges(&[2, 8]);
+        h.observe(1);
+        h.observe(5);
+        assert_eq!(h.quantile(-3.0), Some(2.0));
+        assert_eq!(h.quantile(7.0), Some(8.0));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Property tests for the Prometheus text-exposition encoder
+//! (`bulk_obs::prometheus`): escaping round-trips, grammar-valid
+//! sanitized names, monotone cumulative buckets, and byte-identical
+//! encodes for identical registry state.
+
+use bulk_obs::metrics::{Histogram, Registry};
+use bulk_obs::prometheus::{
+    encode, escape_label_value, parse_exposition, sanitize_label_name, sanitize_metric_name,
+    unescape_label_value, validate, Scope,
+};
+use bulk_rng::check::{run, Gen};
+use bulk_rng::{prop_assert, prop_assert_eq};
+
+/// An arbitrary string over a alphabet rich in escaping hazards.
+fn hazard_string(g: &mut Gen) -> String {
+    let alphabet: Vec<char> =
+        "ab9_:.-{}\"\\\n \t=,#µ".chars().collect();
+    g.vec_of(0..24, |g| alphabet[g.in_range(0..alphabet.len())])
+        .into_iter()
+        .collect()
+}
+
+#[test]
+fn prop_label_escape_round_trips() {
+    run("prometheus_label_escape_round_trips", 256, |g| {
+        let raw = hazard_string(g);
+        let escaped = escape_label_value(&raw);
+        // The escaped form never contains a bare quote or newline, so it
+        // can sit inside `label="…"` on one exposition line.
+        prop_assert!(!escaped.contains('\n'), "escaped value has raw newline: {escaped:?}");
+        let mut prev_backslash = false;
+        for c in escaped.chars() {
+            prop_assert!(!(c == '"' && !prev_backslash), "unescaped quote in {escaped:?}");
+            prev_backslash = c == '\\' && !prev_backslash;
+        }
+        let back = unescape_label_value(&escaped)
+            .map_err(|e| format!("escape({raw:?}) did not unescape: {e}"))?;
+        prop_assert_eq!(back, raw);
+        Ok(())
+    });
+}
+
+#[test]
+fn prop_sanitized_names_match_the_grammar() {
+    run("prometheus_sanitized_names_match_grammar", 256, |g| {
+        let raw = hazard_string(g);
+        let name = sanitize_metric_name(&raw);
+        prop_assert!(!name.is_empty());
+        for (i, c) in name.chars().enumerate() {
+            let ok = c.is_ascii_alphabetic()
+                || c == '_'
+                || c == ':'
+                || (i > 0 && c.is_ascii_digit());
+            prop_assert!(ok, "sanitize_metric_name({raw:?}) -> {name:?}: bad char {c:?}");
+        }
+        let label = sanitize_label_name(&raw);
+        for (i, c) in label.chars().enumerate() {
+            let ok = c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit());
+            prop_assert!(ok, "sanitize_label_name({raw:?}) -> {label:?}: bad char {c:?}");
+        }
+        Ok(())
+    });
+}
+
+/// Fills a registry with a random but deterministic-by-seed shape.
+fn arbitrary_registry(g: &mut Gen) -> Registry {
+    let reg = Registry::new();
+    for i in 0..g.in_range(0usize..4) {
+        reg.counter(&format!("c{i}.{}", g.in_range(0u64..3))).add(g.in_range(0u64..1000));
+    }
+    for i in 0..g.in_range(0usize..3) {
+        reg.gauge(&format!("g{i}")).set(g.in_range(0u64..1000));
+    }
+    for i in 0..g.in_range(0usize..3) {
+        let h = reg.histogram(&format!("h{i}"), &Histogram::pow2_edges(g.in_range(1u32..8)));
+        for _ in 0..g.in_range(0usize..40) {
+            h.observe(g.in_range(0u64..1 << 9));
+        }
+    }
+    reg
+}
+
+#[test]
+fn prop_histogram_buckets_encode_cumulative_monotone() {
+    run("prometheus_buckets_cumulative_monotone", 128, |g| {
+        let reg = arbitrary_registry(g);
+        let job = hazard_string(g);
+        let text = encode(&[Scope::labelled(&[("job", &job), ("machine", "tm")], &reg)]);
+        // The strict validator checks the grammar, bucket monotonicity
+        // and +Inf == _count for every histogram series.
+        validate(&text).map_err(|e| format!("invalid exposition: {e}\n{text}"))?;
+        // And the parsed label value round-trips the raw job name.
+        let exp = parse_exposition(&text).map_err(|e| e.to_string())?;
+        for s in &exp.samples {
+            if let Some((_, v)) = s.labels.iter().find(|(k, _)| k == "job") {
+                prop_assert_eq!(v.as_str(), job.as_str());
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn prop_identical_registry_state_encodes_byte_identically() {
+    run("prometheus_identical_state_identical_bytes", 64, |g| {
+        let seed = g.u64();
+        let mk = || {
+            let mut g2 = Gen::from_seed(seed);
+            let reg = arbitrary_registry(&mut g2);
+            let job = hazard_string(&mut g2);
+            encode(&[
+                Scope::unlabelled(&reg),
+                Scope::labelled(&[("job", &job)], &reg),
+            ])
+        };
+        prop_assert_eq!(mk(), mk());
+        Ok(())
+    });
+}

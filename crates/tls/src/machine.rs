@@ -900,7 +900,14 @@ impl TlsMachine {
         // index is the history identity and the ordinal is always 0.
         self.stats.history.push(CommitEvent { thread: i as u32, ordinal: 0, at: finish });
         if let Some(obs) = &self.obs {
-            obs.on_commit(i as u32, finish, payload, exact_w_words.len() as u64);
+            // Latency: bus request to broadcast completion on the bus lane.
+            obs.on_commit(
+                i as u32,
+                finish,
+                payload,
+                exact_w_words.len() as u64,
+                finish.saturating_sub(req0),
+            );
             let sec = self.tasks[i].section_span;
             obs.span_outcome(sec, SpanOutcome::Useful);
             // Commit broadcasts serialize on the bus, so they live on a

@@ -42,6 +42,35 @@ impl TlsScheme {
     }
 }
 
+impl TlsScheme {
+    /// Stable kebab-case name — the CLI/job-spec wire form, the inverse
+    /// of [`TlsScheme::from_str`].
+    ///
+    /// [`TlsScheme::from_str`]: std::str::FromStr::from_str
+    pub fn kebab_name(self) -> &'static str {
+        match self {
+            TlsScheme::Eager => "eager",
+            TlsScheme::Lazy => "lazy",
+            TlsScheme::Bulk => "bulk",
+            TlsScheme::BulkNoOverlap => "bulk-no-overlap",
+        }
+    }
+}
+
+impl std::str::FromStr for TlsScheme {
+    type Err = String;
+
+    /// Parses the kebab-case CLI name (`bulk`, `bulk-no-overlap`, …).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TlsScheme::ALL
+            .into_iter()
+            .find(|scheme| scheme.kebab_name() == s)
+            .ok_or_else(|| {
+                format!("unknown TLS scheme `{s}` (expected eager|lazy|bulk|bulk-no-overlap)")
+            })
+    }
+}
+
 impl fmt::Display for TlsScheme {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -72,5 +101,13 @@ mod tests {
     #[test]
     fn display_names_match_figure10() {
         assert_eq!(TlsScheme::BulkNoOverlap.to_string(), "TLS-BulkNoOverlap");
+    }
+
+    #[test]
+    fn kebab_names_round_trip_from_str() {
+        for s in TlsScheme::ALL {
+            assert_eq!(s.kebab_name().parse::<TlsScheme>(), Ok(s));
+        }
+        assert!("TLS-Bulk".parse::<TlsScheme>().is_err());
     }
 }

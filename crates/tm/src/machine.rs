@@ -1075,7 +1075,16 @@ impl TmMachine {
         self.stats.commits += 1;
         self.push_commit_event(tid, finish);
         if let Some(obs) = &self.obs {
-            obs.on_commit(tid as u32, finish, payload_bytes, exact_w.len() as u64);
+            // Latency: end of the speculative section to broadcast
+            // completion — arbitration, failover replays and bus occupancy
+            // all included.
+            obs.on_commit(
+                tid as u32,
+                finish,
+                payload_bytes,
+                exact_w.len() as u64,
+                finish.saturating_sub(sec_end),
+            );
             let sec = self.threads[tid].section_span;
             obs.span_end(sec, sec_end);
             obs.span_outcome(sec, SpanOutcome::Useful);

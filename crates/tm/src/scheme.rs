@@ -41,6 +41,38 @@ impl Scheme {
     }
 }
 
+impl Scheme {
+    /// Stable kebab-case name — the CLI/job-spec wire form, the inverse
+    /// of [`Scheme::from_str`].
+    ///
+    /// [`Scheme::from_str`]: std::str::FromStr::from_str
+    pub fn kebab_name(self) -> &'static str {
+        match self {
+            Scheme::EagerNaive => "eager-naive",
+            Scheme::Eager => "eager",
+            Scheme::Lazy => "lazy",
+            Scheme::Bulk => "bulk",
+            Scheme::BulkPartial => "bulk-partial",
+        }
+    }
+}
+
+impl std::str::FromStr for Scheme {
+    type Err = String;
+
+    /// Parses the kebab-case CLI name (`bulk`, `eager-naive`, …).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scheme::ALL
+            .into_iter()
+            .find(|scheme| scheme.kebab_name() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown TM scheme `{s}` (expected eager-naive|eager|lazy|bulk|bulk-partial)"
+                )
+            })
+    }
+}
+
 impl fmt::Display for Scheme {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -72,5 +104,13 @@ mod tests {
     fn display_names() {
         assert_eq!(Scheme::Bulk.to_string(), "Bulk");
         assert_eq!(Scheme::BulkPartial.to_string(), "Bulk-Partial");
+    }
+
+    #[test]
+    fn kebab_names_round_trip_from_str() {
+        for s in Scheme::ALL {
+            assert_eq!(s.kebab_name().parse::<Scheme>(), Ok(s));
+        }
+        assert!("Bulk".parse::<Scheme>().is_err(), "display names are not wire names");
     }
 }

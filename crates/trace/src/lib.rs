@@ -20,6 +20,7 @@
 
 mod gen;
 pub mod io;
+pub mod jobspec;
 mod ops;
 pub mod patterns;
 pub mod profiles;

@@ -76,6 +76,30 @@ cmp "$TRACE_DIR/tm_a.trace.json"  "$TRACE_DIR/tm_b.trace.json"
 cmp "$TRACE_DIR/tls_a.trace.json" "$TRACE_DIR/tls_b.trace.json"
 echo "trace determinism: OK"
 
+# bulkd smoke: start the telemetry daemon on ephemeral ports, submit
+# one sim TM job and one par TLS job over the ingest socket, scrape
+# /metrics with exposition-format parse validation, then shut down
+# cleanly and require the daemon process to exit zero.
+echo "== bulkd smoke (daemon ingest + /metrics scrape)"
+"$BULK" bulkd --listen 127.0.0.1:0 --http 127.0.0.1:0 \
+  --addr-file "$TRACE_DIR/bulkd.addrs" > "$TRACE_DIR/bulkd.log" &
+BULKD_PID=$!
+trap 'kill "$BULKD_PID" 2>/dev/null || true; rm -rf "$TRACE_DIR"' EXIT
+for _ in $(seq 1 100); do
+  [ -s "$TRACE_DIR/bulkd.addrs" ] && break
+  sleep 0.05
+done
+INGEST=$(sed -n 1p "$TRACE_DIR/bulkd.addrs")
+HTTP=$(sed -n 2p "$TRACE_DIR/bulkd.addrs")
+"$BULK" submit --connect "$INGEST" \
+  --spec '{"machine": "tm", "app": "cb", "scheme": "bulk", "seed": 7}' > /dev/null
+"$BULK" submit --connect "$INGEST" \
+  --spec '{"machine": "tls", "app": "gzip", "scheme": "lazy", "seed": 9, "runtime": "par"}' > /dev/null
+"$BULK" scrape --connect "$HTTP" --check > /dev/null
+"$BULK" shutdown --connect "$INGEST" > /dev/null
+wait "$BULKD_PID"
+echo "bulkd smoke: OK"
+
 # Protocol model-check smoke: bounded-depth BFS over the commit/
 # failover model plus one seeded bug that must die with a
 # counterexample. The exhaustive + full mutation suite runs in the CI

@@ -31,7 +31,10 @@
 //! * [`par`] — execution substrates: the [`par::Runtime`] trait over the
 //!   deterministic sim and a parallel runtime that runs the commit/squash
 //!   protocol on real OS threads over a lock-free broadcast log, with the
-//!   sim as conformance oracle (DESIGN.md §13).
+//!   sim as conformance oracle (DESIGN.md §13),
+//! * [`bulkd`] — live telemetry daemon: streaming job ingest over TCP,
+//!   multiplexed TM/TLS runs on either substrate, per-job event JSONL
+//!   and a Prometheus `/metrics` endpoint (DESIGN.md §14).
 //!
 //! # Quickstart
 //!
@@ -48,6 +51,7 @@
 //! ```
 
 pub use bulk_chaos as chaos;
+pub use bulkd;
 pub use bulk_core as bulk;
 pub use bulk_live as live;
 pub use bulk_mc as mc;
